@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Section 6.4 ablation: sensitivity of the CLB optimization to the miss
+ * predictor's bypass threshold and epoch length, and to the DBI size
+ * (which sets the latency on the bypass-check path). The paper finds no
+ * significant performance difference across reasonable values.
+ *
+ * Usage: ablation_clb [warmup] [measure]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+using namespace dbsim;
+
+namespace {
+
+/** Benchmarks whose LLC hit rates make CLB act. */
+const std::vector<std::string> kBenches = {"libquantum", "lbm", "stream",
+                                           "mcf"};
+
+double
+gmeanIpc(SystemConfig cfg)
+{
+    std::vector<double> ipcs;
+    for (const auto &b : kBenches) {
+        ipcs.push_back(runWorkload(cfg, {b}).ipc[0]);
+    }
+    return geomean(ipcs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t warmup =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000;
+    std::uint64_t measure =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+
+    SystemConfig cfg;
+    cfg.mech = Mechanism::DbiClb;
+    cfg.core.warmupInstrs = warmup;
+    cfg.core.measureInstrs = measure;
+
+    std::printf("CLB sensitivity (DBI+CLB gmean IPC over %zu "
+                "benchmarks)\n\n",
+                kBenches.size());
+
+    std::printf("bypass threshold:\n");
+    for (double thr : {0.5, 0.75, 0.9, 0.95}) {
+        SystemConfig c = cfg;
+        c.pred.missThreshold = thr;
+        std::printf("  %4.2f -> %.4f\n", thr, gmeanIpc(c));
+    }
+
+    std::printf("epoch length (cycles):\n");
+    for (Cycle epoch : {1'000'000ull, 2'500'000ull, 5'000'000ull,
+                        10'000'000ull}) {
+        SystemConfig c = cfg;
+        c.pred.epochCycles = epoch;
+        std::printf("  %8llu -> %.4f\n",
+                    static_cast<unsigned long long>(epoch), gmeanIpc(c));
+    }
+
+    std::printf("DBI size alpha:\n");
+    for (double alpha : {0.25, 0.5}) {
+        SystemConfig c = cfg;
+        c.dbi.alpha = alpha;
+        std::printf("  %4.2f -> %.4f\n", alpha, gmeanIpc(c));
+    }
+    return 0;
+}

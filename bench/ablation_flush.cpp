@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Section 7 extensions: cache flushing and DMA coherence queries. After
+ * warming a write-heavy workload, flush the whole cache (the power-down
+ * / persistence scenario) and run bulk DMA dirty-queries, comparing the
+ * lookup cost of the conventional brute-force tag sweep against the
+ * DBI's compact per-row answers.
+ *
+ * Usage: ablation_flush [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "llc/llc_variants.hh"
+#include "sim/system.hh"
+
+using namespace dbsim;
+
+namespace {
+
+struct FlushNumbers
+{
+    std::uint64_t lookups;
+    std::uint64_t writebacks;
+    std::uint64_t queryLookups;
+};
+
+FlushNumbers
+measure(Mechanism mech, const std::string &bench)
+{
+    SystemConfig cfg;
+    cfg.mech = mech;
+    cfg.core.warmupInstrs = 1'500'000;
+    cfg.core.measureInstrs = 500'000;
+    System sys(cfg, {bench});
+    sys.run();
+
+    Llc &llc = sys.llc();
+    // The benchmark's write-stream region: core 0's address-space
+    // slice, stream-write sub-region (see SyntheticTrace's layout).
+    Addr base = (Addr{1} << 40) + (Addr{4} << 32);
+    std::uint64_t span = 256ull << 20;  // covers the stream footprint
+    // DMA coherence query first (read-only)...
+    auto query = llc.queryRegionDirty(base, span);
+    // ...then flush the same span.
+    auto flush = llc.flushRegion(base, span, 0);
+    return {flush.lookups, flush.writebacks, query.lookups};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "lbm";
+
+    std::printf("Section 7: cache flush & DMA coherence on '%s'\n\n",
+                bench.c_str());
+    std::printf("%-14s %15s %12s %18s\n", "mechanism", "flush lookups",
+                "writebacks", "DMA query lookups");
+
+    for (Mechanism m : {Mechanism::TaDip, Mechanism::DbiAwb}) {
+        FlushNumbers n = measure(m, bench);
+        std::printf("%-14s %15llu %12llu %18llu\n", mechanismName(m),
+                    static_cast<unsigned long long>(n.lookups),
+                    static_cast<unsigned long long>(n.writebacks),
+                    static_cast<unsigned long long>(n.queryLookups));
+    }
+
+    std::printf("\nThe conventional cache must look up every block of "
+                "the range; the DBI answers each DRAM-row region with "
+                "one access\nand spends tag lookups only on blocks that "
+                "are actually dirty.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Diagnostic harness: run one workload mix under one mechanism and dump
+ * every collected statistic plus derived rates. Not a paper experiment;
+ * a debugging/inspection tool for the other benches.
+ *
+ * Usage: diag_run <mechanism> <cores> <bench1> [bench2 ...]
+ *        [--warmup N] [--measure N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    cfg.core.warmupInstrs = 1'000'000;
+    cfg.core.measureInstrs = 1'000'000;
+
+    WorkloadMix mix;
+    if (argc < 4) {
+        // Default inspection run so the bench loop can invoke us bare.
+        cfg.mech = Mechanism::DbiAwbClb;
+        cfg.numCores = 2;
+        mix = {"lbm", "libquantum"};
+    } else {
+        cfg.mech = mechanismByName(argv[1]);
+        cfg.numCores = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    }
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+            cfg.core.warmupInstrs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--measure") == 0 &&
+                   i + 1 < argc) {
+            cfg.core.measureInstrs = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            mix.push_back(argv[i]);
+        }
+    }
+    while (mix.size() < cfg.numCores) {
+        mix.push_back(mix.back());
+    }
+
+    System sys(cfg, mix);
+    SimResult r = sys.run();
+
+    std::printf("mechanism %s, %u cores\n", mechanismName(cfg.mech),
+                cfg.numCores);
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        std::printf("  core %u (%s): IPC %.4f  loads(total) %llu "
+                    "since-snap %llu\n", c,
+                    mix[c].c_str(), r.ipc[c],
+                    (unsigned long long)
+                        sys.coreMemory(c).statLoads.value(),
+                    (unsigned long long)
+                        sys.coreMemory(c).statLoads.sinceSnapshot());
+    }
+    std::printf("windowCycles %llu  totalInstrs %llu\n",
+                static_cast<unsigned long long>(r.windowCycles),
+                static_cast<unsigned long long>(r.totalInstrs));
+    std::printf("readRHR %.3f  writeRHR %.3f  tagPKI %.1f  WPKI %.2f  "
+                "MPKI %.2f\n",
+                r.readRowHitRate, r.writeRowHitRate, r.tagLookupsPki,
+                r.wpki, r.mpki);
+    for (const auto &[name, value] : r.stats) {
+        std::printf("  %-24s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8 reproduction: per-workload normalized weighted speedup of
+ * Baseline, DAWB, and DBI+AWB+CLB over 4-core workloads, sorted by the
+ * improvement of DBI+AWB+CLB (the paper's s-curve). The takeaways to
+ * check: DBI+AWB+CLB consistently outperforms DAWB (not just on a few
+ * mixes), and only a handful of workloads regress below baseline.
+ *
+ * Usage: fig8_scurve [num_mixes] [warmup] [measure]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/mixes.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t count = argc > 1 ? std::atoi(argv[1]) : 16;
+    std::uint64_t warmup =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
+    std::uint64_t measure =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'500'000;
+
+    SystemConfig base;
+    base.numCores = 4;
+    base.core.warmupInstrs = warmup;
+    base.core.measureInstrs = measure;
+
+    AloneIpcCache alone(base);
+    auto mixes = makeMixes(4, count, /*seed=*/88);
+
+    struct Point
+    {
+        std::string label;
+        double baseline;
+        double dawb;
+        double dbi;
+    };
+    std::vector<Point> points;
+
+    for (const auto &mix : mixes) {
+        Point p;
+        p.label = mixLabel(mix);
+        SystemConfig cfg = base;
+        cfg.mech = Mechanism::Baseline;
+        p.baseline = evalMix(cfg, mix, alone).weightedSpeedup;
+        cfg.mech = Mechanism::Dawb;
+        p.dawb = evalMix(cfg, mix, alone).weightedSpeedup;
+        cfg.mech = Mechanism::DbiAwbClb;
+        p.dbi = evalMix(cfg, mix, alone).weightedSpeedup;
+        std::fprintf(stderr, "  done %s\n", p.label.c_str());
+        points.push_back(std::move(p));
+    }
+
+    std::sort(points.begin(), points.end(),
+              [](const Point &a, const Point &b) {
+                  return a.dbi / a.baseline < b.dbi / b.baseline;
+              });
+
+    std::printf("Figure 8: 4-core weighted speedup, normalized to "
+                "Baseline, sorted by DBI+AWB+CLB improvement\n\n");
+    std::printf("%-44s %9s %9s %12s\n", "workload", "Baseline", "DAWB",
+                "DBI+AWB+CLB");
+    std::uint32_t dbi_beats_dawb = 0;
+    std::uint32_t dbi_below_base = 0;
+    for (const auto &p : points) {
+        std::printf("%-44s %9.3f %9.3f %12.3f\n", p.label.c_str(), 1.0,
+                    p.dawb / p.baseline, p.dbi / p.baseline);
+        if (p.dbi > p.dawb) {
+            ++dbi_beats_dawb;
+        }
+        if (p.dbi < p.baseline) {
+            ++dbi_below_base;
+        }
+    }
+    std::printf("\nDBI+AWB+CLB > DAWB on %u/%zu workloads; below "
+                "baseline on %u/%zu\n",
+                dbi_beats_dawb, points.size(), dbi_below_base,
+                points.size());
+    return 0;
+}

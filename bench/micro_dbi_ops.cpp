@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the DBI structure itself:
+ * isDirty lookups, setDirty updates (with and without evictions), and
+ * the single-query row listing that AWB relies on — compared against
+ * the tag-store sweep a DAWB-style implementation needs for the same
+ * answer (Section 2: the DBI answers row queries in one access, the
+ * tag store in blocks-per-row accesses).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_store.hh"
+#include "common/rng.hh"
+#include "dbi/dbi.hh"
+
+using namespace dbsim;
+
+namespace {
+
+constexpr std::uint64_t kCacheBlocks = 262144;  // 16MB / 64B
+
+DbiConfig
+benchConfig()
+{
+    DbiConfig cfg;
+    cfg.alpha = 0.25;
+    cfg.granularity = 64;
+    cfg.assoc = 16;
+    return cfg;
+}
+
+void
+BM_DbiIsDirty(benchmark::State &state)
+{
+    Dbi dbi(benchConfig(), kCacheBlocks);
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i) {
+        dbi.setDirty(rng.below(1u << 30) * kBlockBytes);
+    }
+    Rng probe(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dbi.isDirty(probe.below(1u << 30) * kBlockBytes));
+    }
+}
+BENCHMARK(BM_DbiIsDirty);
+
+void
+BM_DbiSetDirtySteadyState(benchmark::State &state)
+{
+    Dbi dbi(benchConfig(), kCacheBlocks);
+    Rng rng(3);
+    for (auto _ : state) {
+        auto wbs = dbi.setDirty(rng.below(1u << 30) * kBlockBytes);
+        benchmark::DoNotOptimize(wbs.data());
+    }
+}
+BENCHMARK(BM_DbiSetDirtySteadyState);
+
+void
+BM_DbiRowQuery(benchmark::State &state)
+{
+    // One DBI query lists every dirty block of a DRAM row.
+    Dbi dbi(benchConfig(), kCacheBlocks);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        dbi.setDirty(static_cast<Addr>(i) * kBlockBytes);
+    }
+    for (auto _ : state) {
+        auto blocks = dbi.dirtyBlocksInRegion(0);
+        benchmark::DoNotOptimize(blocks.data());
+    }
+}
+BENCHMARK(BM_DbiRowQuery);
+
+void
+BM_TagStoreRowSweep(benchmark::State &state)
+{
+    // The DAWB equivalent: look up all 128 row blocks in the tag store.
+    CacheGeometry geo{16ull << 20, 32, ReplPolicy::Lru, 1, 9};
+    TagStore tags(geo);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        tags.insert(static_cast<Addr>(i) * kBlockBytes, 0, true);
+    }
+    for (auto _ : state) {
+        int dirty = 0;
+        for (std::uint32_t i = 0; i < 128; ++i) {
+            const auto *e = tags.find(static_cast<Addr>(i) * kBlockBytes);
+            if (e && e->dirty) {
+                ++dirty;
+            }
+        }
+        benchmark::DoNotOptimize(dirty);
+    }
+}
+BENCHMARK(BM_TagStoreRowSweep);
+
+void
+BM_DbiClearDirty(benchmark::State &state)
+{
+    Dbi dbi(benchConfig(), kCacheBlocks);
+    Rng rng(5);
+    for (auto _ : state) {
+        Addr a = rng.below(1u << 20) * kBlockBytes;
+        dbi.setDirty(a);
+        dbi.clearDirty(a);
+    }
+}
+BENCHMARK(BM_DbiClearDirty);
+
+} // namespace
+
+BENCHMARK_MAIN();

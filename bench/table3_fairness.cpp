@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table 3 reproduction: performance and fairness of DBI with both AWB
+ * and CLB compared to the baseline — weighted speedup, instruction
+ * throughput, and harmonic speedup improvements, plus maximum slowdown
+ * reduction, for 2/4/8-core systems.
+ *
+ * Usage: table3_fairness [mixes2] [mixes4] [mixes8] [warmup] [measure]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/mixes.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t n2 = argc > 1 ? std::atoi(argv[1]) : 8;
+    std::uint32_t n4 = argc > 2 ? std::atoi(argv[2]) : 8;
+    std::uint32_t n8 = argc > 3 ? std::atoi(argv[3]) : 6;
+    std::uint64_t warmup =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2'000'000;
+    std::uint64_t measure =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1'500'000;
+
+    SystemConfig base;
+    base.core.warmupInstrs = warmup;
+    base.core.measureInstrs = measure;
+
+    AloneIpcCache alone(base);
+
+    struct Row
+    {
+        std::uint32_t cores;
+        std::uint32_t mixes;
+        double ws = 0, it = 0, hs = 0, ms = 0;  // relative improvements
+    };
+    std::vector<Row> rows = {{2, n2}, {4, n4}, {8, n8}};
+
+    for (auto &row : rows) {
+        auto mixes = makeMixes(row.cores, row.mixes, /*seed=*/2014);
+        double ws_b = 0, it_b = 0, hs_b = 0, ms_b = 0;
+        double ws_d = 0, it_d = 0, hs_d = 0, ms_d = 0;
+        for (const auto &mix : mixes) {
+            SystemConfig cfg = base;
+            cfg.numCores = row.cores;
+            cfg.mech = Mechanism::Baseline;
+            auto mb = evalMix(cfg, mix, alone);
+            cfg.mech = Mechanism::DbiAwbClb;
+            auto md = evalMix(cfg, mix, alone);
+            ws_b += mb.weightedSpeedup;
+            it_b += mb.instructionThroughput;
+            hs_b += mb.harmonicSpeedup;
+            ms_b += mb.maxSlowdown;
+            ws_d += md.weightedSpeedup;
+            it_d += md.instructionThroughput;
+            hs_d += md.harmonicSpeedup;
+            ms_d += md.maxSlowdown;
+        }
+        row.ws = ws_d / ws_b - 1.0;
+        row.it = it_d / it_b - 1.0;
+        row.hs = hs_d / hs_b - 1.0;
+        row.ms = 1.0 - ms_d / ms_b;  // reduction
+        std::fprintf(stderr, "  %u-core done\n", row.cores);
+    }
+
+    std::printf("Table 3: DBI+AWB+CLB vs Baseline "
+                "(warmup %llu, measure %llu)\n\n",
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(measure));
+    std::printf("%-42s %8s %8s %8s\n", "Number of Cores", "2", "4", "8");
+    std::printf("%-42s", "Number of workloads");
+    for (const auto &r : rows) {
+        std::printf(" %8u", r.mixes);
+    }
+    std::printf("\n%-42s", "Weighted Speedup Improvement");
+    for (const auto &r : rows) {
+        std::printf(" %7.1f%%", 100.0 * r.ws);
+    }
+    std::printf("\n%-42s", "Instruction Throughput Improvement");
+    for (const auto &r : rows) {
+        std::printf(" %7.1f%%", 100.0 * r.it);
+    }
+    std::printf("\n%-42s", "Harmonic Speedup Improvement");
+    for (const auto &r : rows) {
+        std::printf(" %7.1f%%", 100.0 * r.hs);
+    }
+    std::printf("\n%-42s", "Maximum Slowdown Reduction");
+    for (const auto &r : rows) {
+        std::printf(" %7.1f%%", 100.0 * r.ms);
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 6 reproduction: sensitivity of the AWB optimization to DBI
+ * granularity {16, 32, 64, 128} and size alpha {1/4, 1/2}. Reports the
+ * average single-core IPC improvement of DBI+AWB over the baseline
+ * across the write-intensive benchmarks (where AWB acts). The paper's
+ * trend: performance rises with granularity and with size.
+ *
+ * Usage: table6_awb_sensitivity [warmup] [measure]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+#include "workload/profiles.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t warmup =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000;
+    std::uint64_t measure =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+
+    std::vector<std::string> benches;
+    for (const auto &p : allBenchmarks()) {
+        if (p.writeClass != Intensity::Low) {
+            benches.push_back(p.name);
+        }
+    }
+
+    SystemConfig cfg;
+    cfg.core.warmupInstrs = warmup;
+    cfg.core.measureInstrs = measure;
+
+    // Baseline IPCs once per benchmark.
+    std::vector<double> base_ipc;
+    for (const auto &b : benches) {
+        cfg.mech = Mechanism::Baseline;
+        base_ipc.push_back(runWorkload(cfg, {b}).ipc[0]);
+        std::fprintf(stderr, "  baseline %s done\n", b.c_str());
+    }
+
+    std::printf("Table 6: average IPC improvement of DBI+AWB over "
+                "baseline (write-intensive benchmarks)\n\n");
+    std::printf("%-12s", "Granularity");
+    for (std::uint32_t g : {16, 32, 64, 128}) {
+        std::printf(" %9u", g);
+    }
+    std::printf("\n");
+
+    for (double alpha : {0.25, 0.5}) {
+        std::printf("alpha = %-4.2g", alpha);
+        for (std::uint32_t gran : {16u, 32u, 64u, 128u}) {
+            cfg.mech = Mechanism::DbiAwb;
+            cfg.dbi.alpha = alpha;
+            cfg.dbi.granularity = gran;
+            std::vector<double> gains;
+            for (std::size_t i = 0; i < benches.size(); ++i) {
+                SimResult r = runWorkload(cfg, {benches[i]});
+                gains.push_back(r.ipc[0] / base_ipc[i]);
+            }
+            std::printf(" %8.1f%%", 100.0 * (geomean(gains) - 1.0));
+            std::fprintf(stderr, "  alpha %.2f gran %u done\n", alpha,
+                         gran);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

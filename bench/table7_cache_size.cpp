@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 7 reproduction: weighted-speedup improvement of DBI+AWB+CLB
+ * over the baseline with 2MB/core and 4MB/core LLCs on 2/4/8-core
+ * systems. The paper's trend: gains shrink with larger caches (memory
+ * bandwidth matters less) but remain significant.
+ *
+ * Usage: table7_cache_size [mixes] [warmup] [measure]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/runner.hh"
+#include "workload/mixes.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t count = argc > 1 ? std::atoi(argv[1]) : 5;
+    std::uint64_t warmup =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'500'000;
+    std::uint64_t measure =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+
+    SystemConfig base;
+    base.core.warmupInstrs = warmup;
+    base.core.measureInstrs = measure;
+    AloneIpcCache alone(base);
+
+    std::printf("Table 7: DBI+AWB+CLB weighted speedup improvement over "
+                "baseline by cache size\n\n");
+    std::printf("%-12s %9s %9s %9s\n", "Cache Size", "2-Core", "4-Core",
+                "8-Core");
+
+    for (std::uint64_t mb_per_core : {2, 4}) {
+        std::printf("%lluMB/Core   ",
+                    static_cast<unsigned long long>(mb_per_core));
+        for (std::uint32_t cores : {2u, 4u, 8u}) {
+            auto mixes = makeMixes(cores, count, /*seed=*/2014);
+            double ws_base = 0.0, ws_dbi = 0.0;
+            for (const auto &mix : mixes) {
+                SystemConfig cfg = base;
+                cfg.numCores = cores;
+                cfg.llcBytesPerCore = mb_per_core << 20;
+                cfg.mech = Mechanism::Baseline;
+                ws_base += evalMix(cfg, mix, alone).weightedSpeedup;
+                cfg.mech = Mechanism::DbiAwbClb;
+                ws_dbi += evalMix(cfg, mix, alone).weightedSpeedup;
+            }
+            std::printf(" %8.1f%%", 100.0 * (ws_dbi / ws_base - 1.0));
+            std::fprintf(stderr, "  %lluMB %u-core done\n",
+                         static_cast<unsigned long long>(mb_per_core),
+                         cores);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

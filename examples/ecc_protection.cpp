@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Domain example: heterogeneous ECC for clean vs dirty blocks
+ * (Section 3.3), run functionally. A Dirty-Block Index decides which
+ * blocks are dirty; only those carry SECDED correction codes in a
+ * HeteroEccStore, while every block keeps a cheap parity EDC. The
+ * example injects faults into clean and dirty blocks and shows the
+ * recovery paths, then prints the storage this scheme saves (Table 4).
+ */
+
+#include <cstdio>
+
+#include "dbi/dbi.hh"
+#include "ecc/hetero_ecc.hh"
+#include "model/storage_model.hh"
+
+using namespace dbsim;
+
+namespace {
+
+BlockData
+makeBlock(std::uint64_t tag)
+{
+    BlockData b;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        b[i] = tag * 0x9e3779b97f4a7c15ull + i;
+    }
+    return b;
+}
+
+const char *
+statusName(EccReadStatus s)
+{
+    switch (s) {
+      case EccReadStatus::Clean:
+        return "clean";
+      case EccReadStatus::Corrected:
+        return "corrected (SECDED)";
+      case EccReadStatus::Refetched:
+        return "refetched from next level";
+      case EccReadStatus::DataLost:
+        return "DATA LOST";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    // A small cache: 1024 blocks; DBI tracks a quarter of them.
+    constexpr std::uint64_t kBlocks = 1024;
+    DbiConfig dbi_cfg;
+    dbi_cfg.alpha = 0.25;
+    dbi_cfg.granularity = 16;
+    Dbi dbi(dbi_cfg, kBlocks);
+
+    HeteroEccStore store(dbi.trackableBlocks(),
+                         [](Addr a) { return makeBlock(a >> 6); });
+
+    std::printf("Heterogeneous ECC demo: SECDED only for DBI-tracked "
+                "(dirty) blocks\n\n");
+
+    // Fill some clean blocks and dirty a few through the DBI.
+    for (Addr a = 0; a < 32 * kBlockBytes; a += kBlockBytes) {
+        store.fill(a, makeBlock(a >> 6));
+    }
+    for (Addr a = 0; a < 8 * kBlockBytes; a += kBlockBytes) {
+        auto drained = dbi.setDirty(a);
+        for (Addr d : drained) {
+            store.markClean(d);  // DBI eviction: write back + clean
+        }
+        store.writeDirty(a, makeBlock(0x1000 + (a >> 6)));
+    }
+    std::printf("resident blocks with SECDED: %llu (dirty), the other "
+                "24 carry parity EDC only\n\n",
+                static_cast<unsigned long long>(store.eccEntries()));
+
+    // Fault injection: clean block -> refetch; dirty block -> correct.
+    Addr clean_victim = 20 * kBlockBytes;
+    Addr dirty_victim = 3 * kBlockBytes;
+    store.corrupt(clean_victim, 129);
+    store.corrupt(dirty_victim, 257);
+
+    BlockData out;
+    auto s1 = store.read(clean_victim, out);
+    std::printf("clean block %#llx after 1-bit fault: %s\n",
+                static_cast<unsigned long long>(clean_victim),
+                statusName(s1));
+    auto s2 = store.read(dirty_victim, out);
+    std::printf("dirty block %#llx after 1-bit fault: %s\n",
+                static_cast<unsigned long long>(dirty_victim),
+                statusName(s2));
+    std::printf("(dirty blocks are the only copy: they must be "
+                "corrected, not refetched)\n\n");
+
+    // The payoff: Table 4's storage numbers.
+    StorageParams p;
+    p.alpha = 0.25;
+    p.withEcc = true;
+    StorageModel model(p);
+    std::printf("At 16MB with alpha=1/4 this organization saves %.0f%% "
+                "of tag-store bits and %.0f%% of the whole cache.\n",
+                100.0 * model.tagStoreReduction(),
+                100.0 * model.cacheReduction());
+    return 0;
+}

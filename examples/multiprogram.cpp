@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Domain example: multi-programmed consolidation (the Section 6.2
+ * scenario). Builds a 4-core mix spanning the read/write intensity
+ * grid, runs it under the baseline and under DBI with both
+ * optimizations, and reports the system-level metrics the paper uses —
+ * weighted speedup, instruction throughput, harmonic speedup, and
+ * maximum slowdown — plus the per-core IPCs behind them.
+ *
+ * Usage: multiprogram [bench1 bench2 bench3 bench4]
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    WorkloadMix mix;
+    if (argc == 5) {
+        for (int i = 1; i < 5; ++i) {
+            mix.push_back(argv[i]);
+        }
+    } else {
+        mix = {"GemsFDTD", "libquantum", "omnetpp", "bzip2"};
+    }
+
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.core.warmupInstrs = 2'000'000;
+    cfg.core.measureInstrs = 1'000'000;
+
+    AloneIpcCache alone(cfg);
+
+    std::printf("4-core mix: %s\n\n", mixLabel(mix).c_str());
+    std::printf("alone IPCs:");
+    for (const auto &b : mix) {
+        std::printf("  %s %.3f", b.c_str(), alone.get(b));
+    }
+    std::printf("\n\n%-14s %8s %8s %8s %8s   per-core IPC\n",
+                "mechanism", "WS", "IT", "HS", "MaxSlow");
+
+    for (Mechanism m : {Mechanism::Baseline, Mechanism::Dawb,
+                        Mechanism::Dbi, Mechanism::DbiAwbClb}) {
+        cfg.mech = m;
+        SimResult r = runWorkload(cfg, mix);
+        auto alone_ipcs = alone.forMix(mix);
+        std::printf("%-14s %8.3f %8.3f %8.3f %8.3f  ",
+                    mechanismName(m),
+                    weightedSpeedup(r.ipc, alone_ipcs),
+                    instructionThroughput(r.ipc),
+                    harmonicSpeedup(r.ipc, alone_ipcs),
+                    maxSlowdown(r.ipc, alone_ipcs));
+        for (double ipc : r.ipc) {
+            std::printf(" %.3f", ipc);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nGemsFDTD+libquantum is the paper's Section 6.2 case "
+                "study pairing: the write-heavy streamer interferes\n"
+                "with the read streamer; DBI removes both the write-"
+                "drain stalls and the tag-port contention.\n");
+    return 0;
+}

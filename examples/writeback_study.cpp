@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Domain example: studying DRAM-aware writeback on a write-intensive
+ * workload (the scenario motivating Section 3.1). Runs lbm under the
+ * baseline and DBI+AWB while sweeping the memory controller's write
+ * buffer size, and reports how the write-drain behaviour (drain count,
+ * drain cycles, write row hit rate) responds — showing why coalescing
+ * writebacks by DRAM row shortens the phases during which reads are
+ * blocked.
+ *
+ * Usage: writeback_study [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/system.hh"
+
+using namespace dbsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "lbm";
+
+    std::printf("Write-drain study: '%s', sweeping write buffer size\n\n",
+                bench.c_str());
+    std::printf("%-8s %-14s %8s %8s %12s %11s %8s\n", "wbuf",
+                "mechanism", "IPC", "drains", "drainCycles", "writeRHR",
+                "WPKI");
+
+    for (std::uint32_t wbuf : {16u, 32u, 64u, 128u}) {
+        for (Mechanism m : {Mechanism::TaDip, Mechanism::DbiAwb}) {
+            SystemConfig cfg;
+            cfg.mech = m;
+            cfg.dram.writeBufEntries = wbuf;
+            cfg.core.warmupInstrs = 2'000'000;
+            cfg.core.measureInstrs = 1'000'000;
+            SimResult r = runWorkload(cfg, {bench});
+            std::printf("%-8u %-14s %8.3f %8llu %12llu %10.1f%% %8.2f\n",
+                        wbuf, mechanismName(m), r.ipc[0],
+                        static_cast<unsigned long long>(
+                            r.stats.at("dram.drains")),
+                        static_cast<unsigned long long>(
+                            r.stats.at("dram.drainCycles")),
+                        100.0 * r.writeRowHitRate, r.wpki);
+        }
+    }
+
+    std::printf("\nTakeaway: with DBI+AWB the same write volume drains "
+                "in far fewer cycles because the buffer fills with\n"
+                "row-clustered writebacks; the freed cycles go to "
+                "demand reads.\n");
+    return 0;
+}

@@ -1,0 +1,22 @@
+#!/bin/bash
+# Full reproduction suite: one binary per paper table/figure.
+# Default arguments are sized so the whole suite finishes in tens of
+# minutes on one machine; pass bigger instruction counts for tighter
+# statistics.
+set -u
+B=build/bench
+run() { echo "=================================================================="; echo "\$ $*"; echo; "$@" 2>/dev/null; echo; }
+run $B/table4_storage
+run $B/table5_power
+run $B/micro_dbi_ops
+run $B/ablation_flush
+run $B/fig6_single_core
+run $B/ablation_dbi_repl 3000000 1000000
+run $B/ablation_clb 3000000 1000000
+run $B/table6_awb_sensitivity 3000000 1000000
+run $B/fig7_multicore 10 10 6
+run $B/table3_fairness 8 8 6
+run $B/fig8_scurve 16
+run $B/table7_cache_size 5
+run $B/ablation_drrip 4
+run $B/diag_run

@@ -1,0 +1,316 @@
+#include "tag_store.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+TagStore::TagStore(const CacheGeometry &geometry)
+    : geo(geometry), rng(geometry.seed)
+{
+    fatal_if(geo.sizeBytes % (static_cast<std::uint64_t>(geo.assoc) *
+                              kBlockBytes) != 0,
+             "cache size not divisible by assoc * block size");
+    std::uint64_t sets =
+        geo.sizeBytes / (static_cast<std::uint64_t>(geo.assoc) *
+                         kBlockBytes);
+    fatal_if(!isPowerOf2(sets), "set count must be a power of two");
+    nSets = static_cast<std::uint32_t>(sets);
+    entries.resize(static_cast<std::size_t>(nSets) * geo.assoc);
+    fatal_if(geo.numThreads == 0, "need at least one thread");
+    psel.assign(geo.numThreads, kPselInit);
+}
+
+std::uint32_t
+TagStore::setIndex(Addr block_addr) const
+{
+    return static_cast<std::uint32_t>(blockNumber(block_addr) &
+                                      (nSets - 1));
+}
+
+TagStore::Entry &
+TagStore::at(std::uint32_t set, std::uint32_t way)
+{
+    return entries[static_cast<std::size_t>(set) * geo.assoc + way];
+}
+
+const TagStore::Entry &
+TagStore::at(std::uint32_t set, std::uint32_t way) const
+{
+    return entries[static_cast<std::size_t>(set) * geo.assoc + way];
+}
+
+bool
+TagStore::contains(Addr block_addr) const
+{
+    return find(block_addr) != nullptr;
+}
+
+TagStore::Entry *
+TagStore::find(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    std::uint32_t set = setIndex(a);
+    for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+        Entry &e = at(set, w);
+        if (e.valid && e.block == a) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const TagStore::Entry *
+TagStore::find(Addr block_addr) const
+{
+    return const_cast<TagStore *>(this)->find(block_addr);
+}
+
+void
+TagStore::touch(Addr block_addr, std::uint32_t thread)
+{
+    (void)thread;
+    Entry *e = find(block_addr);
+    panic_if(!e, "touch of absent block");
+    e->lastTouch = touchClock++;
+    e->rrpv = 0;  // near-immediate re-reference on hit (RRIP hit promotion)
+    ++statHits;
+}
+
+TagStore::LeaderKind
+TagStore::leaderKind(std::uint32_t set, std::uint32_t thread) const
+{
+    if (geo.repl != ReplPolicy::TaDip && geo.repl != ReplPolicy::Drrip) {
+        return LeaderKind::None;
+    }
+    // Constituency-based leader selection: 32 primary-policy leader sets
+    // and 32 bimodal leader sets per thread, spread across the cache.
+    std::uint32_t slot = set & 63;  // 64 leader slots per 64-set region
+    if (slot == 2 * thread) {
+        return LeaderKind::Primary;
+    }
+    if (slot == 2 * thread + 1) {
+        return LeaderKind::Bimodal;
+    }
+    return LeaderKind::None;
+}
+
+bool
+TagStore::useBimodal(std::uint32_t set, std::uint32_t thread)
+{
+    if (thread >= psel.size()) {
+        thread = 0;
+    }
+    switch (leaderKind(set, thread)) {
+      case LeaderKind::Primary:
+        // A miss in a primary-policy leader set votes against it.
+        if (psel[thread] < kPselMax) {
+            ++psel[thread];
+        }
+        return false;
+      case LeaderKind::Bimodal:
+        if (psel[thread] > 0) {
+            --psel[thread];
+        }
+        return true;
+      case LeaderKind::None:
+        break;
+    }
+    return psel[thread] >= kPselInit;
+}
+
+std::uint32_t
+TagStore::victimWay(std::uint32_t set)
+{
+    switch (geo.repl) {
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng.below(geo.assoc));
+      case ReplPolicy::Drrip: {
+        // Find an RRPV==max entry, aging the set until one appears.
+        for (;;) {
+            for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+                if (at(set, w).rrpv >= kRrpvMax) {
+                    return w;
+                }
+            }
+            for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+                ++at(set, w).rrpv;
+            }
+        }
+      }
+      case ReplPolicy::Lru:
+      case ReplPolicy::TaDip:
+      default: {
+        std::uint32_t victim = 0;
+        std::uint64_t oldest = kCycleMax;
+        for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+            if (at(set, w).lastTouch < oldest) {
+                oldest = at(set, w).lastTouch;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+    }
+}
+
+TagStore::Eviction
+TagStore::insert(Addr block_addr, std::uint32_t thread, bool dirty)
+{
+    Addr a = blockAlign(block_addr);
+    panic_if(contains(a), "insert of resident block %llx",
+             static_cast<unsigned long long>(a));
+    ++statMisses;
+    ++statInsertions;
+
+    std::uint32_t set = setIndex(a);
+    std::uint32_t way = geo.assoc;
+    for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+        if (!at(set, w).valid) {
+            way = w;
+            break;
+        }
+    }
+
+    Eviction ev;
+    if (way == geo.assoc) {
+        way = victimWay(set);
+        Entry &v = at(set, way);
+        ev.valid = true;
+        ev.block = v.block;
+        ev.dirty = v.dirty;
+        ++statEvictions;
+    }
+
+    Entry &e = at(set, way);
+    e.block = a;
+    e.valid = true;
+    e.dirty = dirty;
+    e.owner = static_cast<std::uint8_t>(thread);
+
+    bool bimodal = useBimodal(set, thread);
+    lastBimodal = false;
+    switch (geo.repl) {
+      case ReplPolicy::TaDip:
+        if (bimodal && !rng.chance(kBipEpsilon)) {
+            // BIP: insert at LRU position (touch time 0 = oldest).
+            e.lastTouch = 0;
+            lastBimodal = true;
+        } else {
+            e.lastTouch = touchClock++;
+        }
+        e.rrpv = kRrpvMax - 1;
+        break;
+      case ReplPolicy::Drrip:
+        if (bimodal && !rng.chance(kBrripEpsilon)) {
+            e.rrpv = kRrpvMax;  // BRRIP: distant re-reference
+            lastBimodal = true;
+        } else {
+            e.rrpv = kRrpvMax - 1;  // SRRIP: long re-reference
+        }
+        e.lastTouch = touchClock++;
+        break;
+      case ReplPolicy::Lru:
+      case ReplPolicy::Random:
+      default:
+        e.lastTouch = touchClock++;
+        e.rrpv = kRrpvMax - 1;
+        break;
+    }
+    return ev;
+}
+
+void
+TagStore::invalidate(Addr block_addr)
+{
+    Entry *e = find(block_addr);
+    if (e) {
+        e->valid = false;
+        e->block = kInvalidAddr;
+        e->dirty = false;
+    }
+}
+
+void
+TagStore::markDirty(Addr block_addr)
+{
+    Entry *e = find(block_addr);
+    panic_if(!e, "markDirty of absent block");
+    e->dirty = true;
+}
+
+void
+TagStore::markClean(Addr block_addr)
+{
+    Entry *e = find(block_addr);
+    panic_if(!e, "markClean of absent block");
+    e->dirty = false;
+}
+
+bool
+TagStore::isDirty(Addr block_addr) const
+{
+    const Entry *e = find(block_addr);
+    panic_if(!e, "isDirty of absent block");
+    return e->dirty;
+}
+
+std::uint32_t
+TagStore::lruRank(Addr block_addr) const
+{
+    const Entry *e = find(block_addr);
+    panic_if(!e, "lruRank of absent block");
+    std::uint32_t set = setIndex(blockAlign(block_addr));
+    std::uint32_t rank = 0;
+    for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+        const Entry &o = at(set, w);
+        if (o.valid && &o != e && o.lastTouch < e->lastTouch) {
+            ++rank;
+        }
+    }
+    return rank;
+}
+
+bool
+TagStore::anyDirtyInLruWays(std::uint32_t set, std::uint32_t ways) const
+{
+    // Collect touch times of valid entries and find the cutoff for the
+    // `ways` least-recently-used ones.
+    std::vector<std::uint64_t> touches;
+    touches.reserve(geo.assoc);
+    for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+        if (at(set, w).valid) {
+            touches.push_back(at(set, w).lastTouch);
+        }
+    }
+    if (touches.empty()) {
+        return false;
+    }
+    std::uint32_t n = std::min<std::uint32_t>(
+        ways, static_cast<std::uint32_t>(touches.size()));
+    std::nth_element(touches.begin(), touches.begin() + (n - 1),
+                     touches.end());
+    std::uint64_t cutoff = touches[n - 1];
+    for (std::uint32_t w = 0; w < geo.assoc; ++w) {
+        const Entry &e = at(set, w);
+        if (e.valid && e.dirty && e.lastTouch <= cutoff) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+TagStore::countDirty() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries) {
+        if (e.valid && e.dirty) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace dbsim

@@ -1,0 +1,91 @@
+#include "split_directory.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+SplitMoesiDirectory::SplitMoesiDirectory(const DbiConfig &dbi_config,
+                                         std::uint64_t capacity_blocks,
+                                         WritebackFn writeback)
+    : index(dbi_config, capacity_blocks), writebackFn(std::move(writeback))
+{
+    fatal_if(!writebackFn, "directory needs a writeback sink");
+}
+
+MoesiState
+SplitMoesiDirectory::state(Addr block_addr) const
+{
+    Addr a = blockAlign(block_addr);
+    auto it = records.find(a);
+    if (it == records.end() || it->second == SplitPair::Invalid) {
+        return MoesiState::I;
+    }
+    return MoesiSplit::decode(it->second, index.isDirty(a));
+}
+
+void
+SplitMoesiDirectory::fetchExclusive(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    panic_if(state(a) != MoesiState::I, "fetch of a valid block");
+    records[a] = SplitPair::Exclusive;
+}
+
+void
+SplitMoesiDirectory::fetchShared(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    panic_if(state(a) != MoesiState::I, "fetch of a valid block");
+    records[a] = SplitPair::Shared;
+}
+
+void
+SplitMoesiDirectory::drain(const std::vector<Addr> &blocks)
+{
+    for (Addr b : blocks) {
+        // The data goes to memory; the block's protocol state demotes
+        // to the clean twin *implicitly* — its record never changes.
+        writebackFn(b);
+        ++statWritebacks;
+        ++statDemotions;
+    }
+}
+
+void
+SplitMoesiDirectory::write(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    MoesiState s = state(a);
+    panic_if(s == MoesiState::I, "write to an invalid block");
+    // A write makes us the exclusive modified owner.
+    records[a] = SplitPair::Exclusive;
+    drain(index.setDirty(a));
+}
+
+void
+SplitMoesiDirectory::snoopShared(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    MoesiState s = state(a);
+    panic_if(s == MoesiState::I, "snoop of an invalid block");
+    // M -> O and E -> S are both just Exclusive -> Shared in the split
+    // representation; the dirty bit (if any) rides along in the DBI.
+    records[a] = SplitPair::Shared;
+}
+
+void
+SplitMoesiDirectory::invalidate(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    if (state(a) == MoesiState::I) {
+        return;
+    }
+    if (index.isDirty(a)) {
+        writebackFn(a);
+        ++statWritebacks;
+        index.clearDirty(a);
+    }
+    records[a] = SplitPair::Invalid;
+}
+
+} // namespace dbsim

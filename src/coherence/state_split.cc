@@ -1,0 +1,148 @@
+#include "state_split.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+SplitPair
+MoesiSplit::pairOf(MoesiState s)
+{
+    switch (s) {
+      case MoesiState::M:
+      case MoesiState::E:
+        return SplitPair::Exclusive;
+      case MoesiState::O:
+      case MoesiState::S:
+        return SplitPair::Shared;
+      case MoesiState::I:
+        return SplitPair::Invalid;
+    }
+    panic("bad MOESI state");
+}
+
+bool
+MoesiSplit::dirtyOf(MoesiState s)
+{
+    return s == MoesiState::M || s == MoesiState::O;
+}
+
+MoesiState
+MoesiSplit::decode(SplitPair pair, bool dirty)
+{
+    switch (pair) {
+      case SplitPair::Exclusive:
+        return dirty ? MoesiState::M : MoesiState::E;
+      case SplitPair::Shared:
+        return dirty ? MoesiState::O : MoesiState::S;
+      case SplitPair::Invalid:
+        panic_if(dirty, "invalid block cannot be dirty");
+        return MoesiState::I;
+    }
+    panic("bad split pair");
+}
+
+MoesiState
+MoesiSplit::cleaned(MoesiState s)
+{
+    switch (s) {
+      case MoesiState::M:
+        return MoesiState::E;
+      case MoesiState::O:
+        return MoesiState::S;
+      default:
+        return s;
+    }
+}
+
+SplitPair
+MesiSplit::pairOf(MesiState s)
+{
+    switch (s) {
+      case MesiState::M:
+      case MesiState::E:
+        return SplitPair::Exclusive;
+      case MesiState::S:
+        return SplitPair::Shared;
+      case MesiState::I:
+        return SplitPair::Invalid;
+    }
+    panic("bad MESI state");
+}
+
+bool
+MesiSplit::dirtyOf(MesiState s)
+{
+    return s == MesiState::M;
+}
+
+MesiState
+MesiSplit::decode(SplitPair pair, bool dirty)
+{
+    switch (pair) {
+      case SplitPair::Exclusive:
+        return dirty ? MesiState::M : MesiState::E;
+      case SplitPair::Shared:
+        panic_if(dirty, "MESI shared blocks are never dirty");
+        return MesiState::S;
+      case SplitPair::Invalid:
+        panic_if(dirty, "invalid block cannot be dirty");
+        return MesiState::I;
+    }
+    panic("bad split pair");
+}
+
+MesiState
+MesiSplit::cleaned(MesiState s)
+{
+    return s == MesiState::M ? MesiState::E : s;
+}
+
+const char *
+toString(MoesiState s)
+{
+    switch (s) {
+      case MoesiState::M:
+        return "M";
+      case MoesiState::O:
+        return "O";
+      case MoesiState::E:
+        return "E";
+      case MoesiState::S:
+        return "S";
+      case MoesiState::I:
+        return "I";
+    }
+    return "?";
+}
+
+const char *
+toString(MesiState s)
+{
+    switch (s) {
+      case MesiState::M:
+        return "M";
+      case MesiState::E:
+        return "E";
+      case MesiState::S:
+        return "S";
+      case MesiState::I:
+        return "I";
+    }
+    return "?";
+}
+
+const char *
+toString(SplitPair p)
+{
+    switch (p) {
+      case SplitPair::Exclusive:
+        return "Exclusive";
+      case SplitPair::Shared:
+        return "Shared";
+      case SplitPair::Invalid:
+        return "Invalid";
+    }
+    return "?";
+}
+
+} // namespace dbsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cache-coherence state splitting for the DBI (Section 2.3).
+ *
+ * Many protocols encode dirtiness implicitly in the coherence state:
+ * MESI's M, and MOESI's M and O, mean "this copy differs from memory".
+ * To move the dirty information into the DBI, the paper proposes
+ * splitting the state space into pairs — each pair holding a state that
+ * implies dirty and its non-dirty counterpart — so a single bit (stored
+ * in the DBI) distinguishes the two:
+ *
+ *   MOESI: (M, E), (O, S), (I)     MESI: (M, E), (S), (I)
+ *
+ * The tag store then keeps only the pair identifier; the full state is
+ * reconstructed as decode(pair, dbi.isDirty(block)). A DBI eviction
+ * (which writes the block back) cleanly demotes M->E and O->S without
+ * touching the tag store — exactly the dirty->clean transition of
+ * Section 2.2.4.
+ */
+
+#ifndef DBSIM_COHERENCE_STATE_SPLIT_HH
+#define DBSIM_COHERENCE_STATE_SPLIT_HH
+
+#include <cstdint>
+
+namespace dbsim {
+
+/** MOESI stable states [52]. */
+enum class MoesiState : std::uint8_t { M, O, E, S, I };
+
+/** MESI stable states [37]. */
+enum class MesiState : std::uint8_t { M, E, S, I };
+
+/**
+ * The split representation: what remains in the tag store once the
+ * dirty bit moves to the DBI. Exclusive = (M,E) pair, Shared = (O,S)
+ * pair, Invalid stands alone.
+ */
+enum class SplitPair : std::uint8_t { Exclusive, Shared, Invalid };
+
+/** MOESI <-> (pair, dirty) conversions. */
+struct MoesiSplit
+{
+    /** Pair component of a state. */
+    static SplitPair pairOf(MoesiState s);
+
+    /** Does the state imply the block is dirty? */
+    static bool dirtyOf(MoesiState s);
+
+    /**
+     * Reconstruct the full state.
+     * @pre pair != Invalid || !dirty (an invalid block cannot be dirty).
+     */
+    static MoesiState decode(SplitPair pair, bool dirty);
+
+    /**
+     * The state after the DBI cleans the block (writeback on DBI
+     * eviction): dirty states demote to their clean twins.
+     */
+    static MoesiState cleaned(MoesiState s);
+};
+
+/** MESI <-> (pair, dirty) conversions. MESI has no owned state. */
+struct MesiSplit
+{
+    static SplitPair pairOf(MesiState s);
+    static bool dirtyOf(MesiState s);
+
+    /**
+     * Reconstruct the full state. In MESI the Shared pair has no dirty
+     * member.
+     * @pre !(pair == Shared && dirty) and !(pair == Invalid && dirty).
+     */
+    static MesiState decode(SplitPair pair, bool dirty);
+
+    static MesiState cleaned(MesiState s);
+};
+
+const char *toString(MoesiState s);
+const char *toString(MesiState s);
+const char *toString(SplitPair p);
+
+} // namespace dbsim
+
+#endif // DBSIM_COHERENCE_STATE_SPLIT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-capacity dirty-bit vector used by DBI entries and the storage
+ * model. Supports up to 128 bits with inline storage (a DRAM row of 8KB
+ * holds 128 64-byte blocks, the largest granularity the paper evaluates).
+ */
+
+#ifndef DBSIM_COMMON_BITVEC_HH
+#define DBSIM_COMMON_BITVEC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace dbsim {
+
+/**
+ * A bit vector of up to 128 bits with popcount and iteration support.
+ * Used for DBI dirty-bit vectors and the VWQ Set State Vector.
+ */
+class BitVec
+{
+  public:
+    /** Construct an all-zero vector of the given width (1..128). */
+    explicit BitVec(std::uint32_t num_bits = 128)
+        : nbits(num_bits), words{0, 0}
+    {
+        panic_if(num_bits == 0 || num_bits > 128,
+                 "BitVec width %u out of range", num_bits);
+    }
+
+    /** Number of bits in the vector. */
+    std::uint32_t size() const { return nbits; }
+
+    /** Read bit at idx. */
+    bool
+    test(std::uint32_t idx) const
+    {
+        panic_if(idx >= nbits, "BitVec::test index %u >= %u", idx, nbits);
+        return (words[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Set bit at idx. */
+    void
+    set(std::uint32_t idx)
+    {
+        panic_if(idx >= nbits, "BitVec::set index %u >= %u", idx, nbits);
+        words[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    }
+
+    /** Clear bit at idx. */
+    void
+    reset(std::uint32_t idx)
+    {
+        panic_if(idx >= nbits, "BitVec::reset index %u >= %u", idx, nbits);
+        words[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Clear all bits. */
+    void
+    clear()
+    {
+        words[0] = 0;
+        words[1] = 0;
+    }
+
+    /** Number of set bits. */
+    std::uint32_t
+    count() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcountll(words[0]) +
+                                          __builtin_popcountll(words[1]));
+    }
+
+    /** True if no bit is set. */
+    bool none() const { return words[0] == 0 && words[1] == 0; }
+
+    /** True if at least one bit is set. */
+    bool any() const { return !none(); }
+
+    /**
+     * Invoke fn(idx) for every set bit in ascending order.
+     * @param fn callable taking a std::uint32_t bit index.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (int w = 0; w < 2; ++w) {
+            std::uint64_t bits = words[w];
+            while (bits) {
+                std::uint32_t b =
+                    static_cast<std::uint32_t>(__builtin_ctzll(bits));
+                fn(static_cast<std::uint32_t>(w * 64) + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    bool
+    operator==(const BitVec &other) const
+    {
+        return nbits == other.nbits && words == other.words;
+    }
+
+  private:
+    std::uint32_t nbits;
+    std::array<std::uint64_t, 2> words;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_COMMON_BITVEC_HH

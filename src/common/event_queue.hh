@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. A single global EventQueue drives the
+ * whole system: cores, the shared LLC, and the DRAM controller schedule
+ * callbacks at absolute cycle times. Events at the same cycle execute in
+ * FIFO (schedule) order, which keeps the simulation deterministic.
+ */
+
+#ifndef DBSIM_COMMON_EVENT_QUEUE_HH
+#define DBSIM_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace dbsim {
+
+/**
+ * Global discrete-event queue.
+ *
+ * Components schedule std::function callbacks at absolute cycle times.
+ * Scheduling an event in the past is a simulator bug (panic); same-cycle
+ * ties break by insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() : curTime(0), nextSeq(0) {}
+
+    /** Current simulation time (time of the last dispatched event). */
+    Cycle now() const { return curTime; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** True if no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /**
+     * Schedule a callback at absolute time `when`.
+     * @pre when >= now()
+     */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        panic_if(when < curTime,
+                 "event scheduled in the past (%lu < %lu)",
+                 static_cast<unsigned long>(when),
+                 static_cast<unsigned long>(curTime));
+        heap.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Time of the earliest pending event; kCycleMax if none. */
+    Cycle
+    nextTime() const
+    {
+        return heap.empty() ? kCycleMax : heap.top().when;
+    }
+
+    /**
+     * Dispatch the earliest event, advancing now().
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap.empty()) {
+            return false;
+        }
+        // The callback may schedule new events; move it out first.
+        Event ev = heap.top();
+        heap.pop();
+        curTime = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /** Run events until the queue drains. */
+    void
+    runAll()
+    {
+        while (step()) {
+        }
+    }
+
+    /** Run events with time <= limit; now() may end up past-limit-free. */
+    void
+    runUntil(Cycle limit)
+    {
+        while (!heap.empty() && heap.top().when <= limit) {
+            step();
+        }
+        if (curTime < limit) {
+            curTime = limit;
+        }
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    Cycle curTime;
+    std::uint64_t nextSeq;
+    std::priority_queue<Event, std::vector<Event>, Later> heap;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic behaviour
+ * in dbsim (workload generation, BIP coin flips, set sampling) draws from
+ * seeded Xorshift64* generators so runs are exactly reproducible.
+ */
+
+#ifndef DBSIM_COMMON_RNG_HH
+#define DBSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dbsim {
+
+/**
+ * Xorshift64* generator: tiny, fast, good enough statistical quality for
+ * simulation workloads, and fully deterministic given the seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_COMMON_RNG_HH

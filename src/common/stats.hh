@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight statistics counters with snapshot support. Every component
+ * keeps named counters; a StatSet can be snapshotted at the end of warmup
+ * so reported deltas cover only the measurement window, matching the
+ * paper's 200M-warmup / 300M-measure methodology (scaled down).
+ */
+
+#ifndef DBSIM_COMMON_STATS_HH
+#define DBSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbsim {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() : total(0), mark(0) {}
+
+    void operator++() { ++total; }
+    void operator++(int) { ++total; }
+    void operator+=(std::uint64_t n) { total += n; }
+
+    /** Lifetime count. */
+    std::uint64_t value() const { return total; }
+
+    /** Record the warmup boundary. */
+    void snapshot() { mark = total; }
+
+    /** Count accumulated since the last snapshot. */
+    std::uint64_t sinceSnapshot() const { return total - mark; }
+
+  private:
+    std::uint64_t total;
+    std::uint64_t mark;
+};
+
+/**
+ * A named registry of counters owned by one component. Registration is
+ * by reference: the component owns the Counter objects and registers them
+ * for dumping/snapshotting.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string owner_name) : name(std::move(owner_name)) {}
+
+    /** Register a counter under `stat_name`. */
+    void
+    add(const std::string &stat_name, Counter &c)
+    {
+        entries.push_back({stat_name, &c});
+    }
+
+    /** Snapshot every registered counter (warmup boundary). */
+    void
+    snapshotAll()
+    {
+        for (auto &e : entries) {
+            e.counter->snapshot();
+        }
+    }
+
+    /**
+     * Map of name -> since-snapshot value. Counters registered under
+     * the same name (e.g. one per core) are summed, so multi-core
+     * collections report system-wide aggregates.
+     */
+    std::map<std::string, std::uint64_t>
+    collect() const
+    {
+        std::map<std::string, std::uint64_t> out;
+        for (const auto &e : entries) {
+            out[e.name] += e.counter->sinceSnapshot();
+        }
+        return out;
+    }
+
+    const std::string &ownerName() const { return name; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Counter *counter;
+    };
+
+    std::string name;
+    std::vector<Entry> entries;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_COMMON_STATS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types and constants used throughout dbsim.
+ */
+
+#ifndef DBSIM_COMMON_TYPES_HH
+#define DBSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dbsim {
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / unknown time. */
+constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/** Cache block size used uniformly across the hierarchy (Table 1). */
+constexpr std::uint32_t kBlockBytes = 64;
+
+/** log2(kBlockBytes). */
+constexpr std::uint32_t kBlockShift = 6;
+
+/** Strip the block offset from a byte address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Block number (byte address divided by block size). */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Integer log2 for powers of two. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t x)
+{
+    std::uint32_t r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** True if x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace dbsim
+
+#endif // DBSIM_COMMON_TYPES_HH

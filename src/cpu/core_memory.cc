@@ -1,0 +1,156 @@
+#include "core_memory.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+CoreMemory::CoreMemory(const CoreMemoryConfig &config, Llc &shared_llc,
+                       std::uint32_t core_id, std::uint64_t seed)
+    : cfg(config), llc(shared_llc), coreId(core_id),
+      l1(CacheGeometry{config.l1.sizeBytes, config.l1.assoc,
+                       ReplPolicy::Lru, 1, seed}),
+      l2(CacheGeometry{config.l2.sizeBytes, config.l2.assoc,
+                       ReplPolicy::Lru, 1, seed + 1})
+{
+}
+
+void
+CoreMemory::registerStats(StatSet &set)
+{
+    set.add("core.loads", statLoads);
+    set.add("core.stores", statStores);
+    set.add("core.l1Hits", statL1Hits);
+    set.add("core.l2Hits", statL2Hits);
+    set.add("core.llcAccesses", statLlcAccesses);
+    set.add("core.mshrMerges", statMshrMerges);
+}
+
+void
+CoreMemory::fillL1(Addr block_addr, bool dirty, Cycle when)
+{
+    if (l1.contains(block_addr)) {
+        l1.touch(block_addr, 0);
+        if (dirty) {
+            l1.markDirty(block_addr);
+        }
+        return;
+    }
+    TagStore::Eviction ev = l1.insert(block_addr, 0, dirty);
+    if (ev.valid && ev.dirty) {
+        // L1 dirty victim spills into L2.
+        fillL2(ev.block, true, when);
+    }
+}
+
+void
+CoreMemory::fillL2(Addr block_addr, bool dirty, Cycle when)
+{
+    if (l2.contains(block_addr)) {
+        l2.touch(block_addr, 0);
+        if (dirty) {
+            l2.markDirty(block_addr);
+        }
+        return;
+    }
+    TagStore::Eviction ev = l2.insert(block_addr, 0, dirty);
+    if (ev.valid && ev.dirty) {
+        // L2 dirty victim becomes a writeback request to the LLC
+        // (Section 2.2.2).
+        llc.writeback(ev.block, coreId, when);
+    }
+}
+
+Cycle
+CoreMemory::llcAccessTime(Cycle when) const
+{
+    return when + cfg.l1.latency + cfg.l2.latency;
+}
+
+CoreMemory::Result
+CoreMemory::accessBelowL2(Addr block_addr, bool is_write, Cycle when,
+                          Callback on_done)
+{
+    // MSHR merge: a secondary miss to a block already being filled
+    // waits for that fill instead of issuing another LLC access.
+    auto it = inflight.find(block_addr);
+    if (it != inflight.end()) {
+        ++statMshrMerges;
+        it->second.push_back(Waiter{is_write, std::move(on_done)});
+        return Result{true, 0};
+    }
+
+    inflight[block_addr].push_back(Waiter{is_write, std::move(on_done)});
+    ++statLlcAccesses;
+    Cycle at = llcAccessTime(when);
+    llc.read(block_addr, coreId, at, [this, block_addr](Cycle done) {
+        auto node = inflight.extract(block_addr);
+        panic_if(node.empty(), "fill completion without MSHR entry");
+        std::vector<Waiter> waiters = std::move(node.mapped());
+
+        bool any_write = false;
+        for (const auto &w : waiters) {
+            any_write |= w.isWrite;
+        }
+        fillL2(block_addr, false, done);
+        fillL1(block_addr, any_write, done);
+        for (auto &w : waiters) {
+            w.onDone(done);
+        }
+        if (mshrFreedFn) {
+            mshrFreedFn();
+        }
+    });
+    return Result{true, 0};
+}
+
+CoreMemory::Result
+CoreMemory::load(Addr addr, Cycle when, Callback on_done)
+{
+    ++statLoads;
+    Addr a = blockAlign(addr);
+
+    if (l1.contains(a)) {
+        ++statL1Hits;
+        l1.touch(a, 0);
+        return Result{false, cfg.l1.latency};
+    }
+    if (l2.contains(a)) {
+        ++statL2Hits;
+        l2.touch(a, 0);
+        bool dirty = l2.isDirty(a);
+        // Move the block up; L2 keeps its copy clean once L1 owns the
+        // dirty state (exclusive dirty ownership avoids double
+        // writebacks).
+        if (dirty) {
+            l2.markClean(a);
+        }
+        fillL1(a, dirty, when);
+        return Result{false, cfg.l1.latency + cfg.l2.latency};
+    }
+    return accessBelowL2(a, false, when, std::move(on_done));
+}
+
+CoreMemory::Result
+CoreMemory::store(Addr addr, Cycle when, Callback on_done)
+{
+    ++statStores;
+    Addr a = blockAlign(addr);
+
+    if (l1.contains(a)) {
+        ++statL1Hits;
+        l1.touch(a, 0);
+        l1.markDirty(a);
+        return Result{false, 1};
+    }
+    if (l2.contains(a)) {
+        ++statL2Hits;
+        l2.touch(a, 0);
+        l2.markClean(a);
+        fillL1(a, true, when);
+        return Result{false, 1};
+    }
+    // Write-allocate: fetch the block, then dirty it in L1 on arrival.
+    return accessBelowL2(a, true, when, std::move(on_done));
+}
+
+} // namespace dbsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Instruction trace interface consumed by the core model. A trace is an
+ * infinite stream of "ops": a count of non-memory instructions followed
+ * by one memory access. Concrete generators live in src/workload.
+ */
+
+#ifndef DBSIM_CPU_TRACE_HH
+#define DBSIM_CPU_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dbsim {
+
+/** One trace record: `gap` non-memory instructions, then a memory op. */
+struct TraceOp
+{
+    std::uint32_t gap;  ///< non-memory instructions preceding the access
+    bool isWrite;
+    /**
+     * True if this access depends on the previous memory access's value
+     * (pointer chasing): it cannot issue until that access completes.
+     * This is what makes low-MLP benchmarks like mcf slow.
+     */
+    bool dependent;
+    Addr addr;
+};
+
+/** Infinite instruction trace source. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record. Traces never end. */
+    virtual TraceOp next() = 0;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_CPU_TRACE_HH

@@ -1,0 +1,301 @@
+#include "dbi.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+Dbi::Dbi(const DbiConfig &config, std::uint64_t cache_blocks)
+    : cfg(config), regionMap(config.granularity), rng(config.seed)
+{
+    fatal_if(cfg.alpha <= 0.0 || cfg.alpha > 1.0,
+             "DBI alpha must be in (0, 1]");
+    std::uint64_t tracked =
+        static_cast<std::uint64_t>(cfg.alpha *
+                                   static_cast<double>(cache_blocks));
+    nEntries = tracked / cfg.granularity;
+    fatal_if(nEntries == 0, "DBI too small: no entries");
+    if (nEntries < cfg.assoc) {
+        // Degenerate small configurations become fully associative.
+        cfg.assoc = static_cast<std::uint32_t>(nEntries);
+    }
+    nEntries -= nEntries % cfg.assoc;
+    std::uint64_t sets = nEntries / cfg.assoc;
+    // Round the set count down to a power of two so tag bits are exact.
+    while (!isPowerOf2(sets)) {
+        sets &= sets - 1;
+    }
+    nSets = static_cast<std::uint32_t>(sets);
+    nEntries = static_cast<std::uint64_t>(nSets) * cfg.assoc;
+    entries.resize(nEntries);
+    for (auto &e : entries) {
+        e.dirty = BitVec(cfg.granularity);
+    }
+}
+
+void
+Dbi::registerStats(StatSet &set)
+{
+    set.add("dbi.lookups", statLookups);
+    set.add("dbi.updates", statUpdates);
+    set.add("dbi.inserts", statInserts);
+    set.add("dbi.evictions", statEvictions);
+    set.add("dbi.evictionWbs", statEvictionWbs);
+}
+
+std::uint32_t
+Dbi::setIndexOf(std::uint64_t region_tag) const
+{
+    return static_cast<std::uint32_t>(region_tag & (nSets - 1));
+}
+
+Dbi::Entry &
+Dbi::at(std::uint32_t set, std::uint32_t way)
+{
+    return entries[static_cast<std::size_t>(set) * cfg.assoc + way];
+}
+
+const Dbi::Entry &
+Dbi::at(std::uint32_t set, std::uint32_t way) const
+{
+    return entries[static_cast<std::size_t>(set) * cfg.assoc + way];
+}
+
+Dbi::Entry *
+Dbi::findEntry(std::uint64_t region_tag)
+{
+    std::uint32_t set = setIndexOf(region_tag);
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        Entry &e = at(set, w);
+        if (e.valid && e.regionTag == region_tag) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+const Dbi::Entry *
+Dbi::findEntry(std::uint64_t region_tag) const
+{
+    return const_cast<Dbi *>(this)->findEntry(region_tag);
+}
+
+bool
+Dbi::isDirty(Addr block_addr) const
+{
+    ++const_cast<Dbi *>(this)->statLookups;
+    const Entry *e = findEntry(regionMap.regionTag(block_addr));
+    return e && e->dirty.test(regionMap.blockIndex(block_addr));
+}
+
+bool
+Dbi::hasEntryFor(Addr block_addr) const
+{
+    return findEntry(regionMap.regionTag(block_addr)) != nullptr;
+}
+
+std::uint32_t
+Dbi::victimWay(std::uint32_t set)
+{
+    switch (cfg.repl) {
+      case DbiReplPolicy::MaxDirty:
+      case DbiReplPolicy::MinDirty: {
+        bool want_max = cfg.repl == DbiReplPolicy::MaxDirty;
+        std::uint32_t best = 0;
+        std::uint32_t best_count = at(set, 0).dirty.count();
+        for (std::uint32_t w = 1; w < cfg.assoc; ++w) {
+            std::uint32_t c = at(set, w).dirty.count();
+            bool better = want_max ? (c > best_count) : (c < best_count);
+            if (better) {
+                best = w;
+                best_count = c;
+            }
+        }
+        return best;
+      }
+      case DbiReplPolicy::Rrip: {
+        for (;;) {
+            for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+                if (at(set, w).rrpv >= kRrpvMax) {
+                    return w;
+                }
+            }
+            for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+                ++at(set, w).rrpv;
+            }
+        }
+      }
+      case DbiReplPolicy::Lrw:
+      case DbiReplPolicy::LrwBip:
+      default: {
+        std::uint32_t victim = 0;
+        std::uint64_t oldest = kCycleMax;
+        for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+            if (at(set, w).lastWrite < oldest) {
+                oldest = at(set, w).lastWrite;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+    }
+}
+
+std::vector<Addr>
+Dbi::drainEntry(const Entry &entry) const
+{
+    std::vector<Addr> wbs;
+    wbs.reserve(entry.dirty.count());
+    entry.dirty.forEachSet([&](std::uint32_t idx) {
+        wbs.push_back(regionMap.blockAddr(entry.regionTag, idx));
+    });
+    return wbs;
+}
+
+std::vector<Addr>
+Dbi::setDirty(Addr block_addr)
+{
+    ++statUpdates;
+    std::uint64_t tag = regionMap.regionTag(block_addr);
+    std::uint32_t bit = regionMap.blockIndex(block_addr);
+
+    Entry *e = findEntry(tag);
+    if (e) {
+        e->dirty.set(bit);
+        e->lastWrite = writeClock++;
+        e->rrpv = 0;
+        return {};
+    }
+
+    // Allocate a new entry; find a free way or evict.
+    std::uint32_t set = setIndexOf(tag);
+    std::uint32_t way = cfg.assoc;
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (!at(set, w).valid) {
+            way = w;
+            break;
+        }
+    }
+
+    std::vector<Addr> evicted_wbs;
+    if (way == cfg.assoc) {
+        way = victimWay(set);
+        Entry &victim = at(set, way);
+        evicted_wbs = drainEntry(victim);
+        ++statEvictions;
+        statEvictionWbs += evicted_wbs.size();
+    }
+
+    Entry &ne = at(set, way);
+    ne.valid = true;
+    ne.regionTag = tag;
+    ne.dirty.clear();
+    ne.dirty.set(bit);
+    ne.rrpv = kRrpvMax - 1;
+    ++statInserts;
+
+    if (cfg.repl == DbiReplPolicy::LrwBip && !rng.chance(kBipEpsilon)) {
+        ne.lastWrite = 0;  // insert at LRW position
+    } else {
+        ne.lastWrite = writeClock++;
+    }
+    return evicted_wbs;
+}
+
+void
+Dbi::clearDirty(Addr block_addr)
+{
+    ++statUpdates;
+    Entry *e = findEntry(regionMap.regionTag(block_addr));
+    if (!e) {
+        return;
+    }
+    std::uint32_t bit = regionMap.blockIndex(block_addr);
+    if (!e->dirty.test(bit)) {
+        return;
+    }
+    e->dirty.reset(bit);
+    if (e->dirty.none()) {
+        e->valid = false;  // free the entry for another DRAM row
+    }
+}
+
+std::vector<Addr>
+Dbi::dirtyBlocksInRegion(Addr block_addr) const
+{
+    ++const_cast<Dbi *>(this)->statLookups;
+    const Entry *e = findEntry(regionMap.regionTag(block_addr));
+    if (!e) {
+        return {};
+    }
+    return drainEntry(*e);
+}
+
+bool
+Dbi::rowHasDirty(Addr row_base_addr, const DramAddrMap &map) const
+{
+    ++const_cast<Dbi *>(this)->statLookups;
+    // A DRAM row spans one or more DBI regions (granularity <= blocks
+    // per row); check each region's entry.
+    Addr base = map.rowBase(row_base_addr);
+    for (std::uint32_t i = 0; i < map.blocksPerRow();
+         i += cfg.granularity) {
+        const Entry *e =
+            findEntry(regionMap.regionTag(base +
+                                          static_cast<Addr>(i) *
+                                              kBlockBytes));
+        if (e && e->dirty.any()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Dbi::bankHasDirty(std::uint32_t bank, const DramAddrMap &map) const
+{
+    ++const_cast<Dbi *>(this)->statLookups;
+    std::uint32_t regions_per_row = map.blocksPerRow() / cfg.granularity;
+    if (regions_per_row == 0) {
+        regions_per_row = 1;
+    }
+    for (const auto &e : entries) {
+        if (!e.valid || e.dirty.none()) {
+            continue;
+        }
+        // Recover the region's DRAM row from its tag. Region tags are
+        // region indices (addr / regionBytes), so the row index is the
+        // tag divided by regions-per-row (or tag * rows-per-region for
+        // granularities above a row, which we cap at one row).
+        std::uint64_t row = e.regionTag / regions_per_row;
+        if (row % map.numBanks() == bank) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+Dbi::countDirtyBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries) {
+        if (e.valid) {
+            n += e.dirty.count();
+        }
+    }
+    return n;
+}
+
+std::uint64_t
+Dbi::countValidEntries() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries) {
+        if (e.valid) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace dbsim

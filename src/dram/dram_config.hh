@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DDR3 configuration (Table 1: DDR3-1066, 1 channel, 1 rank, 8 banks,
+ * 8KB row buffer, 64-entry write buffer with drain-when-full, FR-FCFS).
+ * Timing parameters are expressed in memory-bus clocks; tCkCpu converts
+ * to CPU cycles (2.67 GHz core, 533 MHz DDR3-1066 bus clock -> 5 CPU
+ * cycles per memory clock).
+ */
+
+#ifndef DBSIM_DRAM_DRAM_CONFIG_HH
+#define DBSIM_DRAM_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+namespace dbsim {
+
+struct DramConfig
+{
+    std::uint32_t numBanks = 8;
+    std::uint64_t rowBytes = 8192;
+
+    /** CPU cycles per memory clock. */
+    std::uint32_t tCkCpu = 5;
+
+    // Timing in memory clocks (DDR3-1066: 7-7-7-20).
+    std::uint32_t tCas = 7;    ///< column access (CL)
+    std::uint32_t tRcd = 7;    ///< activate to column command
+    std::uint32_t tRp = 7;     ///< precharge
+    std::uint32_t tRas = 20;   ///< activate to precharge (minimum)
+    std::uint32_t tWr = 8;     ///< write recovery
+    std::uint32_t tBurst = 4;  ///< BL8 on a DDR bus = 4 clocks
+    std::uint32_t tRtw = 2;    ///< read-to-write turnaround
+    std::uint32_t tWtr = 4;    ///< write-to-read turnaround
+    /**
+     * Activate throttling. tFAW bounds activation power; with 8KB rows
+     * (4-8x the charge of standard 1-2KB pages) a controller must
+     * enforce a proportionally longer window, so these are set well
+     * above the small-page DDR3-1066 datasheet values.
+     */
+    std::uint32_t tRrd = 6;    ///< activate-to-activate (different banks)
+    std::uint32_t tFaw = 48;   ///< four-activate window
+
+    /** Controller + IO + interconnect overhead (CPU cycles). */
+    std::uint32_t ioLatency = 20;
+
+    /** Write buffer capacity; reaching it triggers a drain. */
+    std::uint32_t writeBufEntries = 64;
+
+    /** Drain until this many writes remain ("drain when full" policy). */
+    std::uint32_t drainLowWatermark = 0;
+
+    /**
+     * Service buffered writes opportunistically when no reads wait.
+     * The paper's controller (Table 1, [27]) does not: writes wait for
+     * a full-buffer drain, which is what makes write row locality
+     * matter. Off by default to match.
+     */
+    bool writeWhenIdle = false;
+
+    // Energy model (pJ per operation; DDR3 ballpark figures).
+    double eActivatePj = 2200.0;   ///< activate + precharge pair
+    double eReadPj = 1400.0;       ///< read burst incl. IO
+    double eWritePj = 1500.0;      ///< write burst incl. IO
+    double backgroundMw = 120.0;   ///< standby/refresh power
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_DRAM_DRAM_CONFIG_HH

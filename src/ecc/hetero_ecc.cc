@@ -1,0 +1,132 @@
+#include "hetero_ecc.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+HeteroEccStore::HeteroEccStore(std::uint64_t max_ecc_entries,
+                               RefetchFn refetch)
+    : maxEcc(max_ecc_entries), refetchFn(std::move(refetch))
+{
+    fatal_if(max_ecc_entries == 0, "ECC table must have capacity");
+}
+
+void
+HeteroEccStore::fill(Addr block_addr, const BlockData &data)
+{
+    Addr a = blockAlign(block_addr);
+    Line line;
+    line.data = data;
+    line.edc = ParityEdc::encode(data);
+    line.dirty = false;
+    // Filling over a dirty block drops its ECC entry (new clean contents).
+    eccTable.erase(a);
+    lines[a] = line;
+}
+
+void
+HeteroEccStore::writeDirty(Addr block_addr, const BlockData &data)
+{
+    Addr a = blockAlign(block_addr);
+    panic_if(eccTable.size() >= maxEcc && !eccTable.count(a),
+             "ECC table overflow: DBI must clean blocks before reuse");
+    Line line;
+    line.data = data;
+    line.edc = ParityEdc::encode(data);
+    line.dirty = true;
+    lines[a] = line;
+
+    std::array<SecdedWord, 8> ecc;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        ecc[i] = Secded::encode(data[i]);
+    }
+    eccTable[a] = ecc;
+}
+
+void
+HeteroEccStore::markClean(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    auto it = lines.find(a);
+    panic_if(it == lines.end(), "markClean on non-resident block");
+    it->second.dirty = false;
+    eccTable.erase(a);
+}
+
+void
+HeteroEccStore::evict(Addr block_addr)
+{
+    Addr a = blockAlign(block_addr);
+    lines.erase(a);
+    eccTable.erase(a);
+}
+
+bool
+HeteroEccStore::contains(Addr block_addr) const
+{
+    return lines.count(blockAlign(block_addr)) != 0;
+}
+
+bool
+HeteroEccStore::hasEcc(Addr block_addr) const
+{
+    return eccTable.count(blockAlign(block_addr)) != 0;
+}
+
+EccReadStatus
+HeteroEccStore::read(Addr block_addr, BlockData &data)
+{
+    Addr a = blockAlign(block_addr);
+    auto it = lines.find(a);
+    panic_if(it == lines.end(), "read of non-resident block");
+    Line &line = it->second;
+
+    if (ParityEdc::check(line.data, line.edc)) {
+        data = line.data;
+        return EccReadStatus::Clean;
+    }
+    ++statEdcFails;
+
+    if (!line.dirty) {
+        // Clean block: the next level has a good copy; refetch it.
+        line.data = refetchFn(a);
+        line.edc = ParityEdc::encode(line.data);
+        data = line.data;
+        ++statRefetched;
+        return EccReadStatus::Refetched;
+    }
+
+    // Dirty block: this is the only copy; correct with SECDED.
+    auto ecc_it = eccTable.find(a);
+    panic_if(ecc_it == eccTable.end(), "dirty block without ECC entry");
+    bool lost = false;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        SecdedWord w = ecc_it->second[i];
+        w.data = line.data[i];
+        EccStatus st = Secded::decode(w);
+        if (st == EccStatus::Uncorrectable) {
+            lost = true;
+        }
+        line.data[i] = w.data;
+    }
+    line.edc = ParityEdc::encode(line.data);
+    data = line.data;
+    if (lost) {
+        ++statLost;
+        return EccReadStatus::DataLost;
+    }
+    ++statCorrected;
+    return EccReadStatus::Corrected;
+}
+
+void
+HeteroEccStore::corrupt(Addr block_addr, std::uint32_t bit_pos)
+{
+    Addr a = blockAlign(block_addr);
+    auto it = lines.find(a);
+    panic_if(it == lines.end(), "corrupt of non-resident block");
+    panic_if(bit_pos >= 512, "bit position %u out of block", bit_pos);
+    it->second.data[bit_pos >> 6] ^= std::uint64_t{1} << (bit_pos & 63);
+}
+
+} // namespace dbsim

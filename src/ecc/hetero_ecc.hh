@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Heterogeneous ECC store (Section 3.3): every cached block carries a
+ * cheap parity EDC, while full SECDED correction codes are kept only for
+ * dirty blocks — which, in a DBI cache, are exactly the blocks the DBI
+ * tracks. Clean blocks that fail their EDC are refetched from the next
+ * level; dirty blocks are corrected with SECDED.
+ *
+ * This is a functional model over real 64-byte data blocks so the scheme
+ * can be validated with fault injection.
+ */
+
+#ifndef DBSIM_ECC_HETERO_ECC_HH
+#define DBSIM_ECC_HETERO_ECC_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "ecc/secded.hh"
+
+namespace dbsim {
+
+/** A 64-byte cache block as eight 64-bit words. */
+using BlockData = std::array<std::uint64_t, 8>;
+
+/** Result of a protected read. */
+enum class EccReadStatus : std::uint8_t
+{
+    Clean,        ///< EDC passed, data returned as stored
+    Corrected,    ///< SECDED corrected a dirty block
+    Refetched,    ///< clean block failed EDC; caller's refetch used
+    DataLost,     ///< dirty block had an uncorrectable error
+};
+
+/**
+ * Storage for blocks under the heterogeneous clean/dirty protection
+ * scheme. The caller (a DBI cache) tells the store when blocks become
+ * dirty or clean; the store maintains SECDED words only while dirty.
+ */
+class HeteroEccStore
+{
+  public:
+    /** Fetch callback: re-reads a clean block from the next level. */
+    using RefetchFn = std::function<BlockData(Addr)>;
+
+    /**
+     * @param max_ecc_entries capacity of the SECDED side table — the
+     *        number of blocks the DBI can track (alpha * cache blocks).
+     * @param refetch used to recover clean blocks that fail their EDC.
+     */
+    HeteroEccStore(std::uint64_t max_ecc_entries, RefetchFn refetch);
+
+    /** Install a block (clean). Overwrites any previous contents. */
+    void fill(Addr block_addr, const BlockData &data);
+
+    /**
+     * Write a block, marking it dirty. Allocates a SECDED entry.
+     * @pre the SECDED table has a free entry (the DBI enforces this by
+     *      cleaning blocks when entries are evicted).
+     */
+    void writeDirty(Addr block_addr, const BlockData &data);
+
+    /**
+     * Transition a dirty block to clean (after its writeback), releasing
+     * its SECDED entry.
+     */
+    void markClean(Addr block_addr);
+
+    /** Remove a block entirely. */
+    void evict(Addr block_addr);
+
+    /** True if the block is resident. */
+    bool contains(Addr block_addr) const;
+
+    /** True if the block currently holds SECDED protection. */
+    bool hasEcc(Addr block_addr) const;
+
+    /** Number of live SECDED entries. */
+    std::uint64_t eccEntries() const { return eccTable.size(); }
+
+    /**
+     * Read a block through the protection scheme.
+     * @param[out] data the recovered block contents.
+     * @return what the protection logic had to do.
+     */
+    EccReadStatus read(Addr block_addr, BlockData &data);
+
+    /** Flip a bit of the stored copy (fault injection). */
+    void corrupt(Addr block_addr, std::uint32_t bit_pos);
+
+    Counter statEdcFails;
+    Counter statCorrected;
+    Counter statRefetched;
+    Counter statLost;
+
+  private:
+    struct Line
+    {
+        BlockData data;
+        std::uint8_t edc;
+        bool dirty;
+    };
+
+    std::uint64_t maxEcc;
+    RefetchFn refetchFn;
+    std::unordered_map<Addr, Line> lines;
+    std::unordered_map<Addr, std::array<SecdedWord, 8>> eccTable;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_ECC_HETERO_ECC_HH

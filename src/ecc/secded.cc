@@ -1,0 +1,155 @@
+#include "secded.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+namespace {
+
+// The code works over 72 positions. We lay the codeword out in the
+// classical extended-Hamming arrangement: positions 1..71 (1-indexed)
+// hold the Hamming code, with parity bits at power-of-two positions
+// (1,2,4,8,16,32,64) and data bits filling the remaining 64 positions
+// in ascending order; position 0 holds the overall parity bit.
+
+/// Map data bit d (0..63) to its Hamming position (1..71, non power of 2).
+constexpr std::array<std::uint8_t, 64>
+buildDataPos()
+{
+    std::array<std::uint8_t, 64> pos{};
+    std::uint32_t d = 0;
+    for (std::uint32_t p = 1; p <= 71 && d < 64; ++p) {
+        if ((p & (p - 1)) != 0) {
+            pos[d++] = static_cast<std::uint8_t>(p);
+        }
+    }
+    return pos;
+}
+
+constexpr std::array<std::uint8_t, 64> kDataPos = buildDataPos();
+
+/// Inverse map: Hamming position -> data bit index + 1 (0 = parity pos).
+constexpr std::array<std::uint8_t, 72>
+buildPosToData()
+{
+    std::array<std::uint8_t, 72> inv{};
+    for (std::uint32_t d = 0; d < 64; ++d) {
+        inv[kDataPos[d]] = static_cast<std::uint8_t>(d + 1);
+    }
+    return inv;
+}
+
+constexpr std::array<std::uint8_t, 72> kPosToData = buildPosToData();
+
+/// Compute the 7 Hamming parity bits over the data bits.
+std::uint8_t
+hammingParities(std::uint64_t data)
+{
+    std::uint8_t parities = 0;
+    for (std::uint32_t c = 0; c < 7; ++c) {
+        std::uint32_t mask = 1u << c;
+        std::uint32_t p = 0;
+        for (std::uint32_t d = 0; d < 64; ++d) {
+            if ((kDataPos[d] & mask) && ((data >> d) & 1)) {
+                p ^= 1;
+            }
+        }
+        parities |= static_cast<std::uint8_t>(p << c);
+    }
+    return parities;
+}
+
+/// Overall parity of the 71-position Hamming codeword.
+std::uint8_t
+overallParity(std::uint64_t data, std::uint8_t hamming)
+{
+    std::uint32_t p = __builtin_popcountll(data) & 1;
+    p ^= __builtin_popcount(hamming & 0x7f) & 1;
+    return static_cast<std::uint8_t>(p);
+}
+
+} // namespace
+
+SecdedWord
+Secded::encode(std::uint64_t data)
+{
+    std::uint8_t hamming = hammingParities(data);
+    std::uint8_t overall = overallParity(data, hamming);
+    SecdedWord w;
+    w.data = data;
+    w.check = static_cast<std::uint8_t>(hamming | (overall << 7));
+    return w;
+}
+
+EccStatus
+Secded::decode(SecdedWord &word)
+{
+    std::uint8_t stored_hamming = word.check & 0x7f;
+    std::uint8_t stored_overall = (word.check >> 7) & 1;
+
+    std::uint8_t calc_hamming = hammingParities(word.data);
+    std::uint8_t syndrome = stored_hamming ^ calc_hamming;
+    std::uint8_t parity_err =
+        overallParity(word.data, stored_hamming) ^ stored_overall;
+
+    if (syndrome == 0 && parity_err == 0) {
+        return EccStatus::Clean;
+    }
+
+    if (parity_err) {
+        // Odd number of flipped bits: assume single, correctable.
+        if (syndrome == 0) {
+            // The overall parity bit itself flipped.
+            word.check ^= 0x80;
+            return EccStatus::Corrected;
+        }
+        if (syndrome < 72) {
+            std::uint8_t d = kPosToData[syndrome];
+            if (d != 0) {
+                word.data ^= std::uint64_t{1} << (d - 1);
+            } else {
+                // A Hamming parity bit flipped; syndrome is its position,
+                // which is a power of two = 1 << c.
+                std::uint32_t c = floorLog2(syndrome);
+                word.check ^= static_cast<std::uint8_t>(1u << c);
+            }
+            return EccStatus::Corrected;
+        }
+        return EccStatus::Uncorrectable;
+    }
+
+    // Even number of errors with a non-zero syndrome: double-bit error.
+    return EccStatus::Uncorrectable;
+}
+
+void
+Secded::injectError(SecdedWord &word, std::uint32_t bit_pos)
+{
+    panic_if(bit_pos >= 72, "SECDED inject position %u out of range",
+             bit_pos);
+    if (bit_pos < 64) {
+        word.data ^= std::uint64_t{1} << bit_pos;
+    } else {
+        word.check ^= static_cast<std::uint8_t>(1u << (bit_pos - 64));
+    }
+}
+
+std::uint8_t
+ParityEdc::encode(const std::array<std::uint64_t, 8> &block)
+{
+    std::uint8_t parity = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        parity |= static_cast<std::uint8_t>(
+            (__builtin_popcountll(block[i]) & 1) << i);
+    }
+    return parity;
+}
+
+bool
+ParityEdc::check(const std::array<std::uint64_t, 8> &block,
+                 std::uint8_t parity)
+{
+    return encode(block) == parity;
+}
+
+} // namespace dbsim

@@ -1,0 +1,155 @@
+#include "llc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+Llc::Llc(const LlcConfig &config, DramController &dram_ctrl,
+         EventQueue &event_queue)
+    : cfg(config), dram(dram_ctrl), eq(event_queue),
+      store(CacheGeometry{config.sizeBytes, config.assoc, config.repl,
+                          config.numCores, config.seed})
+{
+}
+
+void
+Llc::registerStats(StatSet &set)
+{
+    set.add("llc.tagLookups", statTagLookups);
+    set.add("llc.demandHits", statDemandHits);
+    set.add("llc.demandMisses", statDemandMisses);
+    set.add("llc.writebacksIn", statWritebacksIn);
+    set.add("llc.wbToDram", statWbToDram);
+    set.add("llc.sweepLookups", statSweepLookups);
+    set.add("llc.bypasses", statBypasses);
+    set.add("llc.dbiChecks", statDbiChecks);
+}
+
+Cycle
+Llc::occupyPort(Cycle when)
+{
+    Cycle start = std::max(when, portFreeAt);
+    portFreeAt = start + 1;  // pipelined: one lookup per cycle
+    ++statTagLookups;
+    return start;
+}
+
+void
+Llc::read(Addr block_addr, std::uint32_t core, Cycle when, Callback cb)
+{
+    Addr a = blockAlign(block_addr);
+
+    if (tryBypass(a, core, when, cb)) {
+        return;
+    }
+    normalRead(a, core, when, std::move(cb));
+}
+
+void
+Llc::normalRead(Addr block_addr, std::uint32_t core, Cycle when,
+                Callback cb)
+{
+    Addr a = block_addr;
+    Cycle start = occupyPort(when);
+    Cycle tag_done = start + cfg.tagLatency;
+
+    TagStore::Entry *e = store.find(a);
+    bool hit = e != nullptr;
+    recordLookupOutcome(a, core, hit, when);
+
+    if (hit) {
+        ++statDemandHits;
+        store.touch(a, core);
+        Cycle done = tag_done + cfg.dataLatency;
+        eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        return;
+    }
+
+    ++statDemandMisses;
+    missToDram(a, core, tag_done, std::move(cb));
+}
+
+void
+Llc::missToDram(Addr block_addr, std::uint32_t core, Cycle when,
+                Callback cb)
+{
+    auto it = pendingReads.find(block_addr);
+    if (it != pendingReads.end()) {
+        // Merge with the in-flight request for the same block.
+        it->second.cbs.push_back(std::move(cb));
+        return;
+    }
+
+    Pending p;
+    p.core = core;
+    p.cbs.push_back(std::move(cb));
+    pendingReads.emplace(block_addr, std::move(p));
+
+    dram.enqueueRead(block_addr, when, [this, block_addr](Cycle done) {
+        auto pit = pendingReads.find(block_addr);
+        panic_if(pit == pendingReads.end(), "orphan DRAM completion");
+        Pending p = std::move(pit->second);
+        pendingReads.erase(pit);
+        // Fill, then complete all merged requesters.
+        fillBlock(block_addr, p.core, false, done);
+        for (auto &waiting : p.cbs) {
+            waiting(done);
+        }
+    });
+}
+
+Llc::RegionOpResult
+Llc::flushRegion(Addr base, std::uint64_t bytes, Cycle when)
+{
+    // Conventional organization: brute force — one tag lookup per block
+    // of the range to find the dirty ones.
+    RegionOpResult res;
+    Addr start = blockAlign(base);
+    Cycle cursor = when;
+    for (Addr a = start; a < base + bytes; a += kBlockBytes) {
+        Cycle t = occupyPort(cursor);
+        cursor = t + 1;
+        ++res.lookups;
+        if (store.contains(a) && blockDirty(a)) {
+            res.anyDirty = true;
+            ++res.writebacks;
+            dram.enqueueWrite(a, t + cfg.tagLatency);
+            ++statWbToDram;
+            cleanBlock(a);
+        }
+    }
+    return res;
+}
+
+Llc::RegionOpResult
+Llc::queryRegionDirty(Addr base, std::uint64_t bytes)
+{
+    RegionOpResult res;
+    Addr start = blockAlign(base);
+    for (Addr a = start; a < base + bytes; a += kBlockBytes) {
+        ++res.lookups;
+        ++statTagLookups;
+        if (store.contains(a) && blockDirty(a)) {
+            res.anyDirty = true;
+        }
+    }
+    return res;
+}
+
+void
+Llc::fillBlock(Addr block_addr, std::uint32_t core, bool dirty, Cycle when)
+{
+    if (store.contains(block_addr)) {
+        // Already filled by a racing writeback-allocate; just promote.
+        store.touch(block_addr, core);
+        return;
+    }
+    TagStore::Eviction ev = store.insert(block_addr, core, dirty);
+    if (ev.valid) {
+        handleEviction(ev.block, ev.dirty, when);
+    }
+}
+
+} // namespace dbsim

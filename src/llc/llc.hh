@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Shared last-level cache base class. Models the structure the paper's
+ * mechanisms all modify: a set-associative tag store with serial tag+data
+ * access, a single tag port whose contention is first-class (every
+ * lookup — demand, writeback, or sweep — occupies it), TA-DIP/LRU/DRRIP
+ * insertion, and a connection to the DRAM controller.
+ *
+ * Subclasses implement the paper's mechanisms by overriding the dirty-
+ * block bookkeeping and the eviction/writeback hooks:
+ *   BaselineLlc  — dirty bits in the tag store, evict-order writebacks
+ *   DawbLlc      — DRAM-aware writeback [27]: full row sweeps
+ *   VwqLlc       — Virtual Write Queue [51]: SSV-filtered sweeps
+ *   SkipLlc      — Skip Cache [44]: write-through + lookup bypass
+ *   DbiLlc       — the Dirty-Block Index, with optional AWB and CLB
+ */
+
+#ifndef DBSIM_LLC_LLC_HH
+#define DBSIM_LLC_LLC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/tag_store.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_controller.hh"
+
+namespace dbsim {
+
+/** Shared LLC parameters (Table 1). */
+struct LlcConfig
+{
+    std::uint64_t sizeBytes = 2ull << 20;
+    std::uint32_t assoc = 16;
+    ReplPolicy repl = ReplPolicy::TaDip;
+    std::uint32_t tagLatency = 10;   ///< serial tag access
+    std::uint32_t dataLatency = 24;  ///< data access after tag
+    std::uint32_t numCores = 1;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Abstract shared LLC. Reads complete through a callback with the
+ * completion cycle; writebacks from the private levels are
+ * fire-and-forget.
+ */
+class Llc
+{
+  public:
+    using Callback = std::function<void(Cycle)>;
+
+    Llc(const LlcConfig &config, DramController &dram_ctrl,
+        EventQueue &event_queue);
+    virtual ~Llc() = default;
+
+    /** Demand read from core `core` arriving at cycle `when`. */
+    virtual void read(Addr block_addr, std::uint32_t core, Cycle when,
+                      Callback cb);
+
+    /** Writeback request from a private L2 (Section 2.2.2). */
+    virtual void writeback(Addr block_addr, std::uint32_t core,
+                           Cycle when) = 0;
+
+    /** Outcome of a flush or DMA-coherence operation (Section 7). */
+    struct RegionOpResult
+    {
+        std::uint64_t lookups = 0;     ///< tag/DBI accesses spent
+        std::uint64_t writebacks = 0;  ///< dirty blocks written back
+        bool anyDirty = false;         ///< region had dirty blocks
+    };
+
+    /**
+     * Flush a byte range: write back (and clean) every dirty block in
+     * [base, base+bytes). Conventional organizations must look up every
+     * block of the range in the tag store; the DBI organization answers
+     * from its compact per-row dirty vectors (Section 7, "Cache
+     * Flushing"). Blocks stay resident.
+     */
+    virtual RegionOpResult flushRegion(Addr base, std::uint64_t bytes,
+                                       Cycle when);
+
+    /**
+     * DMA coherence query (Section 7, "Direct Memory Access"): does the
+     * byte range contain any dirty block? Read-only; reports the lookup
+     * cost the query incurred.
+     */
+    virtual RegionOpResult queryRegionDirty(Addr base,
+                                            std::uint64_t bytes);
+
+    const LlcConfig &config() const { return cfg; }
+    TagStore &tags() { return store; }
+    const TagStore &tags() const { return store; }
+
+    /** Register counters for snapshotting. */
+    virtual void registerStats(StatSet &set);
+
+    /** Sanity checks on internal invariants (debug/test aid). */
+    virtual void checkInvariants() const {}
+
+    Counter statTagLookups;   ///< all tag-store lookups (demand+wb+sweep)
+    Counter statDemandHits;
+    Counter statDemandMisses;
+    Counter statWritebacksIn; ///< writeback requests received from L2s
+    Counter statWbToDram;     ///< writebacks sent to memory
+    Counter statSweepLookups; ///< tag lookups made by writeback sweeps
+    Counter statBypasses;     ///< reads that skipped the tag lookup
+    Counter statDbiChecks;    ///< DBI consultations on the bypass path
+
+  protected:
+    /**
+     * Arbitrate for the tag port at cycle `when` and account one lookup.
+     * @return the cycle the lookup begins.
+     */
+    Cycle occupyPort(Cycle when);
+
+    /** Is this block dirty under the mechanism's bookkeeping? */
+    virtual bool blockDirty(Addr block_addr) const = 0;
+
+    /** Transition a resident block dirty -> clean (after writeback). */
+    virtual void cleanBlock(Addr block_addr) = 0;
+
+    /**
+     * A (possibly dirty) block was displaced from the cache at cycle
+     * `when`. Mechanisms generate writebacks (and sweeps) here.
+     */
+    virtual void handleEviction(Addr block_addr, bool tag_dirty,
+                                Cycle when) = 0;
+
+    /**
+     * Hook before the normal read path; return true if the access was
+     * fully handled (bypassed). Default: no bypassing.
+     */
+    virtual bool
+    tryBypass(Addr, std::uint32_t, Cycle, Callback &)
+    {
+        return false;
+    }
+
+    /** Outcome feed for miss predictors. Default: none. */
+    virtual void recordLookupOutcome(Addr, std::uint32_t, bool, Cycle) {}
+
+    /**
+     * Insert a block after a fill or writeback-allocate, routing any
+     * displaced victim through handleEviction().
+     */
+    void fillBlock(Addr block_addr, std::uint32_t core, bool dirty,
+                   Cycle when);
+
+    /** Issue the DRAM read for a demand miss, merging duplicates. */
+    void missToDram(Addr block_addr, std::uint32_t core, Cycle when,
+                    Callback cb);
+
+    /** The non-bypassed read path (tag lookup onward). */
+    void normalRead(Addr block_addr, std::uint32_t core, Cycle when,
+                    Callback cb);
+
+    LlcConfig cfg;
+    DramController &dram;
+    EventQueue &eq;
+    TagStore store;
+    Cycle portFreeAt = 0;
+
+    /** Outstanding demand reads: block -> waiting callbacks + owner. */
+    struct Pending
+    {
+        std::uint32_t core;
+        std::vector<Callback> cbs;
+    };
+    std::unordered_map<Addr, Pending> pendingReads;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_LLC_LLC_HH

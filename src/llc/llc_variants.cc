@@ -1,0 +1,415 @@
+#include "llc_variants.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+// ---------------------------------------------------------------------
+// BaselineLlc
+// ---------------------------------------------------------------------
+
+BaselineLlc::BaselineLlc(const LlcConfig &config, DramController &dram_ctrl,
+                         EventQueue &event_queue)
+    : Llc(config, dram_ctrl, event_queue)
+{
+}
+
+void
+BaselineLlc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+{
+    Addr a = blockAlign(block_addr);
+    ++statWritebacksIn;
+    Cycle start = occupyPort(when);
+    Cycle tag_done = start + cfg.tagLatency;
+
+    if (store.contains(a)) {
+        store.markDirty(a);
+    } else {
+        // Writeback-allocate: insert the incoming dirty block.
+        fillBlock(a, core, true, tag_done);
+    }
+}
+
+bool
+BaselineLlc::blockDirty(Addr block_addr) const
+{
+    const TagStore::Entry *e = store.find(block_addr);
+    return e && e->dirty;
+}
+
+void
+BaselineLlc::cleanBlock(Addr block_addr)
+{
+    store.markClean(block_addr);
+}
+
+void
+BaselineLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
+{
+    if (tag_dirty) {
+        dram.enqueueWrite(block_addr, when);
+        ++statWbToDram;
+    }
+}
+
+// ---------------------------------------------------------------------
+// DawbLlc
+// ---------------------------------------------------------------------
+
+DawbLlc::DawbLlc(const LlcConfig &config, DramController &dram_ctrl,
+                 EventQueue &event_queue)
+    : BaselineLlc(config, dram_ctrl, event_queue)
+{
+}
+
+void
+DawbLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
+{
+    BaselineLlc::handleEviction(block_addr, tag_dirty, when);
+    if (!tag_dirty) {
+        return;
+    }
+    // Sweep every other block of the victim's DRAM row through the tag
+    // store, writing back (and cleaning) the ones found dirty. Most of
+    // these lookups are wasted — the blocks are clean or absent — which
+    // is exactly DAWB's overhead (Section 3.1).
+    const DramAddrMap &map = dram.addrMap();
+    std::uint32_t victim_idx = map.blockInRow(block_addr);
+    Cycle cursor = when;
+    for (std::uint32_t i = 0; i < map.blocksPerRow(); ++i) {
+        if (i == victim_idx) {
+            continue;
+        }
+        Addr b = map.blockInRowAddr(block_addr, i);
+        Cycle start = occupyPort(cursor);
+        ++statSweepLookups;
+        cursor = start + 1;
+        TagStore::Entry *e = store.find(b);
+        if (e && e->dirty) {
+            store.markClean(b);
+            dram.enqueueWrite(b, start + cfg.tagLatency);
+            ++statWbToDram;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VwqLlc
+// ---------------------------------------------------------------------
+
+VwqLlc::VwqLlc(const LlcConfig &config, DramController &dram_ctrl,
+               EventQueue &event_queue, std::uint32_t lru_ways)
+    : BaselineLlc(config, dram_ctrl, event_queue), lruWays(lru_ways)
+{
+    fatal_if(lru_ways == 0 || lru_ways > config.assoc,
+             "VWQ LRU-way window out of range");
+    fatal_if(store.numSets() < kSsvGroupSets,
+             "cache too small for the SSV grouping");
+}
+
+void
+VwqLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
+{
+    BaselineLlc::handleEviction(block_addr, tag_dirty, when);
+    if (!tag_dirty) {
+        return;
+    }
+    // Like DAWB, but consult the Set State Vector first: only sets that
+    // report a dirty block among their LRU ways are looked up, and only
+    // LRU-way blocks are eligible for proactive writeback.
+    const DramAddrMap &map = dram.addrMap();
+    std::uint32_t victim_idx = map.blockInRow(block_addr);
+    Cycle cursor = when;
+    for (std::uint32_t i = 0; i < map.blocksPerRow(); ++i) {
+        if (i == victim_idx) {
+            continue;
+        }
+        Addr b = map.blockInRowAddr(block_addr, i);
+        std::uint32_t set = store.setIndex(b);
+        // The SSV is coarse: one bit covers a small group of sets, so a
+        // dirty LRU block anywhere in the group forces the lookup. This
+        // imprecision is why VWQ is "not significantly more efficient"
+        // than DAWB (Section 3.1).
+        std::uint32_t group = set & ~(kSsvGroupSets - 1);
+        bool flagged = false;
+        for (std::uint32_t g = 0; g < kSsvGroupSets; ++g) {
+            if (store.anyDirtyInLruWays(group + g, lruWays)) {
+                flagged = true;
+                break;
+            }
+        }
+        if (!flagged) {
+            continue;  // SSV filtered: no tag lookup spent
+        }
+        Cycle start = occupyPort(cursor);
+        ++statSweepLookups;
+        cursor = start + 1;
+        TagStore::Entry *e = store.find(b);
+        if (e && e->dirty && store.lruRank(b) < lruWays) {
+            store.markClean(b);
+            dram.enqueueWrite(b, start + cfg.tagLatency);
+            ++statWbToDram;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SkipLlc
+// ---------------------------------------------------------------------
+
+SkipLlc::SkipLlc(const LlcConfig &config, DramController &dram_ctrl,
+                 EventQueue &event_queue,
+                 std::shared_ptr<MissPredictor> predictor)
+    : Llc(config, dram_ctrl, event_queue), pred(std::move(predictor))
+{
+    fatal_if(!pred, "SkipLlc needs a miss predictor");
+}
+
+void
+SkipLlc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+{
+    (void)core;
+    Addr a = blockAlign(block_addr);
+    ++statWritebacksIn;
+    // Write-through: the block (if present) is updated but stays clean,
+    // and the write goes straight to memory. No write-allocate.
+    Cycle start = occupyPort(when);
+    dram.enqueueWrite(a, start + cfg.tagLatency);
+    ++statWbToDram;
+}
+
+bool
+SkipLlc::tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
+                   Callback &cb)
+{
+    std::uint32_t set = store.setIndex(block_addr);
+    if (!pred->predictMiss(set, core, when)) {
+        return false;
+    }
+    // Write-through guarantees no dirty blocks, so bypassing is always
+    // safe. Bypassed misses do not allocate.
+    ++statBypasses;
+    dram.enqueueRead(block_addr, when, std::move(cb));
+    return true;
+}
+
+void
+SkipLlc::recordLookupOutcome(Addr block_addr, std::uint32_t core, bool hit,
+                             Cycle when)
+{
+    pred->recordOutcome(store.setIndex(block_addr), core, hit, when);
+}
+
+// ---------------------------------------------------------------------
+// DbiLlc
+// ---------------------------------------------------------------------
+
+DbiLlc::DbiLlc(const LlcConfig &config, const DbiConfig &dbi_config,
+               DramController &dram_ctrl, EventQueue &event_queue,
+               bool enable_awb, bool enable_clb,
+               std::shared_ptr<MissPredictor> predictor)
+    : Llc(config, dram_ctrl, event_queue),
+      index(dbi_config, store.numBlocks()), awb(enable_awb),
+      clb(enable_clb), pred(std::move(predictor))
+{
+    fatal_if(clb && !pred, "CLB requires a miss predictor");
+}
+
+void
+DbiLlc::registerStats(StatSet &set)
+{
+    Llc::registerStats(set);
+    index.registerStats(set);
+    set.add("llc.awbWritebacks", statAwbWritebacks);
+    set.add("llc.dbiEvictionWbs", statDbiEvictionWbs);
+}
+
+void
+DbiLlc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+{
+    Addr a = blockAlign(block_addr);
+    ++statWritebacksIn;
+    Cycle start = occupyPort(when);
+    Cycle tag_done = start + cfg.tagLatency;
+
+    // 1) Insert/update the block in the cache (never via the tag store's
+    //    dirty bit — the DBI is authoritative).
+    if (!store.contains(a)) {
+        fillBlock(a, core, false, tag_done);
+    }
+
+    // 2) Update the DBI. A DBI eviction writes back the victim entry's
+    //    blocks (which remain cached, now clean).
+    std::vector<Addr> drained = index.setDirty(a);
+    drainDbiEviction(drained, tag_done);
+}
+
+void
+DbiLlc::drainDbiEviction(const std::vector<Addr> &blocks, Cycle when)
+{
+    Cycle cursor = when;
+    for (Addr b : blocks) {
+        panic_if(!store.contains(b),
+                 "DBI invariant violated: dirty block %llx not cached",
+                 static_cast<unsigned long long>(b));
+        // One tag lookup per block to read its data for the writeback —
+        // every lookup useful, unlike DAWB's speculative sweeps.
+        Cycle start = occupyPort(cursor);
+        ++statSweepLookups;
+        cursor = start + 1;
+        dram.enqueueWrite(b, start + cfg.tagLatency);
+        ++statWbToDram;
+        ++statDbiEvictionWbs;
+    }
+}
+
+bool
+DbiLlc::blockDirty(Addr block_addr) const
+{
+    return index.isDirty(block_addr);
+}
+
+void
+DbiLlc::cleanBlock(Addr block_addr)
+{
+    index.clearDirty(block_addr);
+}
+
+Llc::RegionOpResult
+DbiLlc::flushRegion(Addr base, std::uint64_t bytes, Cycle when)
+{
+    // One DBI query per granularity-sized region; tag lookups only for
+    // the blocks that are actually dirty (their data must be read out).
+    RegionOpResult res;
+    std::uint64_t region_bytes =
+        static_cast<std::uint64_t>(index.granularity()) * kBlockBytes;
+    Addr start = base - base % region_bytes;
+    Cycle cursor = when;
+    for (Addr r = start; r < base + bytes; r += region_bytes) {
+        ++res.lookups;  // the DBI access
+        std::vector<Addr> dirty = index.dirtyBlocksInRegion(r);
+        for (Addr b : dirty) {
+            if (b < base || b >= base + bytes) {
+                continue;  // outside the requested range
+            }
+            Cycle t = occupyPort(cursor);
+            cursor = t + 1;
+            ++res.lookups;
+            res.anyDirty = true;
+            ++res.writebacks;
+            dram.enqueueWrite(b, t + cfg.tagLatency);
+            ++statWbToDram;
+            index.clearDirty(b);
+        }
+    }
+    return res;
+}
+
+Llc::RegionOpResult
+DbiLlc::queryRegionDirty(Addr base, std::uint64_t bytes)
+{
+    RegionOpResult res;
+    std::uint64_t region_bytes =
+        static_cast<std::uint64_t>(index.granularity()) * kBlockBytes;
+    Addr start = base - base % region_bytes;
+    for (Addr r = start; r < base + bytes; r += region_bytes) {
+        ++res.lookups;  // one DBI access answers the whole region
+        for (Addr b : index.dirtyBlocksInRegion(r)) {
+            if (b >= base && b < base + bytes) {
+                res.anyDirty = true;
+            }
+        }
+    }
+    return res;
+}
+
+void
+DbiLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
+{
+    panic_if(tag_dirty, "DBI cache must not use tag-store dirty bits");
+
+    if (!index.isDirty(block_addr)) {
+        return;  // clean eviction: nothing to write back
+    }
+
+    // Dirty eviction: write the victim back...
+    dram.enqueueWrite(block_addr, when);
+    ++statWbToDram;
+    index.clearDirty(block_addr);
+
+    if (!awb) {
+        return;
+    }
+
+    // ...and, with AWB, every other dirty block of the same DBI row
+    // (Section 3.1, Figure 3). The DBI lists them in one query; tag
+    // lookups are spent only on blocks that are actually dirty.
+    std::vector<Addr> row_dirty = index.dirtyBlocksInRegion(block_addr);
+    Cycle cursor = when;
+    for (Addr b : row_dirty) {
+        if (b == block_addr) {
+            continue;
+        }
+        panic_if(!store.contains(b),
+                 "DBI invariant violated: dirty block %llx not cached",
+                 static_cast<unsigned long long>(b));
+        Cycle start = occupyPort(cursor);
+        ++statSweepLookups;
+        cursor = start + 1;
+        dram.enqueueWrite(b, start + cfg.tagLatency);
+        ++statWbToDram;
+        ++statAwbWritebacks;
+        index.clearDirty(b);
+    }
+}
+
+bool
+DbiLlc::tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
+                  Callback &cb)
+{
+    if (!clb) {
+        return false;
+    }
+    std::uint32_t set = store.setIndex(block_addr);
+    if (!pred->predictMiss(set, core, when)) {
+        return false;
+    }
+
+    // Check the (small, fast) DBI: a dirty block must take the normal
+    // path; a clean predicted miss forwards straight to memory without
+    // touching the tag store (Figure 4).
+    ++statDbiChecks;
+    Cycle checked = when + index.latency();
+    if (index.isDirty(block_addr)) {
+        normalRead(block_addr, core, checked, std::move(cb));
+        return true;
+    }
+    ++statBypasses;
+    dram.enqueueRead(block_addr, checked, std::move(cb));
+    return true;
+}
+
+void
+DbiLlc::recordLookupOutcome(Addr block_addr, std::uint32_t core, bool hit,
+                            Cycle when)
+{
+    if (pred) {
+        pred->recordOutcome(store.setIndex(block_addr), core, hit, when);
+    }
+}
+
+void
+DbiLlc::checkInvariants() const
+{
+    // Every DBI-dirty block must be resident, and the tag store must
+    // carry no dirty bits.
+    index.forEachDirtyBlock([this](Addr b) {
+        panic_if(!store.contains(b),
+                 "DBI-dirty block %llx not resident",
+                 static_cast<unsigned long long>(b));
+    });
+    panic_if(store.countDirty() != 0,
+             "tag store of a DBI cache has dirty bits set");
+}
+
+} // namespace dbsim

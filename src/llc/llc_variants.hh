@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The evaluated LLC mechanisms (Table 2): baseline/TA-DIP, DAWB, VWQ,
+ * Skip Cache, and the DBI cache with its AWB and CLB optimizations.
+ */
+
+#ifndef DBSIM_LLC_LLC_VARIANTS_HH
+#define DBSIM_LLC_LLC_VARIANTS_HH
+
+#include <memory>
+
+#include "dbi/dbi.hh"
+#include "llc/llc.hh"
+#include "pred/miss_predictor.hh"
+
+namespace dbsim {
+
+/**
+ * Conventional writeback LLC: dirty bits live in the tag store; dirty
+ * victims are written back in eviction order. Replacement/insertion
+ * policy comes from LlcConfig (LRU for "Baseline", TA-DIP for "TA-DIP").
+ */
+class BaselineLlc : public Llc
+{
+  public:
+    BaselineLlc(const LlcConfig &config, DramController &dram_ctrl,
+                EventQueue &event_queue);
+
+    void writeback(Addr block_addr, std::uint32_t core,
+                   Cycle when) override;
+
+  protected:
+    bool blockDirty(Addr block_addr) const override;
+    void cleanBlock(Addr block_addr) override;
+    void handleEviction(Addr block_addr, bool tag_dirty,
+                        Cycle when) override;
+};
+
+/**
+ * DRAM-Aware Writeback [27]: when a dirty block is evicted, look up
+ * every other block of its DRAM row in the tag store (each a full tag
+ * lookup, dirty or not — the source of DAWB's 1.95x lookup overhead)
+ * and write back those found dirty, cleaning them in place.
+ */
+class DawbLlc : public BaselineLlc
+{
+  public:
+    DawbLlc(const LlcConfig &config, DramController &dram_ctrl,
+            EventQueue &event_queue);
+
+  protected:
+    void handleEviction(Addr block_addr, bool tag_dirty,
+                        Cycle when) override;
+};
+
+/**
+ * Virtual Write Queue [51]: like DAWB, but a Set State Vector (SSV)
+ * records whether each set holds a dirty block among its LRU ways; row
+ * sweeps skip sets whose SSV bit is clear, and only write back dirty
+ * blocks found in the LRU ways. Cheaper than DAWB per sweep but still
+ * performs many unnecessary lookups (Section 3.1).
+ */
+class VwqLlc : public BaselineLlc
+{
+  public:
+    VwqLlc(const LlcConfig &config, DramController &dram_ctrl,
+           EventQueue &event_queue, std::uint32_t lru_ways = 4);
+
+  protected:
+    void handleEviction(Addr block_addr, bool tag_dirty,
+                        Cycle when) override;
+
+  private:
+    /** Sets covered by one (coarse) SSV bit. */
+    static constexpr std::uint32_t kSsvGroupSets = 4;
+
+    std::uint32_t lruWays;
+};
+
+/**
+ * Skip Cache [44]: a write-through LLC (so no block is ever dirty) whose
+ * predicted-miss reads bypass the tag lookup entirely. Bypassed misses
+ * do not allocate.
+ */
+class SkipLlc : public Llc
+{
+  public:
+    SkipLlc(const LlcConfig &config, DramController &dram_ctrl,
+            EventQueue &event_queue,
+            std::shared_ptr<MissPredictor> predictor);
+
+    void writeback(Addr block_addr, std::uint32_t core,
+                   Cycle when) override;
+
+  protected:
+    bool blockDirty(Addr) const override { return false; }
+    void cleanBlock(Addr) override {}
+    void handleEviction(Addr, bool, Cycle) override {}
+    bool tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
+                   Callback &cb) override;
+    void recordLookupOutcome(Addr block_addr, std::uint32_t core, bool hit,
+                             Cycle when) override;
+
+  private:
+    std::shared_ptr<MissPredictor> pred;
+};
+
+/**
+ * The DBI cache (Sections 2 and 3): tag store carries no dirty bits; all
+ * dirtiness queries go to the Dirty-Block Index. Optional optimizations:
+ *
+ *  - AWB: on a dirty eviction, write back all dirty blocks of the same
+ *    DBI row (one DBI query lists them; tag lookups are performed only
+ *    for blocks that are actually dirty).
+ *  - CLB: predicted-miss reads check the small DBI instead of the tag
+ *    store; clean predicted misses forward straight to memory.
+ *
+ * Even plain DBI gets DRAM-aware writebacks "for free": DBI evictions
+ * write back a whole row's dirty blocks together (Section 6.2).
+ */
+class DbiLlc : public Llc
+{
+  public:
+    DbiLlc(const LlcConfig &config, const DbiConfig &dbi_config,
+           DramController &dram_ctrl, EventQueue &event_queue,
+           bool enable_awb, bool enable_clb,
+           std::shared_ptr<MissPredictor> predictor = nullptr);
+
+    void writeback(Addr block_addr, std::uint32_t core,
+                   Cycle when) override;
+
+    Dbi &dbi() { return index; }
+    const Dbi &dbi() const { return index; }
+    bool awbEnabled() const { return awb; }
+    bool clbEnabled() const { return clb; }
+
+    void registerStats(StatSet &set) override;
+    void checkInvariants() const override;
+
+    /**
+     * DBI-accelerated flush (Section 7): one DBI query per region lists
+     * the dirty blocks, so lookups are spent only on blocks that must
+     * actually be written back.
+     */
+    RegionOpResult flushRegion(Addr base, std::uint64_t bytes,
+                               Cycle when) override;
+
+    /** DBI-accelerated DMA coherence query: one DBI access per region. */
+    RegionOpResult queryRegionDirty(Addr base,
+                                    std::uint64_t bytes) override;
+
+    Counter statAwbWritebacks;  ///< extra row writebacks from AWB
+    Counter statDbiEvictionWbs; ///< writebacks from DBI evictions
+
+  protected:
+    bool blockDirty(Addr block_addr) const override;
+    void cleanBlock(Addr block_addr) override;
+    void handleEviction(Addr block_addr, bool tag_dirty,
+                        Cycle when) override;
+    bool tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
+                   Callback &cb) override;
+    void recordLookupOutcome(Addr block_addr, std::uint32_t core, bool hit,
+                             Cycle when) override;
+
+  private:
+    /** Write back the blocks a DBI eviction drained (they stay cached). */
+    void drainDbiEviction(const std::vector<Addr> &blocks, Cycle when);
+
+    Dbi index;
+    bool awb;
+    bool clb;
+    std::shared_ptr<MissPredictor> pred;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_LLC_LLC_VARIANTS_HH

@@ -1,0 +1,31 @@
+#include "cacti_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+ArrayEstimate
+CactiLite::estimate(std::uint64_t bits) const
+{
+    panic_if(bits == 0, "cannot estimate a zero-bit array");
+    double b = static_cast<double>(bits);
+    double mbits = b / (1024.0 * 1024.0);
+    double log2b = std::log2(b);
+    double sqrtb = std::sqrt(b);
+
+    ArrayEstimate e;
+    e.areaMm2 = mbits * tech.mm2PerMbit + tech.peripheryMm2 +
+                tech.peripheryScale * sqrtb;
+    e.latencyCycles =
+        std::max(tech.latMin, tech.latBase + tech.latSlope * log2b);
+    e.readEnergyPj = tech.energyScale * sqrtb;
+    e.writeEnergyPj = e.readEnergyPj * tech.writeFactor;
+    e.leakageMw = mbits * tech.leakPerMbit +
+                  tech.peripheryScale * sqrtb * 20.0;
+    return e;
+}
+
+} // namespace dbsim

@@ -1,0 +1,118 @@
+#include "storage_model.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+namespace {
+
+/// SECDED bits for a 64-byte block (8 bits per 64-bit word).
+constexpr std::uint64_t kEccBitsPerBlock = 64;
+
+/// Parity EDC bits for a 64-byte block.
+constexpr std::uint64_t kEdcBitsPerBlock = 8;
+
+/// Data bits per block.
+constexpr std::uint64_t kDataBitsPerBlock = kBlockBytes * 8;
+
+} // namespace
+
+StorageModel::StorageModel(const StorageParams &params) : p(params)
+{
+    fatal_if(p.cacheBytes % kBlockBytes != 0, "cache size not block aligned");
+    nBlocks = p.cacheBytes / kBlockBytes;
+    fatal_if(nBlocks % p.assoc != 0, "blocks not divisible by assoc");
+    nSets = nBlocks / p.assoc;
+    fatal_if(!isPowerOf2(nSets), "cache set count must be a power of two");
+
+    double tracked = p.alpha * static_cast<double>(nBlocks);
+    nDbiEntries = static_cast<std::uint64_t>(tracked) / p.granularity;
+    fatal_if(nDbiEntries == 0, "DBI too small: zero entries");
+    fatal_if(nDbiEntries % p.dbiAssoc != 0,
+             "DBI entries not divisible by DBI associativity");
+    nDbiSets = nDbiEntries / p.dbiAssoc;
+    fatal_if(!isPowerOf2(nDbiSets), "DBI set count must be a power of two");
+}
+
+std::uint64_t
+StorageModel::baselineTagEntryBits() const
+{
+    std::uint64_t set_bits = floorLog2(nSets);
+    std::uint64_t tag = p.physAddrBits - set_bits - kBlockShift;
+    std::uint64_t repl = floorLog2(p.assoc);
+    std::uint64_t bits = tag + 1 /*valid*/ + 1 /*dirty*/ + repl;
+    if (p.withEcc) {
+        bits += kEccBitsPerBlock;
+    }
+    return bits;
+}
+
+std::uint64_t
+StorageModel::dbiTagEntryBits() const
+{
+    std::uint64_t set_bits = floorLog2(nSets);
+    std::uint64_t tag = p.physAddrBits - set_bits - kBlockShift;
+    std::uint64_t repl = floorLog2(p.assoc);
+    // No dirty bit; EDC parity for every block when ECC is modeled.
+    std::uint64_t bits = tag + 1 /*valid*/ + repl;
+    if (p.withEcc) {
+        bits += kEdcBitsPerBlock;
+    }
+    return bits;
+}
+
+std::uint64_t
+StorageModel::dbiEntryBits() const
+{
+    std::uint64_t region_offset_bits =
+        floorLog2(static_cast<std::uint64_t>(p.granularity) * kBlockBytes);
+    std::uint64_t set_bits = floorLog2(nDbiSets);
+    std::uint64_t row_tag = p.physAddrBits - region_offset_bits - set_bits;
+    std::uint64_t repl = floorLog2(p.dbiAssoc);
+    std::uint64_t bits = 1 /*valid*/ + row_tag + p.granularity + repl;
+    if (p.withEcc) {
+        // SECDED for every block the entry can mark dirty.
+        bits += static_cast<std::uint64_t>(p.granularity) * kEccBitsPerBlock;
+    }
+    return bits;
+}
+
+StorageBreakdown
+StorageModel::baseline() const
+{
+    StorageBreakdown b;
+    b.tagStoreBits = nBlocks * baselineTagEntryBits();
+    b.dbiBits = 0;
+    b.dataStoreBits = nBlocks * kDataBitsPerBlock;
+    return b;
+}
+
+StorageBreakdown
+StorageModel::withDbi() const
+{
+    StorageBreakdown b;
+    b.tagStoreBits = nBlocks * dbiTagEntryBits();
+    b.dbiBits = nDbiEntries * dbiEntryBits();
+    b.dataStoreBits = nBlocks * kDataBitsPerBlock;
+    return b;
+}
+
+double
+StorageModel::tagStoreReduction() const
+{
+    auto base = baseline();
+    auto dbi = withDbi();
+    return 1.0 - static_cast<double>(dbi.metadataBits()) /
+                     static_cast<double>(base.metadataBits());
+}
+
+double
+StorageModel::cacheReduction() const
+{
+    auto base = baseline();
+    auto dbi = withDbi();
+    return 1.0 - static_cast<double>(dbi.totalBits()) /
+                     static_cast<double>(base.totalBits());
+}
+
+} // namespace dbsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bit-exact storage accounting for the conventional cache organization
+ * versus the DBI organization (Table 4 and the Section 6.3 area analysis).
+ *
+ * Layout assumptions (calibrated to reproduce Table 4):
+ *  - 40-bit physical addresses;
+ *  - per-tag-entry replacement state of log2(associativity) bits;
+ *  - SECDED ECC of 64 bits per 64-byte block (12.5% of data, stored in
+ *    the tag store in the baseline and alongside the DBI entry in the
+ *    DBI organization);
+ *  - parity EDC of 8 bits per block (~1.5%) for all blocks in the DBI
+ *    organization;
+ *  - a DBI entry holds: valid bit, row tag, dirty bit vector
+ *    (granularity bits), and log2(dbiAssoc) bits of LRW state.
+ */
+
+#ifndef DBSIM_MODEL_STORAGE_MODEL_HH
+#define DBSIM_MODEL_STORAGE_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dbsim {
+
+/** Parameters describing one cache + DBI design point. */
+struct StorageParams
+{
+    std::uint64_t cacheBytes = 16ull << 20;  ///< total data capacity
+    std::uint32_t assoc = 32;                ///< cache associativity
+    std::uint32_t physAddrBits = 40;         ///< physical address width
+    double alpha = 0.25;       ///< DBI size: tracked blocks / cache blocks
+    std::uint32_t granularity = 64;  ///< blocks per DBI entry
+    std::uint32_t dbiAssoc = 16;     ///< DBI associativity
+    bool withEcc = true;             ///< include ECC/EDC in the layout
+};
+
+/** Bit counts for one organization. */
+struct StorageBreakdown
+{
+    std::uint64_t tagStoreBits = 0;  ///< main tag store (incl. ECC if any)
+    std::uint64_t dbiBits = 0;       ///< DBI array (incl. its ECC if any)
+    std::uint64_t dataStoreBits = 0; ///< data array
+
+    std::uint64_t metadataBits() const { return tagStoreBits + dbiBits; }
+    std::uint64_t totalBits() const { return metadataBits() + dataStoreBits; }
+};
+
+/**
+ * Computes the storage cost of the conventional and DBI organizations
+ * and the Table 4 reduction percentages.
+ */
+class StorageModel
+{
+  public:
+    explicit StorageModel(const StorageParams &params);
+
+    /** Conventional organization: dirty bit + (ECC) in each tag entry. */
+    StorageBreakdown baseline() const;
+
+    /** DBI organization: no dirty bits in tags; EDC + DBI (+ECC). */
+    StorageBreakdown withDbi() const;
+
+    /** Table 4 "Tag Store" column: metadata bit reduction (fraction). */
+    double tagStoreReduction() const;
+
+    /** Table 4 "Cache" column: total cache bit reduction (fraction). */
+    double cacheReduction() const;
+
+    /** Number of blocks in the cache. */
+    std::uint64_t numBlocks() const { return nBlocks; }
+
+    /** Number of DBI entries at this design point. */
+    std::uint64_t numDbiEntries() const { return nDbiEntries; }
+
+    /** Bits in one main tag entry under the given organization. */
+    std::uint64_t baselineTagEntryBits() const;
+    std::uint64_t dbiTagEntryBits() const;
+
+    /** Bits in one DBI entry (including per-entry ECC if enabled). */
+    std::uint64_t dbiEntryBits() const;
+
+  private:
+    StorageParams p;
+    std::uint64_t nBlocks;
+    std::uint64_t nSets;
+    std::uint64_t nDbiEntries;
+    std::uint64_t nDbiSets;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_MODEL_STORAGE_MODEL_HH

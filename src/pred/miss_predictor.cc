@@ -1,0 +1,90 @@
+#include "miss_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+SkipPredictor::SkipPredictor(const SkipPredictorConfig &config) : cfg(config)
+{
+    fatal_if(cfg.numThreads == 0, "need at least one thread");
+    fatal_if(cfg.epochCycles == 0, "epoch length must be non-zero");
+    sampleAccesses.assign(cfg.numThreads, 0);
+    sampleMisses.assign(cfg.numThreads, 0);
+    bypassNext.assign(cfg.numThreads, false);
+}
+
+bool
+SkipPredictor::isSampledSet(std::uint32_t set) const
+{
+    return set % cfg.sampleInterval == 0;
+}
+
+void
+SkipPredictor::maybeRollEpoch(Cycle now)
+{
+    std::uint64_t epoch = now / cfg.epochCycles;
+    if (epoch == curEpoch) {
+        return;
+    }
+    // Close out the epoch: decide next-epoch bypass per thread from the
+    // sampled miss rate, then reset the sample counters.
+    for (std::uint32_t t = 0; t < cfg.numThreads; ++t) {
+        if (sampleAccesses[t] >= 16) {
+            double rate = static_cast<double>(sampleMisses[t]) /
+                          static_cast<double>(sampleAccesses[t]);
+            bypassNext[t] = rate > cfg.missThreshold;
+        } else {
+            bypassNext[t] = false;  // not enough evidence
+        }
+        sampleAccesses[t] = 0;
+        sampleMisses[t] = 0;
+    }
+    curEpoch = epoch;
+    ++statEpochs;
+}
+
+bool
+SkipPredictor::predictMiss(std::uint32_t set, std::uint32_t thread,
+                           Cycle now)
+{
+    maybeRollEpoch(now);
+    if (thread >= cfg.numThreads) {
+        thread = 0;
+    }
+    if (isSampledSet(set)) {
+        return false;  // sampled sets always take the normal path
+    }
+    if (bypassNext[thread]) {
+        ++statPredictedMiss;
+        return true;
+    }
+    return false;
+}
+
+void
+SkipPredictor::recordOutcome(std::uint32_t set, std::uint32_t thread,
+                             bool hit, Cycle now)
+{
+    maybeRollEpoch(now);
+    if (thread >= cfg.numThreads) {
+        thread = 0;
+    }
+    if (!isSampledSet(set)) {
+        return;
+    }
+    ++sampleAccesses[thread];
+    if (!hit) {
+        ++sampleMisses[thread];
+    }
+}
+
+bool
+SkipPredictor::bypassing(std::uint32_t thread) const
+{
+    if (thread >= cfg.numThreads) {
+        thread = 0;
+    }
+    return bypassNext[thread];
+}
+
+} // namespace dbsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cache miss predictors for the lookup-bypass optimization (Section 3.2).
+ * CLB works with any predictor; we implement the one the paper evaluates,
+ * the Skip Cache predictor [44]: execution is divided into epochs, the
+ * per-thread LLC miss rate is monitored on a small sample of sets, and if
+ * a thread's miss rate exceeds a threshold, all of its accesses in the
+ * next epoch (except those to sampled sets) are predicted to miss.
+ */
+
+#ifndef DBSIM_PRED_MISS_PREDICTOR_HH
+#define DBSIM_PRED_MISS_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dbsim {
+
+/** Abstract miss predictor. */
+class MissPredictor
+{
+  public:
+    virtual ~MissPredictor() = default;
+
+    /** Should this read access be predicted to miss? */
+    virtual bool predictMiss(std::uint32_t set, std::uint32_t thread,
+                             Cycle now) = 0;
+
+    /** Feed the outcome of a performed lookup (hit/miss). */
+    virtual void recordOutcome(std::uint32_t set, std::uint32_t thread,
+                               bool hit, Cycle now) = 0;
+
+    /** Sampled sets must always be looked up normally. */
+    virtual bool isSampledSet(std::uint32_t set) const = 0;
+};
+
+/** Never predicts a miss: disables bypassing. */
+class NeverMissPredictor : public MissPredictor
+{
+  public:
+    bool
+    predictMiss(std::uint32_t, std::uint32_t, Cycle) override
+    {
+        return false;
+    }
+    void recordOutcome(std::uint32_t, std::uint32_t, bool, Cycle) override
+    {}
+    bool isSampledSet(std::uint32_t) const override { return false; }
+};
+
+/** Configuration of the Skip Cache epoch predictor. */
+struct SkipPredictorConfig
+{
+    double missThreshold = 0.95;        ///< paper's threshold
+    Cycle epochCycles = 5'000'000;      ///< scaled from 50M (Table 2)
+    std::uint32_t sampleInterval = 64;  ///< 1-in-N sets are sampled
+    std::uint32_t numThreads = 1;
+};
+
+/**
+ * The Skip Cache miss predictor: epoch-based, per-thread, set-sampled.
+ */
+class SkipPredictor : public MissPredictor
+{
+  public:
+    explicit SkipPredictor(const SkipPredictorConfig &config);
+
+    bool predictMiss(std::uint32_t set, std::uint32_t thread,
+                     Cycle now) override;
+    void recordOutcome(std::uint32_t set, std::uint32_t thread, bool hit,
+                       Cycle now) override;
+    bool isSampledSet(std::uint32_t set) const override;
+
+    /** Is the thread in bypass mode for the current epoch? */
+    bool bypassing(std::uint32_t thread) const;
+
+    Counter statPredictedMiss;
+    Counter statEpochs;
+
+  private:
+    /** Roll epochs forward if `now` has passed the boundary. */
+    void maybeRollEpoch(Cycle now);
+
+    SkipPredictorConfig cfg;
+    std::uint64_t curEpoch = 0;
+    std::vector<std::uint64_t> sampleAccesses;
+    std::vector<std::uint64_t> sampleMisses;
+    std::vector<bool> bypassNext;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_PRED_MISS_PREDICTOR_HH

@@ -1,0 +1,55 @@
+#include "mechanism.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::Baseline:
+        return "Baseline";
+      case Mechanism::TaDip:
+        return "TA-DIP";
+      case Mechanism::Dawb:
+        return "DAWB";
+      case Mechanism::Vwq:
+        return "VWQ";
+      case Mechanism::SkipCache:
+        return "SkipCache";
+      case Mechanism::Dbi:
+        return "DBI";
+      case Mechanism::DbiAwb:
+        return "DBI+AWB";
+      case Mechanism::DbiClb:
+        return "DBI+CLB";
+      case Mechanism::DbiAwbClb:
+        return "DBI+AWB+CLB";
+    }
+    return "?";
+}
+
+Mechanism
+mechanismByName(const std::string &name)
+{
+    for (Mechanism m : allMechanisms()) {
+        if (name == mechanismName(m)) {
+            return m;
+        }
+    }
+    fatal("unknown mechanism '%s'", name.c_str());
+}
+
+const std::vector<Mechanism> &
+allMechanisms()
+{
+    static const std::vector<Mechanism> all = {
+        Mechanism::Baseline, Mechanism::TaDip,  Mechanism::Dawb,
+        Mechanism::Vwq,      Mechanism::SkipCache, Mechanism::Dbi,
+        Mechanism::DbiAwb,   Mechanism::DbiClb, Mechanism::DbiAwbClb,
+    };
+    return all;
+}
+
+} // namespace dbsim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The evaluated mechanisms (Table 2).
+ */
+
+#ifndef DBSIM_SIM_MECHANISM_HH
+#define DBSIM_SIM_MECHANISM_HH
+
+#include <string>
+#include <vector>
+
+namespace dbsim {
+
+/** Mechanisms from Table 2. */
+enum class Mechanism
+{
+    Baseline,   ///< LRU cache
+    TaDip,      ///< thread-aware dynamic insertion policy
+    Dawb,       ///< DRAM-aware writeback [27] (+TA-DIP)
+    Vwq,        ///< Virtual Write Queue [51] (+TA-DIP)
+    SkipCache,  ///< per-application lookup bypass [44] (+TA-DIP)
+    Dbi,        ///< plain DBI (+TA-DIP)
+    DbiAwb,     ///< DBI + aggressive writeback
+    DbiClb,     ///< DBI + cache lookup bypass
+    DbiAwbClb,  ///< DBI + both optimizations
+};
+
+/** Display label used in the paper's figures. */
+const char *mechanismName(Mechanism m);
+
+/** Mechanism from label; fatal() on unknown names. */
+Mechanism mechanismByName(const std::string &name);
+
+/** All mechanisms in Table 2 order. */
+const std::vector<Mechanism> &allMechanisms();
+
+} // namespace dbsim
+
+#endif // DBSIM_SIM_MECHANISM_HH

@@ -1,0 +1,82 @@
+#include "metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+namespace {
+
+void
+checkSizes(const std::vector<double> &shared,
+           const std::vector<double> &alone)
+{
+    panic_if(shared.size() != alone.size() || shared.empty(),
+             "metric inputs must be equal-sized and non-empty");
+}
+
+} // namespace
+
+double
+weightedSpeedup(const std::vector<double> &shared,
+                const std::vector<double> &alone)
+{
+    checkSizes(shared, alone);
+    double ws = 0.0;
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        ws += shared[i] / alone[i];
+    }
+    return ws;
+}
+
+double
+instructionThroughput(const std::vector<double> &shared)
+{
+    double it = 0.0;
+    for (double v : shared) {
+        it += v;
+    }
+    return it;
+}
+
+double
+harmonicSpeedup(const std::vector<double> &shared,
+                const std::vector<double> &alone)
+{
+    checkSizes(shared, alone);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        denom += alone[i] / shared[i];
+    }
+    return static_cast<double>(shared.size()) / denom;
+}
+
+double
+maxSlowdown(const std::vector<double> &shared,
+            const std::vector<double> &alone)
+{
+    checkSizes(shared, alone);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        double s = alone[i] / shared[i];
+        if (s > worst) {
+            worst = s;
+        }
+    }
+    return worst;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geomean of empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean requires positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace dbsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Multi-core performance and fairness metrics (Section 5): weighted
+ * speedup [50], instruction throughput, harmonic speedup [32], and
+ * maximum slowdown [14, 24]. All take per-core shared-run IPCs and the
+ * corresponding alone-run IPCs.
+ */
+
+#ifndef DBSIM_SIM_METRICS_HH
+#define DBSIM_SIM_METRICS_HH
+
+#include <vector>
+
+namespace dbsim {
+
+/** Sum of per-core IPC_shared / IPC_alone. */
+double weightedSpeedup(const std::vector<double> &shared,
+                       const std::vector<double> &alone);
+
+/** Sum of shared IPCs. */
+double instructionThroughput(const std::vector<double> &shared);
+
+/** N / sum(IPC_alone / IPC_shared). */
+double harmonicSpeedup(const std::vector<double> &shared,
+                       const std::vector<double> &alone);
+
+/** max over cores of IPC_alone / IPC_shared. */
+double maxSlowdown(const std::vector<double> &shared,
+                   const std::vector<double> &alone);
+
+/** Geometric mean. */
+double geomean(const std::vector<double> &values);
+
+} // namespace dbsim
+
+#endif // DBSIM_SIM_METRICS_HH

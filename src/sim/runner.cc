@@ -1,0 +1,47 @@
+#include "runner.hh"
+
+namespace dbsim {
+
+double
+AloneIpcCache::get(const std::string &bench)
+{
+    auto it = cache.find(bench);
+    if (it != cache.end()) {
+        return it->second;
+    }
+    SystemConfig cfg = baseCfg;
+    cfg.numCores = 1;
+    cfg.mech = Mechanism::Baseline;
+    // Alone runs keep per-core LLC capacity, matching the shared system.
+    SimResult r = runWorkload(cfg, WorkloadMix{bench});
+    cache[bench] = r.ipc[0];
+    return r.ipc[0];
+}
+
+std::vector<double>
+AloneIpcCache::forMix(const WorkloadMix &mix)
+{
+    std::vector<double> alone;
+    alone.reserve(mix.size());
+    for (const auto &bench : mix) {
+        alone.push_back(get(bench));
+    }
+    return alone;
+}
+
+MulticoreMetrics
+evalMix(const SystemConfig &cfg, const WorkloadMix &mix,
+        AloneIpcCache &alone)
+{
+    SimResult r = runWorkload(cfg, mix);
+    std::vector<double> alone_ipcs = alone.forMix(mix);
+
+    MulticoreMetrics m;
+    m.weightedSpeedup = weightedSpeedup(r.ipc, alone_ipcs);
+    m.instructionThroughput = instructionThroughput(r.ipc);
+    m.harmonicSpeedup = harmonicSpeedup(r.ipc, alone_ipcs);
+    m.maxSlowdown = maxSlowdown(r.ipc, alone_ipcs);
+    return m;
+}
+
+} // namespace dbsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment-harness helpers shared by the benches: an alone-IPC cache
+ * (weighted speedup normalizes against each benchmark running alone on
+ * the baseline system) and a multi-core evaluation routine.
+ */
+
+#ifndef DBSIM_SIM_RUNNER_HH
+#define DBSIM_SIM_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+namespace dbsim {
+
+/**
+ * Caches single-core baseline IPCs per benchmark so multi-core metric
+ * normalization reuses them across mechanisms and mixes.
+ */
+class AloneIpcCache
+{
+  public:
+    /**
+     * @param base config whose scalar parameters (seed, instruction
+     *        counts, DRAM, etc.) the alone runs inherit; core count and
+     *        mechanism are overridden.
+     */
+    explicit AloneIpcCache(const SystemConfig &base) : baseCfg(base) {}
+
+    /** Alone IPC of `bench` on the 1-core baseline system. */
+    double get(const std::string &bench);
+
+    /** Alone IPCs for each slot of a mix. */
+    std::vector<double> forMix(const WorkloadMix &mix);
+
+  private:
+    SystemConfig baseCfg;
+    std::map<std::string, double> cache;
+};
+
+/** Multi-core metric bundle for one (mechanism, mix) run. */
+struct MulticoreMetrics
+{
+    double weightedSpeedup = 0.0;
+    double instructionThroughput = 0.0;
+    double harmonicSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+};
+
+/** Run a mix under `cfg` and compute metrics against alone IPCs. */
+MulticoreMetrics evalMix(const SystemConfig &cfg, const WorkloadMix &mix,
+                         AloneIpcCache &alone);
+
+} // namespace dbsim
+
+#endif // DBSIM_SIM_RUNNER_HH

@@ -1,0 +1,201 @@
+#include "system.hh"
+
+#include "common/logging.hh"
+#include "llc/llc_variants.hh"
+
+namespace dbsim {
+
+LlcConfig
+SystemConfig::resolveLlc() const
+{
+    LlcConfig llc;
+    llc.sizeBytes = llcBytesPerCore * numCores;
+    llc.numCores = numCores;
+    llc.seed = seed + 101;
+
+    // Table 1: 16/32/32/32-way, tag 10/12/13/14, data 24/29/31/33 for
+    // 1/2/4/8 cores.
+    std::uint32_t assoc, tag_lat, data_lat;
+    switch (numCores) {
+      case 1:
+        assoc = 16;
+        tag_lat = 10;
+        data_lat = 24;
+        break;
+      case 2:
+        assoc = 32;
+        tag_lat = 12;
+        data_lat = 29;
+        break;
+      case 4:
+        assoc = 32;
+        tag_lat = 13;
+        data_lat = 31;
+        break;
+      case 8:
+      default:
+        assoc = 32;
+        tag_lat = 14;
+        data_lat = 33;
+        break;
+    }
+    llc.assoc = llcAssoc ? llcAssoc : assoc;
+    llc.tagLatency = llcTagLatency ? llcTagLatency : tag_lat;
+    llc.dataLatency = llcDataLatency ? llcDataLatency : data_lat;
+
+    ReplPolicy non_base = useDrrip ? ReplPolicy::Drrip : ReplPolicy::TaDip;
+    llc.repl = (mech == Mechanism::Baseline) ? ReplPolicy::Lru : non_base;
+    return llc;
+}
+
+System::System(const SystemConfig &config, const WorkloadMix &mix)
+    : cfg(config), workload(mix), statSet("system")
+{
+    fatal_if(workload.size() != cfg.numCores,
+             "workload has %zu entries for %u cores", workload.size(),
+             cfg.numCores);
+
+    dramCtrl = std::make_unique<DramController>(cfg.dram, eq);
+
+    LlcConfig llc_cfg = cfg.resolveLlc();
+
+    SkipPredictorConfig pc = cfg.pred;
+    pc.numThreads = cfg.numCores;
+
+    DbiConfig dbi_cfg = cfg.dbi;
+    dbi_cfg.seed = cfg.seed + 1009;
+
+    switch (cfg.mech) {
+      case Mechanism::Baseline:
+      case Mechanism::TaDip:
+        sharedLlc = std::make_unique<BaselineLlc>(llc_cfg, *dramCtrl, eq);
+        break;
+      case Mechanism::Dawb:
+        sharedLlc = std::make_unique<DawbLlc>(llc_cfg, *dramCtrl, eq);
+        break;
+      case Mechanism::Vwq:
+        sharedLlc = std::make_unique<VwqLlc>(llc_cfg, *dramCtrl, eq);
+        break;
+      case Mechanism::SkipCache:
+        predictor = std::make_shared<SkipPredictor>(pc);
+        sharedLlc =
+            std::make_unique<SkipLlc>(llc_cfg, *dramCtrl, eq, predictor);
+        break;
+      case Mechanism::Dbi:
+      case Mechanism::DbiAwb:
+      case Mechanism::DbiClb:
+      case Mechanism::DbiAwbClb: {
+        bool awb = cfg.mech == Mechanism::DbiAwb ||
+                   cfg.mech == Mechanism::DbiAwbClb;
+        bool clb = cfg.mech == Mechanism::DbiClb ||
+                   cfg.mech == Mechanism::DbiAwbClb;
+        if (clb) {
+            predictor = std::make_shared<SkipPredictor>(pc);
+        }
+        sharedLlc = std::make_unique<DbiLlc>(llc_cfg, dbi_cfg, *dramCtrl,
+                                             eq, awb, clb, predictor);
+        break;
+      }
+    }
+
+    sharedLlc->registerStats(statSet);
+    dramCtrl->registerStats(statSet);
+
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        if (!workload[c].empty() && workload[c][0] == '@') {
+            traces.push_back(
+                std::make_unique<FileTrace>(workload[c].substr(1)));
+        } else {
+            const BenchProfile &prof = benchmarkByName(workload[c]);
+            traces.push_back(
+                std::make_unique<SyntheticTrace>(prof, c, cfg.seed));
+        }
+        mems.push_back(std::make_unique<CoreMemory>(
+            cfg.mem, *sharedLlc, c, cfg.seed + 31 * c));
+        mems.back()->registerStats(statSet);
+        cores.push_back(std::make_unique<Core>(c, cfg.core, *traces[c],
+                                               *mems[c], eq));
+        cores.back()->onWarmed(
+            [this](std::uint32_t id) { onCoreWarmed(id); });
+        cores.back()->onDone([this](std::uint32_t id) { onCoreDone(id); });
+    }
+}
+
+System::~System() = default;
+
+Dbi *
+System::dbi()
+{
+    auto *d = dynamic_cast<DbiLlc *>(sharedLlc.get());
+    return d ? &d->dbi() : nullptr;
+}
+
+void
+System::onCoreWarmed(std::uint32_t)
+{
+    ++warmedCount;
+    if (warmedCount == cfg.numCores) {
+        // All cores crossed their warmup boundary: the measurement
+        // window for system-wide stats starts here.
+        statSet.snapshotAll();
+        warmTime = eq.now();
+    }
+}
+
+void
+System::onCoreDone(std::uint32_t)
+{
+    ++doneCount;
+    if (doneCount == cfg.numCores) {
+        doneTime = eq.now();
+        for (auto &core : cores) {
+            core->halt();
+        }
+    }
+}
+
+SimResult
+System::run()
+{
+    for (auto &core : cores) {
+        core->start();
+    }
+    while (eq.step()) {
+        if (eq.now() > cfg.maxCycles) {
+            fatal("simulation exceeded %llu cycles: likely deadlock",
+                  static_cast<unsigned long long>(cfg.maxCycles));
+        }
+    }
+    panic_if(doneCount != cfg.numCores,
+             "event queue drained before all cores finished");
+
+    SimResult res;
+    res.windowCycles = doneTime - warmTime;
+    for (auto &core : cores) {
+        res.ipc.push_back(core->ipc());
+        res.totalInstrs += core->measuredInstrs();
+    }
+    res.stats = statSet.collect();
+    res.readRowHitRate = dramCtrl->readRowHitRate();
+    res.writeRowHitRate = dramCtrl->writeRowHitRate();
+
+    double kilo_instrs = static_cast<double>(res.totalInstrs) / 1000.0;
+    res.tagLookupsPki =
+        static_cast<double>(res.stats["llc.tagLookups"]) / kilo_instrs;
+    res.wpki = static_cast<double>(res.stats["dram.writes"]) / kilo_instrs;
+    res.mpki =
+        static_cast<double>(res.stats["llc.demandMisses"]) / kilo_instrs;
+    res.dramEnergyPj = dramCtrl->energySince(res.windowCycles).totalPj();
+
+    sharedLlc->checkInvariants();
+    return res;
+}
+
+SimResult
+runWorkload(const SystemConfig &config, const WorkloadMix &mix)
+{
+    System sys(config, mix);
+    return sys.run();
+}
+
+} // namespace dbsim

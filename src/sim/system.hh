@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Full-system wiring and the library's primary entry point: build a
+ * system configuration (Table 1), pick a mechanism (Table 2) and a
+ * workload mix, and run it to obtain per-core IPCs plus the memory-
+ * system statistics the paper's figures are made of.
+ */
+
+#ifndef DBSIM_SIM_SYSTEM_HH
+#define DBSIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "cpu/core.hh"
+#include "cpu/core_memory.hh"
+#include "dbi/dbi.hh"
+#include "dram/dram_controller.hh"
+#include "llc/llc.hh"
+#include "pred/miss_predictor.hh"
+#include "sim/mechanism.hh"
+#include "workload/mixes.hh"
+#include "workload/file_trace.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace dbsim {
+
+/** Whole-system configuration (Table 1 defaults). */
+struct SystemConfig
+{
+    Mechanism mech = Mechanism::TaDip;
+    std::uint32_t numCores = 1;
+
+    /** Shared LLC capacity per core (Table 1: 2MB/core). */
+    std::uint64_t llcBytesPerCore = 2ull << 20;
+
+    /**
+     * LLC associativity and latencies; 0 means "derive from numCores"
+     * per Table 1 (16/32-way, tag 10-14, data 24-33).
+     */
+    std::uint32_t llcAssoc = 0;
+    std::uint32_t llcTagLatency = 0;
+    std::uint32_t llcDataLatency = 0;
+
+    /** Use DRRIP instead of TA-DIP for non-baseline mechanisms. */
+    bool useDrrip = false;
+
+    DbiConfig dbi;
+    DramConfig dram;
+    CoreConfig core;
+    CoreMemoryConfig mem;
+    SkipPredictorConfig pred;
+
+    std::uint64_t seed = 1;
+
+    /** Hard simulation cap; exceeded means a deadlock bug. */
+    Cycle maxCycles = 20'000'000'000ull;
+
+    /** Resolved LLC config for this core count. */
+    LlcConfig resolveLlc() const;
+};
+
+/**
+ * Result of one simulation.
+ *
+ * Per-core IPCs are measured over each core's own warmup-to-done
+ * window and are exact. The aggregate `stats` window opens when the
+ * slowest core finishes warmup; in short runs with extreme per-core IPC
+ * ratios, a fast core may hit its overrun cap before that, so
+ * system-wide counters can under-represent it (the per-core metrics
+ * the paper's multi-core results use are unaffected).
+ */
+struct SimResult
+{
+    std::vector<double> ipc;                 ///< per core
+    std::map<std::string, std::uint64_t> stats;  ///< measurement window
+    std::uint64_t totalInstrs = 0;           ///< across cores (measured)
+    Cycle windowCycles = 0;                  ///< global measurement span
+    double readRowHitRate = 0.0;
+    double writeRowHitRate = 0.0;
+    double tagLookupsPki = 0.0;
+    double wpki = 0.0;   ///< memory writes per kilo instructions
+    double mpki = 0.0;   ///< LLC demand misses per kilo instructions
+    double dramEnergyPj = 0.0;
+};
+
+/**
+ * One simulated machine: cores + private caches + shared LLC (mechanism
+ * variant) + DRAM, on a single event queue.
+ */
+class System
+{
+  public:
+    /**
+     * @param mix one entry per core: either a benchmark name from
+     *        src/workload/profiles (synthetic trace) or "@<path>" to
+     *        replay a trace file (see workload/file_trace.hh).
+     */
+    System(const SystemConfig &config, const WorkloadMix &mix);
+    ~System();
+
+    /** Run warmup + measurement; collect results. */
+    SimResult run();
+
+    /** The LLC (for tests and examples). */
+    Llc &llc() { return *sharedLlc; }
+
+    /** The DBI, if the mechanism has one (nullptr otherwise). */
+    Dbi *dbi();
+
+    /** The DRAM controller. */
+    DramController &dram() { return *dramCtrl; }
+
+    /** Per-core private hierarchy (for inspection). */
+    CoreMemory &coreMemory(std::uint32_t core) { return *mems.at(core); }
+
+  private:
+    void onCoreWarmed(std::uint32_t core_id);
+    void onCoreDone(std::uint32_t core_id);
+
+    SystemConfig cfg;
+    WorkloadMix workload;
+
+    EventQueue eq;
+    std::unique_ptr<DramController> dramCtrl;
+    std::shared_ptr<MissPredictor> predictor;
+    std::unique_ptr<Llc> sharedLlc;
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    std::vector<std::unique_ptr<CoreMemory>> mems;
+    std::vector<std::unique_ptr<Core>> cores;
+    StatSet statSet;
+
+    std::uint32_t warmedCount = 0;
+    std::uint32_t doneCount = 0;
+    Cycle warmTime = 0;
+    Cycle doneTime = 0;
+};
+
+/** Convenience: build and run in one call. */
+SimResult runWorkload(const SystemConfig &config, const WorkloadMix &mix);
+
+} // namespace dbsim
+
+#endif // DBSIM_SIM_SYSTEM_HH

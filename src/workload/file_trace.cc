@@ -1,0 +1,81 @@
+#include "file_trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+FileTrace::FileTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open trace file '%s'", path.c_str());
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream ls(line);
+        std::uint64_t gap;
+        std::string kind;
+        std::string addr_str;
+        if (!(ls >> gap)) {
+            continue;  // blank or comment-only line
+        }
+        fatal_if(!(ls >> kind >> addr_str),
+                 "%s:%zu: expected '<gap> <R|W|D> <hex-addr>'",
+                 path.c_str(), lineno);
+        fatal_if(kind != "R" && kind != "W" && kind != "D",
+                 "%s:%zu: bad access kind '%s'", path.c_str(), lineno,
+                 kind.c_str());
+        TraceOp op;
+        op.gap = static_cast<std::uint32_t>(gap);
+        op.isWrite = kind == "W";
+        op.dependent = kind == "D";
+        char *end = nullptr;
+        op.addr = std::strtoull(addr_str.c_str(), &end, 16);
+        fatal_if(end == addr_str.c_str() || *end != '\0',
+                 "%s:%zu: bad address '%s'", path.c_str(), lineno,
+                 addr_str.c_str());
+        ops.push_back(op);
+    }
+    fatal_if(ops.empty(), "trace file '%s' has no records", path.c_str());
+}
+
+FileTrace::FileTrace(std::vector<TraceOp> records) : ops(std::move(records))
+{
+    fatal_if(ops.empty(), "empty trace");
+}
+
+TraceOp
+FileTrace::next()
+{
+    TraceOp op = ops[pos];
+    pos = (pos + 1) % ops.size();
+    return op;
+}
+
+void
+FileTrace::write(const std::string &path,
+                 const std::vector<TraceOp> &records)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write trace file '%s'", path.c_str());
+    out << "# dbsim trace: <gap> <R|W|D> <hex-addr>\n";
+    for (const auto &op : records) {
+        const char *kind = op.isWrite ? "W" : (op.dependent ? "D" : "R");
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%u %s %llx\n", op.gap, kind,
+                      static_cast<unsigned long long>(op.addr));
+        out << buf;
+    }
+    fatal_if(!out, "error writing trace file '%s'", path.c_str());
+}
+
+} // namespace dbsim

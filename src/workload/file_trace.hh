@@ -1,0 +1,54 @@
+/**
+ * @file
+ * File-backed instruction traces, so users can drive the simulator with
+ * real application traces (e.g. converted Pin/DynamoRIO output) instead
+ * of the synthetic generators.
+ *
+ * Format: one record per line, `<gap> <R|W|D> <hex-addr>`, where gap is
+ * the number of non-memory instructions preceding the access, R is a
+ * load, W a store, and D a load that depends on the previous memory
+ * access (pointer chasing). '#' starts a comment. Traces loop: when the
+ * file is exhausted the source restarts from the beginning, matching
+ * the infinite-trace contract of TraceSource.
+ */
+
+#ifndef DBSIM_WORKLOAD_FILE_TRACE_HH
+#define DBSIM_WORKLOAD_FILE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace dbsim {
+
+/** TraceSource replaying a trace file (loaded into memory, looping). */
+class FileTrace : public TraceSource
+{
+  public:
+    /** Parse the file; fatal() on unreadable files or syntax errors. */
+    explicit FileTrace(const std::string &path);
+
+    /** Build from already-parsed records (testing, programmatic use). */
+    explicit FileTrace(std::vector<TraceOp> records);
+
+    TraceOp next() override;
+
+    /** Records per loop iteration. */
+    std::size_t size() const { return ops.size(); }
+
+    /**
+     * Serialize records in the file format (the writer counterpart, so
+     * tools can convert other formats into dbsim traces).
+     */
+    static void write(const std::string &path,
+                      const std::vector<TraceOp> &records);
+
+  private:
+    std::vector<TraceOp> ops;
+    std::size_t pos = 0;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_WORKLOAD_FILE_TRACE_HH

@@ -1,0 +1,45 @@
+#include "mixes.hh"
+
+#include "common/rng.hh"
+#include "workload/profiles.hh"
+
+namespace dbsim {
+
+std::vector<WorkloadMix>
+makeMixes(std::uint32_t num_cores, std::uint32_t count, std::uint64_t seed)
+{
+    // Partition benchmarks by read-intensity class.
+    std::vector<std::vector<const BenchProfile *>> by_class(3);
+    for (const auto &p : allBenchmarks()) {
+        by_class[static_cast<std::size_t>(p.readClass)].push_back(&p);
+    }
+
+    Rng rng(seed);
+    std::vector<WorkloadMix> mixes;
+    mixes.reserve(count);
+    for (std::uint32_t m = 0; m < count; ++m) {
+        WorkloadMix mix;
+        mix.reserve(num_cores);
+        for (std::uint32_t c = 0; c < num_cores; ++c) {
+            const auto &cls = by_class[rng.below(3)];
+            mix.push_back(cls[rng.below(cls.size())]->name);
+        }
+        mixes.push_back(std::move(mix));
+    }
+    return mixes;
+}
+
+std::string
+mixLabel(const WorkloadMix &mix)
+{
+    std::string label;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        if (i) {
+            label += "+";
+        }
+        label += mix[i];
+    }
+    return label;
+}
+
+} // namespace dbsim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Multi-programmed workload construction (Section 5): benchmarks are
+ * classified by read intensity and write intensity (low/medium/high) and
+ * combined into N-core mixes that span the intensity grid, so the mix
+ * population stresses both how much a workload suffers from write
+ * interference and how much it causes.
+ */
+
+#ifndef DBSIM_WORKLOAD_MIXES_HH
+#define DBSIM_WORKLOAD_MIXES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbsim {
+
+/** One multi-programmed workload: a benchmark name per core. */
+using WorkloadMix = std::vector<std::string>;
+
+/**
+ * Generate `count` N-core mixes. Deterministic in `seed`. Benchmarks are
+ * drawn class-aware: each slot picks an intensity category first, then a
+ * random member, so the population covers the read/write intensity grid.
+ */
+std::vector<WorkloadMix> makeMixes(std::uint32_t num_cores,
+                                   std::uint32_t count,
+                                   std::uint64_t seed);
+
+/** Human-readable "a+b+c" label for a mix. */
+std::string mixLabel(const WorkloadMix &mix);
+
+} // namespace dbsim
+
+#endif // DBSIM_WORKLOAD_MIXES_HH

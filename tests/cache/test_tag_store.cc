@@ -1,0 +1,240 @@
+/** @file Unit and property tests for the set-associative tag store. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/tag_store.hh"
+#include "common/rng.hh"
+
+namespace dbsim {
+namespace {
+
+CacheGeometry
+smallLru()
+{
+    // 4KB, 4-way, 64B blocks -> 16 sets.
+    return CacheGeometry{4096, 4, ReplPolicy::Lru, 1, 5};
+}
+
+Addr
+addrForSet(std::uint32_t set, std::uint32_t i, std::uint32_t num_sets = 16)
+{
+    return (static_cast<Addr>(i) * num_sets + set) * kBlockBytes;
+}
+
+TEST(TagStore, InsertAndFind)
+{
+    TagStore ts(smallLru());
+    EXPECT_FALSE(ts.contains(0x1000));
+    auto ev = ts.insert(0x1000, 0, false);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(ts.contains(0x1000));
+    EXPECT_TRUE(ts.contains(0x1004));  // same block, sub-block address
+    EXPECT_FALSE(ts.contains(0x1040));
+}
+
+TEST(TagStore, LruEvictsOldest)
+{
+    TagStore ts(smallLru());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ts.insert(addrForSet(3, i), 0, false);
+    }
+    // Touch the oldest so the second-oldest becomes the victim.
+    ts.touch(addrForSet(3, 0), 0);
+    auto ev = ts.insert(addrForSet(3, 4), 0, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.block, addrForSet(3, 1));
+}
+
+TEST(TagStore, EvictionReportsDirty)
+{
+    TagStore ts(smallLru());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ts.insert(addrForSet(1, i), 0, false);
+    }
+    ts.markDirty(addrForSet(1, 0));
+    auto ev = ts.insert(addrForSet(1, 4), 0, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.block, addrForSet(1, 0));
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(TagStore, DirtyBitRoundTrip)
+{
+    TagStore ts(smallLru());
+    ts.insert(0x2000, 0, false);
+    EXPECT_FALSE(ts.isDirty(0x2000));
+    ts.markDirty(0x2000);
+    EXPECT_TRUE(ts.isDirty(0x2000));
+    ts.markClean(0x2000);
+    EXPECT_FALSE(ts.isDirty(0x2000));
+}
+
+TEST(TagStore, InsertWithDirtyFlag)
+{
+    TagStore ts(smallLru());
+    ts.insert(0x3000, 0, true);
+    EXPECT_TRUE(ts.isDirty(0x3000));
+    EXPECT_EQ(ts.countDirty(), 1u);
+}
+
+TEST(TagStore, InvalidateRemoves)
+{
+    TagStore ts(smallLru());
+    ts.insert(0x4000, 0, true);
+    ts.invalidate(0x4000);
+    EXPECT_FALSE(ts.contains(0x4000));
+    EXPECT_EQ(ts.countDirty(), 0u);
+}
+
+TEST(TagStore, LruRankOrdersByRecency)
+{
+    TagStore ts(smallLru());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ts.insert(addrForSet(2, i), 0, false);
+    }
+    EXPECT_EQ(ts.lruRank(addrForSet(2, 0)), 0u);
+    EXPECT_EQ(ts.lruRank(addrForSet(2, 3)), 3u);
+    ts.touch(addrForSet(2, 0), 0);
+    EXPECT_EQ(ts.lruRank(addrForSet(2, 0)), 3u);
+    EXPECT_EQ(ts.lruRank(addrForSet(2, 1)), 0u);
+}
+
+TEST(TagStore, AnyDirtyInLruWays)
+{
+    TagStore ts(smallLru());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ts.insert(addrForSet(5, i), 0, false);
+    }
+    // Dirty the MRU block only: not visible in the 2 LRU ways.
+    ts.markDirty(addrForSet(5, 3));
+    EXPECT_FALSE(ts.anyDirtyInLruWays(5, 2));
+    EXPECT_TRUE(ts.anyDirtyInLruWays(5, 4));
+    ts.markDirty(addrForSet(5, 0));
+    EXPECT_TRUE(ts.anyDirtyInLruWays(5, 2));
+}
+
+TEST(TagStore, StatsCountHitsAndMisses)
+{
+    TagStore ts(smallLru());
+    ts.insert(0x5000, 0, false);
+    ts.touch(0x5000, 0);
+    ts.touch(0x5000, 0);
+    EXPECT_EQ(ts.statHits.value(), 2u);
+    EXPECT_EQ(ts.statMisses.value(), 1u);
+}
+
+/** Property: contents always match a model set under random ops. */
+TEST(TagStore, PropertyMatchesReferenceModel)
+{
+    TagStore ts(smallLru());
+    Rng rng(77);
+    std::set<Addr> model;
+    for (int op = 0; op < 5000; ++op) {
+        Addr a = blockAlign(rng.below(1 << 16));
+        if (ts.contains(a)) {
+            ts.touch(a, 0);
+            ASSERT_TRUE(model.count(a));
+        } else {
+            auto ev = ts.insert(a, 0, rng.chance(0.3));
+            model.insert(a);
+            if (ev.valid) {
+                ASSERT_TRUE(model.count(ev.block));
+                model.erase(ev.block);
+            }
+        }
+        ASSERT_LE(model.size(), 64u);  // capacity bound
+    }
+    for (Addr a : model) {
+        ASSERT_TRUE(ts.contains(a));
+    }
+}
+
+// --- TA-DIP behaviour ---
+
+TEST(TagStoreDip, BimodalLeaderSetsInsertAtLru)
+{
+    CacheGeometry geo{64 * 1024, 4, ReplPolicy::TaDip, 1, 5};
+    TagStore ts(geo);  // 256 sets
+    // Set 1 is thread 0's bimodal leader (slot == 2*0+1).
+    std::uint32_t set = 1;
+    int bimodal_count = 0;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        ts.insert(addrForSet(set, i, ts.numSets()), 0, false);
+        if (ts.lastInsertUsedBimodal()) {
+            ++bimodal_count;
+        }
+    }
+    // BIP inserts at LRU except with probability 1/64.
+    EXPECT_GT(bimodal_count, 150);
+}
+
+TEST(TagStoreDip, PrimaryLeaderSetsNeverBimodal)
+{
+    CacheGeometry geo{64 * 1024, 4, ReplPolicy::TaDip, 1, 5};
+    TagStore ts(geo);
+    std::uint32_t set = 0;  // thread 0's primary (LRU) leader
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        ts.insert(addrForSet(set, i, ts.numSets()), 0, false);
+        EXPECT_FALSE(ts.lastInsertUsedBimodal());
+    }
+}
+
+TEST(TagStoreDip, ThrashingWorkloadFlipsToBip)
+{
+    // A cyclic working set larger than the cache: LRU leader sets miss
+    // every access, pushing PSEL toward BIP in follower sets.
+    CacheGeometry geo{64 * 1024, 4, ReplPolicy::TaDip, 1, 5};
+    TagStore ts(geo);
+    std::uint32_t sets = ts.numSets();
+    for (int round = 0; round < 30; ++round) {
+        for (std::uint32_t i = 0; i < 8; ++i) {  // 8 > 4 ways: thrash
+            Addr a = addrForSet(0, i, sets);     // LRU leader set
+            if (ts.contains(a)) {
+                ts.touch(a, 0);
+            } else {
+                ts.insert(a, 0, false);
+            }
+        }
+    }
+    // Now a follower set should use bimodal insertion most of the time.
+    int bimodal = 0;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        ts.insert(addrForSet(40, i, sets), 0, false);  // follower set
+        if (ts.lastInsertUsedBimodal()) {
+            ++bimodal;
+        }
+    }
+    EXPECT_GT(bimodal, 48);
+}
+
+// --- DRRIP behaviour ---
+
+TEST(TagStoreDrrip, VictimHasMaxRrpv)
+{
+    CacheGeometry geo{4096, 4, ReplPolicy::Drrip, 1, 5};
+    TagStore ts(geo);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ts.insert(addrForSet(7, i), 0, false);
+    }
+    // Promote one block; it must survive the next two insertions.
+    ts.touch(addrForSet(7, 2), 0);
+    ts.insert(addrForSet(7, 4), 0, false);
+    ts.insert(addrForSet(7, 5), 0, false);
+    EXPECT_TRUE(ts.contains(addrForSet(7, 2)));
+}
+
+TEST(TagStoreRandom, EvictsSomethingValid)
+{
+    CacheGeometry geo{4096, 4, ReplPolicy::Random, 1, 5};
+    TagStore ts(geo);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ts.insert(addrForSet(7, i), 0, false);
+    }
+    auto ev = ts.insert(addrForSet(7, 9), 0, false);
+    EXPECT_TRUE(ev.valid);
+}
+
+} // namespace
+} // namespace dbsim

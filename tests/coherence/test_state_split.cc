@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the Section 2.3 coherence-state splitting: MOESI/MESI round
+ * trips through the (pair, dirty) representation, and the directory
+ * whose dirty bits live in a DBI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "coherence/split_directory.hh"
+#include "coherence/state_split.hh"
+#include "common/rng.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(MoesiSplit, RoundTripAllStates)
+{
+    for (MoesiState s : {MoesiState::M, MoesiState::O, MoesiState::E,
+                         MoesiState::S, MoesiState::I}) {
+        EXPECT_EQ(MoesiSplit::decode(MoesiSplit::pairOf(s),
+                                     MoesiSplit::dirtyOf(s)),
+                  s)
+            << toString(s);
+    }
+}
+
+TEST(MoesiSplit, PairsMatchThePaper)
+{
+    // Section 2.3: MOESI splits into (M, E), (O, S) and (I).
+    EXPECT_EQ(MoesiSplit::pairOf(MoesiState::M),
+              MoesiSplit::pairOf(MoesiState::E));
+    EXPECT_EQ(MoesiSplit::pairOf(MoesiState::O),
+              MoesiSplit::pairOf(MoesiState::S));
+    EXPECT_NE(MoesiSplit::pairOf(MoesiState::M),
+              MoesiSplit::pairOf(MoesiState::S));
+    EXPECT_EQ(MoesiSplit::pairOf(MoesiState::I), SplitPair::Invalid);
+}
+
+TEST(MoesiSplit, OnlyMAndOAreDirty)
+{
+    EXPECT_TRUE(MoesiSplit::dirtyOf(MoesiState::M));
+    EXPECT_TRUE(MoesiSplit::dirtyOf(MoesiState::O));
+    EXPECT_FALSE(MoesiSplit::dirtyOf(MoesiState::E));
+    EXPECT_FALSE(MoesiSplit::dirtyOf(MoesiState::S));
+    EXPECT_FALSE(MoesiSplit::dirtyOf(MoesiState::I));
+}
+
+TEST(MoesiSplit, CleanedDemotesWithinPair)
+{
+    EXPECT_EQ(MoesiSplit::cleaned(MoesiState::M), MoesiState::E);
+    EXPECT_EQ(MoesiSplit::cleaned(MoesiState::O), MoesiState::S);
+    EXPECT_EQ(MoesiSplit::cleaned(MoesiState::E), MoesiState::E);
+    EXPECT_EQ(MoesiSplit::cleaned(MoesiState::S), MoesiState::S);
+}
+
+TEST(MesiSplit, RoundTripAllStates)
+{
+    for (MesiState s :
+         {MesiState::M, MesiState::E, MesiState::S, MesiState::I}) {
+        EXPECT_EQ(MesiSplit::decode(MesiSplit::pairOf(s),
+                                    MesiSplit::dirtyOf(s)),
+                  s);
+    }
+    EXPECT_EQ(MesiSplit::cleaned(MesiState::M), MesiState::E);
+}
+
+// ------------------------------------------------------------ directory
+
+struct DirectoryTest : public ::testing::Test
+{
+    DirectoryTest()
+        : dir(DbiConfig{0.25, 16, 4, DbiReplPolicy::Lrw, 4, 7}, 1024,
+              [this](Addr a) { writtenBack.push_back(a); })
+    {
+    }
+
+    SplitMoesiDirectory dir;
+    std::vector<Addr> writtenBack;
+};
+
+TEST_F(DirectoryTest, FetchAndWriteLifecycle)
+{
+    EXPECT_EQ(dir.state(0x100), MoesiState::I);
+    dir.fetchExclusive(0x100);
+    EXPECT_EQ(dir.state(0x100), MoesiState::E);
+    dir.write(0x100);
+    EXPECT_EQ(dir.state(0x100), MoesiState::M);
+}
+
+TEST_F(DirectoryTest, SnoopDemotesMToOwned)
+{
+    dir.fetchExclusive(0x200);
+    dir.write(0x200);
+    dir.snoopShared(0x200);
+    // Dirty + shared = Owned: the dirty bit survived in the DBI.
+    EXPECT_EQ(dir.state(0x200), MoesiState::O);
+    EXPECT_TRUE(writtenBack.empty());  // MOESI: no writeback on snoop
+}
+
+TEST_F(DirectoryTest, SnoopOnCleanExclusiveGivesShared)
+{
+    dir.fetchExclusive(0x300);
+    dir.snoopShared(0x300);
+    EXPECT_EQ(dir.state(0x300), MoesiState::S);
+}
+
+TEST_F(DirectoryTest, InvalidateWritesBackDirtyData)
+{
+    dir.fetchExclusive(0x400);
+    dir.write(0x400);
+    dir.invalidate(0x400);
+    EXPECT_EQ(dir.state(0x400), MoesiState::I);
+    ASSERT_EQ(writtenBack.size(), 1u);
+    EXPECT_EQ(writtenBack[0], 0x400u);
+}
+
+TEST_F(DirectoryTest, InvalidateCleanIsSilent)
+{
+    dir.fetchShared(0x500);
+    dir.invalidate(0x500);
+    EXPECT_TRUE(writtenBack.empty());
+}
+
+TEST_F(DirectoryTest, DbiEvictionDemotesStatesImplicitly)
+{
+    // Dirty more regions than the DBI can track; evicted entries write
+    // their blocks back, and those blocks' states silently demote
+    // M -> E (their records never change — the paper's key point).
+    std::uint64_t regions = dir.dbi().numEntries() + 2;
+    std::uint64_t region_bytes = 16 * kBlockBytes;
+    for (std::uint64_t r = 0; r < regions; ++r) {
+        Addr a = r * region_bytes;
+        dir.fetchExclusive(a);
+        dir.write(a);
+    }
+    EXPECT_FALSE(writtenBack.empty());
+    EXPECT_GT(dir.statDemotions.value(), 0u);
+    for (Addr a : writtenBack) {
+        EXPECT_EQ(dir.state(a), MoesiState::E)
+            << "drained block must demote to the clean twin";
+    }
+}
+
+TEST_F(DirectoryTest, OwnedDemotesToSharedOnDbiEviction)
+{
+    Addr victim = 0x0;
+    dir.fetchExclusive(victim);
+    dir.write(victim);
+    dir.snoopShared(victim);
+    ASSERT_EQ(dir.state(victim), MoesiState::O);
+
+    // Force a DBI eviction of victim's entry.
+    std::uint64_t regions = dir.dbi().numEntries() + 2;
+    for (std::uint64_t r = 1; r < regions; ++r) {
+        Addr a = r * 16 * kBlockBytes;
+        dir.fetchExclusive(a);
+        dir.write(a);
+    }
+    EXPECT_EQ(dir.state(victim), MoesiState::S);
+}
+
+/** Property: the directory's visible state always matches a reference
+ *  MOESI model, with DBI evictions modeled as clean-demotions. */
+TEST_F(DirectoryTest, PropertyMatchesReferenceProtocol)
+{
+    std::unordered_map<Addr, MoesiState> model;
+    std::size_t wb_seen = 0;
+    Rng rng(11);
+    for (int op = 0; op < 4000; ++op) {
+        Addr a = blockAlign(rng.below(1u << 16));
+        MoesiState cur = model.count(a) ? model[a] : MoesiState::I;
+        switch (rng.below(4)) {
+          case 0:
+            if (cur == MoesiState::I) {
+                dir.fetchExclusive(a);
+                model[a] = MoesiState::E;
+            }
+            break;
+          case 1:
+            if (cur != MoesiState::I) {
+                dir.write(a);
+                model[a] = MoesiState::M;
+            }
+            break;
+          case 2:
+            if (cur != MoesiState::I) {
+                dir.snoopShared(a);
+                model[a] = MoesiSplit::dirtyOf(model[a])
+                               ? MoesiState::O
+                               : MoesiState::S;
+            }
+            break;
+          default:
+            dir.invalidate(a);
+            model[a] = MoesiState::I;
+            break;
+        }
+        // Apply DBI-eviction demotions observed via the writeback log.
+        for (; wb_seen < writtenBack.size(); ++wb_seen) {
+            Addr b = writtenBack[wb_seen];
+            if (model.count(b) && model[b] != MoesiState::I) {
+                model[b] = MoesiSplit::cleaned(model[b]);
+            }
+        }
+        MoesiState want =
+            model.count(a) ? model[a] : MoesiState::I;
+        ASSERT_EQ(dir.state(a), want) << "op " << op;
+    }
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,89 @@
+/** @file Unit tests for the DRAM address map and DBI region map. */
+
+#include <gtest/gtest.h>
+
+#include "common/addr_map.hh"
+#include "common/rng.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(DramAddrMap, Geometry)
+{
+    DramAddrMap map(8192, 8);
+    EXPECT_EQ(map.rowBytes(), 8192u);
+    EXPECT_EQ(map.numBanks(), 8u);
+    EXPECT_EQ(map.blocksPerRow(), 128u);
+}
+
+TEST(DramAddrMap, RowInterleavingRotatesBanks)
+{
+    DramAddrMap map(8192, 8);
+    // Consecutive rows land in consecutive banks.
+    for (std::uint64_t row = 0; row < 16; ++row) {
+        Addr a = row * 8192;
+        EXPECT_EQ(map.rowId(a), row);
+        EXPECT_EQ(map.bank(a), row % 8);
+        EXPECT_EQ(map.rowInBank(a), row / 8);
+    }
+}
+
+TEST(DramAddrMap, BlocksWithinRowShareRow)
+{
+    DramAddrMap map(8192, 8);
+    Addr row_base = 42 * 8192;
+    for (std::uint32_t i = 0; i < 128; ++i) {
+        Addr a = row_base + i * 64;
+        EXPECT_EQ(map.rowId(a), 42u);
+        EXPECT_EQ(map.blockInRow(a), i);
+        EXPECT_EQ(map.rowBase(a), row_base);
+        EXPECT_EQ(map.blockInRowAddr(a, i), a);
+    }
+}
+
+TEST(DramAddrMap, RoundTripProperty)
+{
+    DramAddrMap map(8192, 8);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        Addr a = blockAlign(rng.next() & ((Addr{1} << 44) - 1));
+        std::uint32_t idx = map.blockInRow(a);
+        EXPECT_EQ(map.blockInRowAddr(a, idx), a);
+    }
+}
+
+TEST(DbiRegionMap, FullRowGranularity)
+{
+    DbiRegionMap map(128);
+    EXPECT_EQ(map.granularity(), 128u);
+    Addr a = 5 * 8192 + 3 * 64;
+    EXPECT_EQ(map.regionTag(a), 5u);
+    EXPECT_EQ(map.blockIndex(a), 3u);
+    EXPECT_EQ(map.blockAddr(5, 3), a);
+}
+
+TEST(DbiRegionMap, HalfRowGranularitySplitsRows)
+{
+    // granularity 64 = half an 8KB row: two regions per DRAM row.
+    DbiRegionMap map(64);
+    Addr first_half = 10 * 8192;
+    Addr second_half = 10 * 8192 + 64 * 64;
+    EXPECT_NE(map.regionTag(first_half), map.regionTag(second_half));
+    EXPECT_EQ(map.blockIndex(second_half), 0u);
+}
+
+TEST(DbiRegionMap, RoundTripProperty)
+{
+    for (std::uint32_t gran : {16u, 32u, 64u, 128u}) {
+        DbiRegionMap map(gran);
+        Rng rng(gran);
+        for (int i = 0; i < 500; ++i) {
+            Addr a = blockAlign(rng.next() & ((Addr{1} << 40) - 1));
+            EXPECT_EQ(map.blockAddr(map.regionTag(a), map.blockIndex(a)),
+                      a);
+        }
+    }
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,106 @@
+/** @file Unit and property tests for BitVec. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitvec.hh"
+#include "common/rng.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(BitVec, StartsEmpty)
+{
+    BitVec v(64);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.any());
+    EXPECT_EQ(v.count(), 0u);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        EXPECT_FALSE(v.test(i));
+    }
+}
+
+TEST(BitVec, SetTestReset)
+{
+    BitVec v(128);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(127);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(127));
+    EXPECT_EQ(v.count(), 4u);
+    v.reset(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, ClearResetsAll)
+{
+    BitVec v(100);
+    for (std::uint32_t i = 0; i < 100; i += 7) {
+        v.set(i);
+    }
+    v.clear();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ForEachSetVisitsAscending)
+{
+    BitVec v(128);
+    std::set<std::uint32_t> want = {3, 17, 63, 64, 99, 127};
+    for (auto b : want) {
+        v.set(b);
+    }
+    std::vector<std::uint32_t> got;
+    v.forEachSet([&](std::uint32_t b) { got.push_back(b); });
+    EXPECT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    for (auto b : got) {
+        EXPECT_TRUE(want.count(b));
+    }
+}
+
+TEST(BitVec, Equality)
+{
+    BitVec a(32), b(32), c(64);
+    a.set(5);
+    b.set(5);
+    EXPECT_EQ(a, b);
+    b.set(6);
+    EXPECT_FALSE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+/** Property: count() always equals the number of set() minus reset(). */
+TEST(BitVec, PropertyCountMatchesModel)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint32_t width =
+            static_cast<std::uint32_t>(1 + rng.below(128));
+        BitVec v(width);
+        std::set<std::uint32_t> model;
+        for (int op = 0; op < 300; ++op) {
+            std::uint32_t bit =
+                static_cast<std::uint32_t>(rng.below(width));
+            if (rng.chance(0.5)) {
+                v.set(bit);
+                model.insert(bit);
+            } else {
+                v.reset(bit);
+                model.erase(bit);
+            }
+            ASSERT_EQ(v.count(), model.size());
+        }
+        for (std::uint32_t b = 0; b < width; ++b) {
+            ASSERT_EQ(v.test(b), model.count(b) != 0);
+        }
+    }
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,84 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    }
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackCanScheduleMore)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(5, [&] {
+            ++fired;
+            eq.schedule(9, [&] { ++fired; });
+        });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 9u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(15, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextTimeAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextTime(), kCycleMax);
+    eq.schedule(100, [] {});
+    EXPECT_EQ(eq.nextTime(), 100u);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,48 @@
+/** @file Unit tests for the statistics counters. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 10;
+    EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Counter, SnapshotDelta)
+{
+    Counter c;
+    c += 5;
+    c.snapshot();
+    EXPECT_EQ(c.sinceSnapshot(), 0u);
+    c += 3;
+    EXPECT_EQ(c.sinceSnapshot(), 3u);
+    EXPECT_EQ(c.value(), 8u);
+}
+
+TEST(StatSet, CollectsSinceSnapshot)
+{
+    StatSet set("test");
+    Counter a, b;
+    set.add("a", a);
+    set.add("b", b);
+    a += 7;
+    b += 2;
+    set.snapshotAll();
+    a += 4;
+    auto m = set.collect();
+    EXPECT_EQ(m["a"], 4u);
+    EXPECT_EQ(m["b"], 0u);
+    EXPECT_EQ(set.ownerName(), "test");
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,52 @@
+/** @file Unit tests for fundamental types and address helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(Types, BlockAlignStripsOffset)
+{
+    EXPECT_EQ(blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(blockAlign(0x103F), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1040), 0x1040u);
+    EXPECT_EQ(blockAlign(0), 0u);
+}
+
+TEST(Types, BlockNumber)
+{
+    EXPECT_EQ(blockNumber(0), 0u);
+    EXPECT_EQ(blockNumber(63), 0u);
+    EXPECT_EQ(blockNumber(64), 1u);
+    EXPECT_EQ(blockNumber(0x1000), 0x40u);
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(Types, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Types, BlockConstantsConsistent)
+{
+    EXPECT_EQ(std::uint32_t{1} << kBlockShift, kBlockBytes);
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit and property tests for the Dirty-Block Index: the Section 2
+ * semantics (dirty iff valid entry + bit set), eviction behaviour
+ * (Section 2.2.4), sizing (Section 4.1), granularity (4.2), and the
+ * replacement policies (4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hh"
+#include "dbi/dbi.hh"
+
+namespace dbsim {
+namespace {
+
+/** Default test DBI: tracks 1/4 of a 32K-block cache, granularity 64. */
+DbiConfig
+testConfig()
+{
+    DbiConfig cfg;
+    cfg.alpha = 0.25;
+    cfg.granularity = 64;
+    cfg.assoc = 16;
+    cfg.repl = DbiReplPolicy::Lrw;
+    return cfg;
+}
+
+constexpr std::uint64_t kCacheBlocks = 32768;  // 2MB / 64B
+
+/** Address of block `idx` within region `region` (granularity 64). */
+Addr
+blk(std::uint64_t region, std::uint32_t idx)
+{
+    return (region * 64 + idx) * kBlockBytes;
+}
+
+TEST(Dbi, SizingFollowsAlpha)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    // alpha/granularity: 32768/4/64 = 128 entries, 8 sets of 16.
+    EXPECT_EQ(dbi.numEntries(), 128u);
+    EXPECT_EQ(dbi.numSets(), 8u);
+    EXPECT_EQ(dbi.trackableBlocks(), 8192u);
+}
+
+TEST(Dbi, CleanByDefault)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    EXPECT_FALSE(dbi.isDirty(blk(3, 7)));
+    EXPECT_EQ(dbi.countDirtyBlocks(), 0u);
+    EXPECT_EQ(dbi.countValidEntries(), 0u);
+}
+
+TEST(Dbi, SetDirtyMakesExactlyThatBlockDirty)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    auto wbs = dbi.setDirty(blk(5, 12));
+    EXPECT_TRUE(wbs.empty());
+    EXPECT_TRUE(dbi.isDirty(blk(5, 12)));
+    EXPECT_FALSE(dbi.isDirty(blk(5, 11)));
+    EXPECT_FALSE(dbi.isDirty(blk(6, 12)));
+    EXPECT_EQ(dbi.countValidEntries(), 1u);
+}
+
+TEST(Dbi, SubBlockAddressesAlias)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    dbi.setDirty(blk(5, 12) + 17);
+    EXPECT_TRUE(dbi.isDirty(blk(5, 12) + 40));
+}
+
+TEST(Dbi, ClearDirtyAndEntryReclaim)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    dbi.setDirty(blk(9, 1));
+    dbi.setDirty(blk(9, 2));
+    dbi.clearDirty(blk(9, 1));
+    EXPECT_FALSE(dbi.isDirty(blk(9, 1)));
+    EXPECT_TRUE(dbi.isDirty(blk(9, 2)));
+    EXPECT_EQ(dbi.countValidEntries(), 1u);
+    // Clearing the last dirty block invalidates the entry (2.2.3).
+    dbi.clearDirty(blk(9, 2));
+    EXPECT_EQ(dbi.countValidEntries(), 0u);
+}
+
+TEST(Dbi, ClearDirtyOnUntrackedBlockIsNoop)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    dbi.clearDirty(blk(1, 1));
+    EXPECT_EQ(dbi.countValidEntries(), 0u);
+}
+
+TEST(Dbi, DirtyBlocksInRegionListsAll)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    std::set<Addr> want;
+    for (std::uint32_t i : {0u, 7u, 13u, 63u}) {
+        dbi.setDirty(blk(4, i));
+        want.insert(blk(4, i));
+    }
+    auto got = dbi.dirtyBlocksInRegion(blk(4, 30));
+    EXPECT_EQ(std::set<Addr>(got.begin(), got.end()), want);
+    EXPECT_TRUE(dbi.dirtyBlocksInRegion(blk(5, 0)).empty());
+}
+
+TEST(Dbi, EvictionWritesBackWholeEntry)
+{
+    // Fill one DBI set (16 ways) with regions mapping to the same set,
+    // then add a 17th: the LRW victim's blocks must come back.
+    Dbi dbi(testConfig(), kCacheBlocks);
+    std::uint32_t sets = dbi.numSets();
+    for (std::uint32_t w = 0; w < 16; ++w) {
+        std::uint64_t region = static_cast<std::uint64_t>(w) * sets;
+        dbi.setDirty(blk(region, 1));
+        dbi.setDirty(blk(region, 2));
+    }
+    EXPECT_EQ(dbi.countValidEntries(), 16u);
+    auto wbs = dbi.setDirty(blk(16ull * sets, 5));
+    // Victim is region 0 (least recently written): both blocks.
+    std::set<Addr> got(wbs.begin(), wbs.end());
+    EXPECT_EQ(got, (std::set<Addr>{blk(0, 1), blk(0, 2)}));
+    EXPECT_FALSE(dbi.isDirty(blk(0, 1)));
+    EXPECT_TRUE(dbi.isDirty(blk(16ull * sets, 5)));
+    EXPECT_EQ(dbi.statEvictions.value(), 1u);
+    EXPECT_EQ(dbi.statEvictionWbs.value(), 2u);
+}
+
+TEST(Dbi, LrwRefreshOnRewrite)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    std::uint32_t sets = dbi.numSets();
+    for (std::uint32_t w = 0; w < 16; ++w) {
+        dbi.setDirty(blk(static_cast<std::uint64_t>(w) * sets, 0));
+    }
+    // Rewrite region 0: region 1 becomes the LRW victim.
+    dbi.setDirty(blk(0, 3));
+    auto wbs = dbi.setDirty(blk(16ull * sets, 0));
+    ASSERT_EQ(wbs.size(), 1u);
+    EXPECT_EQ(wbs[0], blk(1ull * sets, 0));
+}
+
+TEST(Dbi, MaxDirtyEvictsFullestEntry)
+{
+    DbiConfig cfg = testConfig();
+    cfg.repl = DbiReplPolicy::MaxDirty;
+    Dbi dbi(cfg, kCacheBlocks);
+    std::uint32_t sets = dbi.numSets();
+    for (std::uint32_t w = 0; w < 16; ++w) {
+        std::uint64_t region = static_cast<std::uint64_t>(w) * sets;
+        // Region w gets w+1 dirty blocks.
+        for (std::uint32_t i = 0; i <= w; ++i) {
+            dbi.setDirty(blk(region, i));
+        }
+    }
+    auto wbs = dbi.setDirty(blk(16ull * sets, 0));
+    EXPECT_EQ(wbs.size(), 16u);  // region 15 had 16 dirty blocks
+}
+
+TEST(Dbi, MinDirtyEvictsEmptiestEntry)
+{
+    DbiConfig cfg = testConfig();
+    cfg.repl = DbiReplPolicy::MinDirty;
+    Dbi dbi(cfg, kCacheBlocks);
+    std::uint32_t sets = dbi.numSets();
+    for (std::uint32_t w = 0; w < 16; ++w) {
+        std::uint64_t region = static_cast<std::uint64_t>(w) * sets;
+        for (std::uint32_t i = 0; i <= w; ++i) {
+            dbi.setDirty(blk(region, i));
+        }
+    }
+    auto wbs = dbi.setDirty(blk(16ull * sets, 0));
+    EXPECT_EQ(wbs.size(), 1u);  // region 0 had a single dirty block
+}
+
+TEST(Dbi, GranularitySplitsRows)
+{
+    DbiConfig cfg = testConfig();
+    cfg.granularity = 16;
+    Dbi dbi(cfg, kCacheBlocks);
+    // Blocks 0 and 16 of an aligned 64-block span are now in different
+    // regions.
+    dbi.setDirty(0);
+    EXPECT_EQ(dbi.dirtyBlocksInRegion(16 * kBlockBytes).size(), 0u);
+    EXPECT_EQ(dbi.dirtyBlocksInRegion(0).size(), 1u);
+}
+
+TEST(Dbi, ForEachDirtyBlockVisitsEverything)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    std::set<Addr> want;
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        Addr a = blk(rng.below(8), static_cast<std::uint32_t>(
+                                       rng.below(64)));
+        dbi.setDirty(a);
+        want.insert(a);
+    }
+    std::set<Addr> got;
+    dbi.forEachDirtyBlock([&](Addr a) { got.insert(a); });
+    EXPECT_EQ(got, want);
+}
+
+/**
+ * Property: under random setDirty/clearDirty traffic, the DBI agrees
+ * with a reference model *modulo evictions*: every block the DBI says
+ * is dirty is dirty in the model, and blocks reported by evictions were
+ * dirty in the model. Capacity never exceeds trackableBlocks.
+ */
+TEST(Dbi, PropertyAgreesWithModelModuloEvictions)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    std::map<Addr, bool> model;  // model dirty set (no capacity limit)
+    Rng rng(1234);
+    for (int op = 0; op < 20000; ++op) {
+        Addr a = blk(rng.below(512), static_cast<std::uint32_t>(
+                                         rng.below(64)));
+        if (rng.chance(0.7)) {
+            auto wbs = dbi.setDirty(a);
+            model[a] = true;
+            for (Addr w : wbs) {
+                ASSERT_TRUE(model.count(w) && model[w])
+                    << "eviction wrote back a clean block";
+                model[w] = false;
+            }
+        } else {
+            dbi.clearDirty(a);
+            model[a] = false;
+        }
+        ASSERT_LE(dbi.countDirtyBlocks(), dbi.trackableBlocks());
+    }
+    dbi.forEachDirtyBlock([&](Addr a) {
+        ASSERT_TRUE(model.count(a) && model[a])
+            << "DBI claims a clean block is dirty";
+    });
+}
+
+/** Property: all five replacement policies preserve DBI semantics. */
+TEST(Dbi, PropertyAllPoliciesSoundUnderStress)
+{
+    for (DbiReplPolicy pol :
+         {DbiReplPolicy::Lrw, DbiReplPolicy::LrwBip, DbiReplPolicy::Rrip,
+          DbiReplPolicy::MaxDirty, DbiReplPolicy::MinDirty}) {
+        DbiConfig cfg = testConfig();
+        cfg.repl = pol;
+        Dbi dbi(cfg, kCacheBlocks);
+        std::set<Addr> dirty;
+        Rng rng(static_cast<std::uint64_t>(pol) + 1);
+        for (int op = 0; op < 5000; ++op) {
+            Addr a = blk(rng.below(256), static_cast<std::uint32_t>(
+                                             rng.below(64)));
+            auto wbs = dbi.setDirty(a);
+            dirty.insert(a);
+            for (Addr w : wbs) {
+                ASSERT_TRUE(dirty.count(w));
+                dirty.erase(w);
+            }
+        }
+        // Everything the DBI still tracks must be in the model.
+        dbi.forEachDirtyBlock(
+            [&](Addr a) { ASSERT_TRUE(dirty.count(a)); });
+        // And they must match exactly (no lost dirty blocks).
+        EXPECT_EQ(dbi.countDirtyBlocks(), dirty.size());
+    }
+}
+
+TEST(Dbi, RowHasDirtyQueries)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    DramAddrMap map(8192, 8);
+    // Row 5 spans regions 10 and 11 (granularity 64 = half a row).
+    dbi.setDirty(blk(11, 3));  // second half of row 5
+    EXPECT_TRUE(dbi.rowHasDirty(5 * 8192, map));
+    EXPECT_TRUE(dbi.rowHasDirty(5 * 8192 + 100, map));
+    EXPECT_FALSE(dbi.rowHasDirty(4 * 8192, map));
+    EXPECT_FALSE(dbi.rowHasDirty(6 * 8192, map));
+}
+
+TEST(Dbi, BankHasDirtyQueries)
+{
+    Dbi dbi(testConfig(), kCacheBlocks);
+    DramAddrMap map(8192, 8);
+    // Row 5 -> bank 5 (row-interleaved mapping).
+    dbi.setDirty(5 * 8192);
+    EXPECT_TRUE(dbi.bankHasDirty(5, map));
+    for (std::uint32_t b = 0; b < 8; ++b) {
+        if (b != 5) {
+            EXPECT_FALSE(dbi.bankHasDirty(b, map)) << "bank " << b;
+        }
+    }
+    dbi.clearDirty(5 * 8192);
+    EXPECT_FALSE(dbi.bankHasDirty(5, map));
+}
+
+TEST(Dbi, DegenerateSmallConfigBecomesFullyAssociative)
+{
+    DbiConfig cfg = testConfig();
+    cfg.alpha = 0.01;  // 32768*0.01/64 = 5 entries -> fully assoc
+    Dbi dbi(cfg, kCacheBlocks);
+    EXPECT_GE(dbi.numEntries(), 1u);
+    EXPECT_EQ(dbi.numSets(), 1u);
+}
+
+} // namespace
+} // namespace dbsim

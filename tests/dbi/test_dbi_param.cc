@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parameterized property sweeps over the DBI design space (Section 4):
+ * every combination of size alpha, granularity, and replacement policy
+ * must preserve the DBI semantics under random traffic — no lost dirty
+ * blocks, no spurious dirty blocks, capacity bounds respected, and
+ * evictions only ever returning blocks that were dirty.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "dbi/dbi.hh"
+
+namespace dbsim {
+namespace {
+
+using DbiParam = std::tuple<double, std::uint32_t, DbiReplPolicy>;
+
+class DbiDesignSpace : public ::testing::TestWithParam<DbiParam>
+{
+  protected:
+    static constexpr std::uint64_t kCacheBlocks = 32768;
+
+    DbiConfig
+    config() const
+    {
+        auto [alpha, gran, repl] = GetParam();
+        DbiConfig cfg;
+        cfg.alpha = alpha;
+        cfg.granularity = gran;
+        cfg.assoc = 16;
+        cfg.repl = repl;
+        return cfg;
+    }
+};
+
+TEST_P(DbiDesignSpace, GeometryIsConsistent)
+{
+    Dbi dbi(config(), kCacheBlocks);
+    EXPECT_GE(dbi.numEntries(), 1u);
+    EXPECT_EQ(dbi.trackableBlocks(),
+              dbi.numEntries() * dbi.granularity());
+    EXPECT_LE(dbi.trackableBlocks(),
+              static_cast<std::uint64_t>(config().alpha * kCacheBlocks));
+}
+
+TEST_P(DbiDesignSpace, SemanticsUnderRandomTraffic)
+{
+    Dbi dbi(config(), kCacheBlocks);
+    std::set<Addr> model;
+    Rng rng(std::get<1>(GetParam()) * 131 +
+            static_cast<std::uint64_t>(std::get<2>(GetParam())));
+
+    for (int op = 0; op < 8000; ++op) {
+        Addr a = blockAlign(rng.below(1u << 24));
+        if (rng.chance(0.75)) {
+            auto wbs = dbi.setDirty(a);
+            model.insert(blockAlign(a));
+            for (Addr w : wbs) {
+                ASSERT_TRUE(model.count(w))
+                    << "eviction surfaced a block never dirtied";
+                model.erase(w);
+            }
+        } else {
+            dbi.clearDirty(a);
+            model.erase(blockAlign(a));
+        }
+        ASSERT_LE(dbi.countDirtyBlocks(), dbi.trackableBlocks());
+    }
+
+    // Exact agreement at the end: DBI contents == model.
+    std::set<Addr> dbi_view;
+    dbi.forEachDirtyBlock([&](Addr a) { dbi_view.insert(a); });
+    EXPECT_EQ(dbi_view, model);
+}
+
+TEST_P(DbiDesignSpace, RegionListingMatchesPointQueries)
+{
+    Dbi dbi(config(), kCacheBlocks);
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        dbi.setDirty(blockAlign(rng.below(1u << 20)));
+    }
+    // Every block a region listing reports must answer isDirty == true.
+    for (Addr probe = 0; probe < (1u << 20);
+         probe += dbi.granularity() * kBlockBytes) {
+        for (Addr b : dbi.dirtyBlocksInRegion(probe)) {
+            ASSERT_TRUE(dbi.isDirty(b));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, DbiDesignSpace,
+    ::testing::Combine(
+        ::testing::Values(0.125, 0.25, 0.5),
+        ::testing::Values(16u, 32u, 64u, 128u),
+        ::testing::Values(DbiReplPolicy::Lrw, DbiReplPolicy::LrwBip,
+                          DbiReplPolicy::Rrip, DbiReplPolicy::MaxDirty,
+                          DbiReplPolicy::MinDirty)));
+
+} // namespace
+} // namespace dbsim

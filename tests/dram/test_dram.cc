@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the DDR3 controller: row buffer behaviour, FR-FCFS
+ * scheduling, the drain-when-full write buffer, forwarding, and the
+ * row-locality cost asymmetry that the AWB optimization exploits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "dram/dram_controller.hh"
+
+namespace dbsim {
+namespace {
+
+struct DramTest : public ::testing::Test
+{
+    DramTest() : ctrl(DramConfig{}, eq) {}
+
+    /** Issue a read and run to completion; returns the latency. */
+    Cycle
+    readLatency(Addr a, Cycle when)
+    {
+        Cycle done = 0;
+        ctrl.enqueueRead(a, when, [&](Cycle c) { done = c; });
+        eq.runAll();
+        EXPECT_GT(done, when);
+        return done - when;
+    }
+
+    EventQueue eq;
+    DramController ctrl;
+};
+
+TEST_F(DramTest, RowHitFasterThanRowMiss)
+{
+    const DramAddrMap &map = ctrl.addrMap();
+    Addr row0_b0 = 0;
+    Addr row0_b1 = map.blockInRowAddr(0, 1);
+    // Same bank, different row: rows stride by numBanks in the map.
+    Addr other_row_same_bank = map.rowBytes() * map.numBanks();
+
+    Cycle first = readLatency(row0_b0, 0);       // closed bank
+    Cycle hit = readLatency(row0_b1, 10000);     // open row
+    Cycle conflict = readLatency(other_row_same_bank, 20000);
+    EXPECT_LT(hit, first);
+    EXPECT_LT(first, conflict);
+}
+
+TEST_F(DramTest, RowHitRateTracksLocality)
+{
+    // 16 reads to the same row: 1 activate, 15 hits.
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        ctrl.enqueueRead(i * kBlockBytes, i, [](Cycle) {});
+    }
+    eq.runAll();
+    EXPECT_EQ(ctrl.statReads.value(), 16u);
+    EXPECT_EQ(ctrl.statReadRowHits.value(), 15u);
+    EXPECT_NEAR(ctrl.readRowHitRate(), 15.0 / 16.0, 1e-9);
+}
+
+TEST_F(DramTest, FrFcfsPrefersRowHits)
+{
+    const DramAddrMap &map = ctrl.addrMap();
+    // Open row 0 in bank 0.
+    readLatency(0, 0);
+    Cycle t = eq.now();
+    std::vector<int> order;
+    // Queue a conflict (same bank, other row) then a hit to row 0: the
+    // hit should be serviced first despite arriving later.
+    ctrl.enqueueRead(map.rowBytes() * map.numBanks(), t + 1,
+                     [&](Cycle) { order.push_back(1); });
+    ctrl.enqueueRead(kBlockBytes, t + 1,
+                     [&](Cycle) { order.push_back(2); });
+    eq.runAll();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);
+}
+
+TEST_F(DramTest, WritesWaitForDrain)
+{
+    ctrl.enqueueWrite(0, 0);
+    eq.runAll();
+    // writeWhenIdle is off by default: the write sits in the buffer.
+    EXPECT_EQ(ctrl.statWrites.value(), 0u);
+    EXPECT_EQ(ctrl.pendingWrites(), 1u);
+}
+
+TEST_F(DramTest, DrainTriggersWhenFull)
+{
+    std::uint32_t cap = ctrl.config().writeBufEntries;
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        ctrl.enqueueWrite(i * kBlockBytes * 131, i);  // scattered rows
+    }
+    eq.runAll();
+    EXPECT_EQ(ctrl.statDrains.value(), 1u);
+    EXPECT_EQ(ctrl.statWrites.value(), cap);
+    EXPECT_EQ(ctrl.pendingWrites(), 0u);
+}
+
+TEST_F(DramTest, RowClusteredDrainFasterThanScattered)
+{
+    // The heart of AWB: a buffer of same-row writes drains much faster
+    // than a buffer of row-scattered writes.
+    DramConfig cfg;
+    EventQueue eq1, eq2;
+    DramController clustered(cfg, eq1), scattered(cfg, eq2);
+
+    const DramAddrMap &map = clustered.addrMap();
+    for (std::uint32_t i = 0; i < cfg.writeBufEntries; ++i) {
+        clustered.enqueueWrite(map.blockInRowAddr(0, i), 0);
+        scattered.enqueueWrite(
+            static_cast<Addr>(i) * map.rowBytes() * map.numBanks() * 3,
+            0);
+    }
+    eq1.runAll();
+    eq2.runAll();
+    EXPECT_GE(clustered.writeRowHitRate(), 0.9);
+    EXPECT_LE(scattered.writeRowHitRate(), 0.1);
+    EXPECT_LT(eq1.now() * 2, eq2.now())
+        << "clustered drain should be at least 2x faster";
+}
+
+TEST_F(DramTest, ReadsBlockedDuringDrain)
+{
+    std::uint32_t cap = ctrl.config().writeBufEntries;
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        ctrl.enqueueWrite(i * kBlockBytes * 257, 0);
+    }
+    Cycle read_done = 0;
+    ctrl.enqueueRead(0x777000, 1, [&](Cycle c) { read_done = c; });
+    eq.runAll();
+    // The read completes only after the drain finishes.
+    EventQueue eq_alone;
+    DramController ctrl_alone(DramConfig{}, eq_alone);
+    Cycle alone_done = 0;
+    ctrl_alone.enqueueRead(0x777000, 1,
+                           [&](Cycle c) { alone_done = c; });
+    eq_alone.runAll();
+    EXPECT_GT(read_done, alone_done * 4);
+}
+
+TEST_F(DramTest, ReadForwardedFromWriteBuffer)
+{
+    ctrl.enqueueWrite(0x4000, 0);
+    Cycle done = 0;
+    ctrl.enqueueRead(0x4000, 5, [&](Cycle c) { done = c; });
+    eq.runAll();
+    EXPECT_EQ(ctrl.statForwards.value(), 1u);
+    EXPECT_EQ(done, 5 + ctrl.config().ioLatency);
+}
+
+TEST_F(DramTest, DuplicateWritesCoalesce)
+{
+    ctrl.enqueueWrite(0x8000, 0);
+    ctrl.enqueueWrite(0x8000, 1);
+    ctrl.enqueueWrite(0x8040, 2);
+    EXPECT_EQ(ctrl.pendingWrites(), 2u);
+    EXPECT_EQ(ctrl.statCoalesced.value(), 1u);
+}
+
+TEST_F(DramTest, BankParallelismOverlapsActivates)
+{
+    // N reads to N different banks should finish far sooner than N
+    // serialized row activations.
+    DramConfig cfg;
+    const DramAddrMap map(cfg.rowBytes, cfg.numBanks);
+    std::vector<Cycle> dones;
+    for (std::uint32_t b = 0; b < cfg.numBanks; ++b) {
+        ctrl.enqueueRead(static_cast<Addr>(b) * map.rowBytes(), 0,
+                         [&](Cycle c) { dones.push_back(c); });
+    }
+    eq.runAll();
+    ASSERT_EQ(dones.size(), cfg.numBanks);
+    Cycle serial_estimate = cfg.numBanks *
+                            (cfg.tRcd + cfg.tCas + cfg.tBurst) *
+                            cfg.tCkCpu;
+    EXPECT_LT(dones.back(), serial_estimate);
+}
+
+TEST_F(DramTest, EnergyGrowsWithActivity)
+{
+    auto before = ctrl.energySince(eq.now());
+    readLatency(0, 0);
+    readLatency(1 << 20, 10000);
+    auto after = ctrl.energySince(eq.now());
+    EXPECT_GT(after.activatePj, before.activatePj);
+    EXPECT_GT(after.readPj, before.readPj);
+    EXPECT_GT(after.totalPj(), 0.0);
+}
+
+TEST_F(DramTest, StatsSnapshotResetsRates)
+{
+    readLatency(0, 0);
+    StatSet set("dram");
+    ctrl.registerStats(set);
+    set.snapshotAll();
+    EXPECT_EQ(ctrl.statReads.sinceSnapshot(), 0u);
+    readLatency(kBlockBytes, eq.now() + 1);
+    EXPECT_EQ(ctrl.statReads.sinceSnapshot(), 1u);
+    EXPECT_NEAR(ctrl.readRowHitRate(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parameterized DRAM-controller properties across geometry and timing
+ * configurations: completion monotonicity/ordering guarantees, row-hit
+ * accounting, and conservation of requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "dram/dram_controller.hh"
+
+namespace dbsim {
+namespace {
+
+/** (numBanks, rowBytes, writeBufEntries) */
+using DramParam = std::tuple<std::uint32_t, std::uint64_t, std::uint32_t>;
+
+class DramGeometry : public ::testing::TestWithParam<DramParam>
+{
+  protected:
+    DramConfig
+    config() const
+    {
+        auto [banks, row_bytes, wbuf] = GetParam();
+        DramConfig cfg;
+        cfg.numBanks = banks;
+        cfg.rowBytes = row_bytes;
+        cfg.writeBufEntries = wbuf;
+        return cfg;
+    }
+};
+
+TEST_P(DramGeometry, AllReadsCompleteAfterArrival)
+{
+    EventQueue eq;
+    DramController ctrl(config(), eq);
+    Rng rng(std::get<0>(GetParam()));
+    std::vector<std::pair<Cycle, Cycle>> arrive_done;
+
+    for (int i = 0; i < 500; ++i) {
+        Cycle when = eq.now() + rng.below(50);
+        Addr a = blockAlign(rng.below(1u << 28));
+        ctrl.enqueueRead(a, when, [&, when](Cycle done) {
+            arrive_done.emplace_back(when, done);
+        });
+        if (i % 32 == 0) {
+            eq.runAll();
+        }
+    }
+    eq.runAll();
+    ASSERT_EQ(arrive_done.size(), 500u);
+    for (auto [arrive, done] : arrive_done) {
+        EXPECT_GT(done, arrive);
+    }
+}
+
+TEST_P(DramGeometry, RowHitAccountingNeverExceedsRequests)
+{
+    EventQueue eq;
+    DramController ctrl(config(), eq);
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = blockAlign(rng.below(1u << 26));
+        if (rng.chance(0.4)) {
+            ctrl.enqueueWrite(a, eq.now());
+        } else {
+            ctrl.enqueueRead(a, eq.now(), [](Cycle) {});
+        }
+        if (i % 64 == 0) {
+            eq.runAll();
+        }
+    }
+    eq.runAll();
+    EXPECT_LE(ctrl.statReadRowHits.value(), ctrl.statReads.value());
+    EXPECT_LE(ctrl.statWriteRowHits.value(), ctrl.statWrites.value());
+    EXPECT_GE(ctrl.readRowHitRate(), 0.0);
+    EXPECT_LE(ctrl.readRowHitRate(), 1.0);
+}
+
+TEST_P(DramGeometry, WritesConserved)
+{
+    EventQueue eq;
+    DramController ctrl(config(), eq);
+    Rng rng(5);
+    std::uint64_t unique_writes = 0;
+    std::set<Addr> seen;
+    for (int i = 0; i < 1000; ++i) {
+        Addr a = blockAlign(rng.below(1u << 22));
+        ctrl.enqueueWrite(a, eq.now());
+        if (i % 64 == 0) {
+            eq.runAll();
+            seen.clear();  // serviced; coalescing window resets
+        }
+        (void)unique_writes;
+    }
+    eq.runAll();
+    EXPECT_EQ(ctrl.statWrites.value() + ctrl.pendingWrites() +
+                  ctrl.statCoalesced.value(),
+              1000u);
+}
+
+TEST_P(DramGeometry, SequentialRowReadsAreMostlyHits)
+{
+    EventQueue eq;
+    DramController ctrl(config(), eq);
+    std::uint64_t blocks = config().rowBytes / kBlockBytes;
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+        ctrl.enqueueRead(i * kBlockBytes, eq.now(), [](Cycle) {});
+        eq.runAll();
+    }
+    EXPECT_EQ(ctrl.statReads.value(), blocks);
+    EXPECT_EQ(ctrl.statReadRowHits.value(), blocks - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DramGeometry,
+    ::testing::Combine(::testing::Values(4u, 8u, 16u),
+                       ::testing::Values(4096ull, 8192ull, 16384ull),
+                       ::testing::Values(16u, 64u)));
+
+} // namespace
+} // namespace dbsim

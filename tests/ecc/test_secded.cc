@@ -1,0 +1,90 @@
+/** @file Unit and property tests for the SECDED(72,64) codec. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/hetero_ecc.hh"
+#include "ecc/secded.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(Secded, CleanWordDecodesClean)
+{
+    for (std::uint64_t data : {0ull, ~0ull, 0xdeadbeefcafebabeull,
+                               0x0123456789abcdefull}) {
+        SecdedWord w = Secded::encode(data);
+        EXPECT_EQ(Secded::decode(w), EccStatus::Clean);
+        EXPECT_EQ(w.data, data);
+    }
+}
+
+/** Property: every single-bit error (all 72 positions) is corrected. */
+TEST(Secded, PropertyCorrectsAllSingleBitErrors)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::uint64_t data = rng.next();
+        for (std::uint32_t pos = 0; pos < 72; ++pos) {
+            SecdedWord w = Secded::encode(data);
+            Secded::injectError(w, pos);
+            EXPECT_EQ(Secded::decode(w), EccStatus::Corrected)
+                << "data " << data << " pos " << pos;
+            EXPECT_EQ(w.data, data) << "pos " << pos;
+        }
+    }
+}
+
+/** Property: every double-bit error is detected as uncorrectable. */
+TEST(Secded, PropertyDetectsDoubleBitErrors)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::uint64_t data = rng.next();
+        for (std::uint32_t a = 0; a < 72; a += 5) {
+            for (std::uint32_t b = a + 1; b < 72; b += 7) {
+                SecdedWord w = Secded::encode(data);
+                Secded::injectError(w, a);
+                Secded::injectError(w, b);
+                EXPECT_EQ(Secded::decode(w), EccStatus::Uncorrectable)
+                    << "bits " << a << "," << b;
+            }
+        }
+    }
+}
+
+TEST(Secded, DoubleInjectSamePositionCancels)
+{
+    SecdedWord w = Secded::encode(0x1234);
+    Secded::injectError(w, 17);
+    Secded::injectError(w, 17);
+    EXPECT_EQ(Secded::decode(w), EccStatus::Clean);
+}
+
+TEST(ParityEdc, DetectsSingleBitFlips)
+{
+    BlockData block{};
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        block[i] = 0x1111111111111111ull * (i + 1);
+    }
+    std::uint8_t parity = ParityEdc::encode(block);
+    EXPECT_TRUE(ParityEdc::check(block, parity));
+    for (std::uint32_t w = 0; w < 8; ++w) {
+        BlockData copy = block;
+        copy[w] ^= 1ull << (7 * w);
+        EXPECT_FALSE(ParityEdc::check(copy, parity)) << "word " << w;
+    }
+}
+
+TEST(ParityEdc, MissesDoubleFlipInSameWord)
+{
+    // Known limitation of parity: even error counts pass. This is why
+    // dirty blocks need full SECDED.
+    BlockData block{};
+    std::uint8_t parity = ParityEdc::encode(block);
+    block[3] ^= 0b11;
+    EXPECT_TRUE(ParityEdc::check(block, parity));
+}
+
+} // namespace
+} // namespace dbsim

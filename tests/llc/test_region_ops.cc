@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the Section 7 region operations: flushRegion (cache
+ * flushing for power-down / persistence) and queryRegionDirty (bulk DMA
+ * coherence), across the conventional and DBI organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.hh"
+#include "dram/dram_controller.hh"
+#include "llc/llc_variants.hh"
+
+namespace dbsim {
+namespace {
+
+LlcConfig
+smallLlc()
+{
+    LlcConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.assoc = 4;
+    cfg.repl = ReplPolicy::Lru;
+    cfg.tagLatency = 10;
+    cfg.dataLatency = 24;
+    cfg.numCores = 1;
+    return cfg;
+}
+
+DbiConfig
+smallDbi()
+{
+    DbiConfig cfg;
+    cfg.alpha = 0.25;
+    cfg.granularity = 16;
+    cfg.assoc = 4;
+    return cfg;
+}
+
+struct RegionOpsTest : public ::testing::Test
+{
+    RegionOpsTest() : dram(DramConfig{}, eq) {}
+
+    EventQueue eq;
+    DramController dram;
+};
+
+TEST_F(RegionOpsTest, BaselineFlushSweepsEveryBlock)
+{
+    BaselineLlc llc(smallLlc(), dram, eq);
+    llc.writeback(0x0, 0, 0);
+    llc.writeback(0x40, 0, 1);
+    eq.runAll();
+    auto res = llc.flushRegion(0, 64 * kBlockBytes, eq.now());
+    EXPECT_EQ(res.lookups, 64u);  // brute force: one per block
+    EXPECT_EQ(res.writebacks, 2u);
+    EXPECT_TRUE(res.anyDirty);
+    EXPECT_EQ(llc.tags().countDirty(), 0u);
+    // Blocks remain resident, just clean.
+    EXPECT_TRUE(llc.tags().contains(0x0));
+}
+
+TEST_F(RegionOpsTest, DbiFlushTouchesOnlyDirtyBlocks)
+{
+    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    llc.writeback(0x0, 0, 0);
+    llc.writeback(0x40, 0, 1);
+    eq.runAll();
+    auto res = llc.flushRegion(0, 64 * kBlockBytes, eq.now());
+    // 4 regions of 16 blocks (one DBI access each) + 2 dirty lookups.
+    EXPECT_EQ(res.lookups, 4u + 2u);
+    EXPECT_EQ(res.writebacks, 2u);
+    EXPECT_EQ(llc.dbi().countDirtyBlocks(), 0u);
+    EXPECT_TRUE(llc.tags().contains(0x0));
+    llc.checkInvariants();
+}
+
+TEST_F(RegionOpsTest, FlushIsIdempotent)
+{
+    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    llc.writeback(0x0, 0, 0);
+    eq.runAll();
+    auto first = llc.flushRegion(0, 16 * kBlockBytes, eq.now());
+    auto second = llc.flushRegion(0, 16 * kBlockBytes, eq.now());
+    EXPECT_EQ(first.writebacks, 1u);
+    EXPECT_EQ(second.writebacks, 0u);
+    EXPECT_FALSE(second.anyDirty);
+}
+
+TEST_F(RegionOpsTest, FlushRespectsRangeBounds)
+{
+    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    llc.writeback(0x0, 0, 0);                 // inside the range
+    llc.writeback(32 * kBlockBytes, 0, 1);    // outside
+    eq.runAll();
+    auto res = llc.flushRegion(0, 16 * kBlockBytes, eq.now());
+    EXPECT_EQ(res.writebacks, 1u);
+    EXPECT_TRUE(llc.dbi().isDirty(32 * kBlockBytes));
+    llc.checkInvariants();
+}
+
+TEST_F(RegionOpsTest, DmaQueryDoesNotModifyState)
+{
+    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    llc.writeback(0x80, 0, 0);
+    eq.runAll();
+    auto res = llc.queryRegionDirty(0, 16 * kBlockBytes);
+    EXPECT_TRUE(res.anyDirty);
+    EXPECT_EQ(res.lookups, 1u);  // one DBI access for the region
+    EXPECT_TRUE(llc.dbi().isDirty(0x80));
+
+    auto clean = llc.queryRegionDirty(16 * kBlockBytes,
+                                      16 * kBlockBytes);
+    EXPECT_FALSE(clean.anyDirty);
+}
+
+TEST_F(RegionOpsTest, BaselineDmaQueryCostsOnePerBlock)
+{
+    BaselineLlc llc(smallLlc(), dram, eq);
+    llc.writeback(0x80, 0, 0);
+    eq.runAll();
+    auto res = llc.queryRegionDirty(0, 16 * kBlockBytes);
+    EXPECT_TRUE(res.anyDirty);
+    EXPECT_EQ(res.lookups, 16u);
+}
+
+TEST_F(RegionOpsTest, SkipCacheFlushFindsNothing)
+{
+    auto pred = std::make_shared<NeverMissPredictor>();
+    SkipLlc llc(smallLlc(), dram, eq, pred);
+    llc.writeback(0x0, 0, 0);  // write-through: nothing stays dirty
+    eq.runAll();
+    auto res = llc.flushRegion(0, 64 * kBlockBytes, eq.now());
+    EXPECT_EQ(res.writebacks, 0u);
+    EXPECT_FALSE(res.anyDirty);
+}
+
+TEST_F(RegionOpsTest, FlushedBlocksReachDram)
+{
+    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    for (Addr a = 0; a < 8 * kBlockBytes; a += kBlockBytes) {
+        llc.writeback(a, 0, a);
+    }
+    eq.runAll();
+    std::uint64_t before = dram.statWrites.value() + dram.pendingWrites();
+    llc.flushRegion(0, 8 * kBlockBytes, eq.now());
+    eq.runAll();
+    std::uint64_t after = dram.statWrites.value() + dram.pendingWrites();
+    EXPECT_EQ(after - before, 8u);
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,60 @@
+/** @file Tests for the CACTI-lite analytical SRAM model. */
+
+#include <gtest/gtest.h>
+
+#include "model/cacti_lite.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(CactiLite, MonotonicInBits)
+{
+    CactiLite model;
+    ArrayEstimate prev = model.estimate(1 << 10);
+    for (std::uint64_t bits = 1 << 12; bits <= (1ull << 27); bits <<= 2) {
+        ArrayEstimate cur = model.estimate(bits);
+        EXPECT_GT(cur.areaMm2, prev.areaMm2);
+        EXPECT_GE(cur.latencyCycles, prev.latencyCycles);
+        EXPECT_GT(cur.readEnergyPj, prev.readEnergyPj);
+        EXPECT_GT(cur.leakageMw, prev.leakageMw);
+        prev = cur;
+    }
+}
+
+TEST(CactiLite, LatencyFloor)
+{
+    CactiLite model;
+    EXPECT_GE(model.estimate(64).latencyCycles, 2.0);
+}
+
+TEST(CactiLite, LlcTagLatenciesRoughlyTable1)
+{
+    // A 2MB LLC tag store is ~0.9Mbit and should read in ~10 cycles; a
+    // 16MB one (~7.2Mbit) in ~14 (Table 1). DBI (~100Kbit) ~4.
+    CactiLite model;
+    double lat_2mb = model.estimate(900ull << 10).latencyCycles;
+    double lat_16mb = model.estimate(7200ull << 10).latencyCycles;
+    double lat_dbi = model.estimate(100ull << 10).latencyCycles;
+    EXPECT_NEAR(lat_2mb, 10.0, 2.0);
+    EXPECT_NEAR(lat_16mb, 14.0, 2.0);
+    EXPECT_LT(lat_dbi, lat_2mb - 3.0);
+}
+
+TEST(CactiLite, WriteCostsMoreThanRead)
+{
+    CactiLite model;
+    ArrayEstimate e = model.estimate(1 << 20);
+    EXPECT_GT(e.writeEnergyPj, e.readEnergyPj);
+}
+
+TEST(CactiLite, SmallDbiIsSmallFractionOfCache)
+{
+    // Section 6.3: DBI adds marginal static power to a 16MB cache.
+    CactiLite model;
+    double cache_leak = model.estimate(16ull << 23).leakageMw;  // data
+    double dbi_leak = model.estimate(100ull << 10).leakageMw;
+    EXPECT_LT(dbi_leak / cache_leak, 0.02);
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the storage model — including the headline Table 4 numbers:
+ * tag-store bit reduction of 44%/26% and total cache reduction of 7%/4%
+ * for alpha = 1/4 and 1/2 with ECC, and 2%/1% / ~0.1% without.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/storage_model.hh"
+
+namespace dbsim {
+namespace {
+
+StorageParams
+table4Params(double alpha, bool ecc)
+{
+    StorageParams p;
+    p.cacheBytes = 16ull << 20;
+    p.assoc = 32;
+    p.physAddrBits = 40;
+    p.alpha = alpha;
+    p.granularity = 64;
+    p.dbiAssoc = 16;
+    p.withEcc = ecc;
+    return p;
+}
+
+TEST(StorageModel, Table4WithEccAlphaQuarter)
+{
+    StorageModel m(table4Params(0.25, true));
+    EXPECT_NEAR(m.tagStoreReduction(), 0.44, 0.02);
+    EXPECT_NEAR(m.cacheReduction(), 0.07, 0.01);
+}
+
+TEST(StorageModel, Table4WithEccAlphaHalf)
+{
+    StorageModel m(table4Params(0.5, true));
+    EXPECT_NEAR(m.tagStoreReduction(), 0.26, 0.02);
+    EXPECT_NEAR(m.cacheReduction(), 0.04, 0.01);
+}
+
+TEST(StorageModel, Table4WithoutEccAlphaQuarter)
+{
+    StorageModel m(table4Params(0.25, false));
+    EXPECT_NEAR(m.tagStoreReduction(), 0.02, 0.01);
+    EXPECT_NEAR(m.cacheReduction(), 0.001, 0.002);
+}
+
+TEST(StorageModel, Table4WithoutEccAlphaHalf)
+{
+    StorageModel m(table4Params(0.5, false));
+    EXPECT_NEAR(m.tagStoreReduction(), 0.01, 0.008);
+    EXPECT_NEAR(m.cacheReduction(), 0.0, 0.002);
+}
+
+TEST(StorageModel, GeometryDerivation)
+{
+    StorageModel m(table4Params(0.25, true));
+    EXPECT_EQ(m.numBlocks(), (16ull << 20) / 64);
+    // alpha/4 of 256K blocks, 64 blocks per entry -> 1024 entries.
+    EXPECT_EQ(m.numDbiEntries(), 1024u);
+}
+
+TEST(StorageModel, BaselineEntryLayout)
+{
+    // 16MB, 32-way, 40-bit: 8192 sets -> 13 set bits, 6 offset ->
+    // tag 21 + valid 1 + dirty 1 + repl 5 = 28 (+64 ECC).
+    StorageModel with(table4Params(0.25, true));
+    EXPECT_EQ(with.baselineTagEntryBits(), 28u + 64u);
+    StorageModel without(table4Params(0.25, false));
+    EXPECT_EQ(without.baselineTagEntryBits(), 28u);
+}
+
+TEST(StorageModel, DbiEntryLayout)
+{
+    // 1024 entries / 16-way = 64 sets -> 6 set bits; region 4KB -> 12
+    // offset bits; row tag = 40-12-6 = 22; +valid +64 vector +4 repl.
+    StorageModel m(table4Params(0.25, false));
+    EXPECT_EQ(m.dbiEntryBits(), 1u + 22u + 64u + 4u);
+}
+
+TEST(StorageModel, DbiAlwaysSmallerMetadataWithEcc)
+{
+    // Property: across sizes and alphas, the DBI organization never
+    // costs more metadata bits than the baseline when ECC is modeled.
+    for (std::uint64_t mb : {2, 4, 8, 16, 32}) {
+        for (double alpha : {0.125, 0.25, 0.5}) {
+            StorageParams p = table4Params(alpha, true);
+            p.cacheBytes = mb << 20;
+            StorageModel m(p);
+            EXPECT_GT(m.tagStoreReduction(), 0.0)
+                << mb << "MB alpha " << alpha;
+        }
+    }
+}
+
+TEST(StorageModel, DataStoreUnchanged)
+{
+    StorageModel m(table4Params(0.25, true));
+    EXPECT_EQ(m.baseline().dataStoreBits, m.withDbi().dataStoreBits);
+}
+
+} // namespace
+} // namespace dbsim

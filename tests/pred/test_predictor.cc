@@ -1,0 +1,103 @@
+/** @file Tests for the Skip Cache epoch miss predictor (Section 3.2). */
+
+#include <gtest/gtest.h>
+
+#include "pred/miss_predictor.hh"
+
+namespace dbsim {
+namespace {
+
+SkipPredictorConfig
+testConfig()
+{
+    SkipPredictorConfig cfg;
+    cfg.missThreshold = 0.95;
+    cfg.epochCycles = 1000;
+    cfg.sampleInterval = 64;
+    cfg.numThreads = 2;
+    return cfg;
+}
+
+TEST(SkipPredictor, NoBypassWithoutEvidence)
+{
+    SkipPredictor pred(testConfig());
+    EXPECT_FALSE(pred.predictMiss(5, 0, 10));
+}
+
+TEST(SkipPredictor, SampledSetsNeverBypass)
+{
+    SkipPredictor pred(testConfig());
+    // Saturate thread 0 with misses in a sampled set, cross an epoch.
+    for (int i = 0; i < 100; ++i) {
+        pred.recordOutcome(0, 0, /*hit=*/false, 10);
+    }
+    EXPECT_FALSE(pred.predictMiss(0, 0, 2000));   // sampled set
+    EXPECT_TRUE(pred.predictMiss(5, 0, 2000));    // ordinary set
+    EXPECT_EQ(pred.statPredictedMiss.value(), 1u);
+}
+
+TEST(SkipPredictor, HighMissRateEnablesBypassNextEpoch)
+{
+    SkipPredictor pred(testConfig());
+    for (int i = 0; i < 50; ++i) {
+        pred.recordOutcome(64, 0, false, 100);
+    }
+    // Still in epoch 0: no bypass yet.
+    EXPECT_FALSE(pred.predictMiss(3, 0, 900));
+    // Epoch 1: bypass active for thread 0 only.
+    EXPECT_TRUE(pred.predictMiss(3, 0, 1100));
+    EXPECT_TRUE(pred.bypassing(0));
+    EXPECT_FALSE(pred.predictMiss(3, 1, 1100));
+    EXPECT_FALSE(pred.bypassing(1));
+}
+
+TEST(SkipPredictor, MissRateBelowThresholdNoBypass)
+{
+    SkipPredictor pred(testConfig());
+    // 50% miss rate < 0.95 threshold.
+    for (int i = 0; i < 40; ++i) {
+        pred.recordOutcome(128, 0, i % 2 == 0, 100);
+    }
+    EXPECT_FALSE(pred.predictMiss(3, 0, 1100));
+}
+
+TEST(SkipPredictor, BypassTurnsOffWhenHitsReturn)
+{
+    SkipPredictor pred(testConfig());
+    for (int i = 0; i < 50; ++i) {
+        pred.recordOutcome(0, 0, false, 100);
+    }
+    ASSERT_TRUE(pred.predictMiss(3, 0, 1100));
+    // In epoch 1 the sampled sets now hit.
+    for (int i = 0; i < 50; ++i) {
+        pred.recordOutcome(0, 0, true, 1200);
+    }
+    EXPECT_FALSE(pred.predictMiss(3, 0, 2100));
+}
+
+TEST(SkipPredictor, TooFewSamplesMeansNoBypass)
+{
+    SkipPredictor pred(testConfig());
+    for (int i = 0; i < 5; ++i) {  // below the 16-access floor
+        pred.recordOutcome(0, 0, false, 100);
+    }
+    EXPECT_FALSE(pred.predictMiss(3, 0, 1100));
+}
+
+TEST(SkipPredictor, EpochCounterAdvances)
+{
+    SkipPredictor pred(testConfig());
+    pred.predictMiss(0, 0, 100);
+    pred.predictMiss(0, 0, 5500);
+    EXPECT_GE(pred.statEpochs.value(), 1u);
+}
+
+TEST(NeverMissPredictor, NeverPredictsMiss)
+{
+    NeverMissPredictor pred;
+    EXPECT_FALSE(pred.predictMiss(0, 0, 0));
+    EXPECT_FALSE(pred.isSampledSet(0));
+}
+
+} // namespace
+} // namespace dbsim

@@ -1,0 +1,113 @@
+/** @file Tests for file-backed traces (format, looping, round trip). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/file_trace.hh"
+
+namespace dbsim {
+namespace {
+
+class FileTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "dbsim_trace_test.txt";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(FileTraceTest, ParsesBasicFormat)
+{
+    std::ofstream(path) << "# comment\n"
+                           "3 R 1000\n"
+                           "0 W 1040  # trailing comment\n"
+                           "\n"
+                           "7 D 2000\n";
+    FileTrace trace(path);
+    EXPECT_EQ(trace.size(), 3u);
+
+    TraceOp a = trace.next();
+    EXPECT_EQ(a.gap, 3u);
+    EXPECT_FALSE(a.isWrite);
+    EXPECT_FALSE(a.dependent);
+    EXPECT_EQ(a.addr, 0x1000u);
+
+    TraceOp b = trace.next();
+    EXPECT_TRUE(b.isWrite);
+    EXPECT_EQ(b.addr, 0x1040u);
+
+    TraceOp c = trace.next();
+    EXPECT_TRUE(c.dependent);
+    EXPECT_FALSE(c.isWrite);
+    EXPECT_EQ(c.addr, 0x2000u);
+}
+
+TEST_F(FileTraceTest, LoopsAtEnd)
+{
+    std::ofstream(path) << "1 R 100\n2 W 200\n";
+    FileTrace trace(path);
+    trace.next();
+    trace.next();
+    TraceOp again = trace.next();  // wrapped
+    EXPECT_EQ(again.addr, 0x100u);
+}
+
+TEST_F(FileTraceTest, WriteReadRoundTrip)
+{
+    std::vector<TraceOp> records = {
+        {5, false, false, 0xdeadbea0},
+        {0, true, false, 0x40},
+        {9, false, true, 0xabc00},
+    };
+    FileTrace::write(path, records);
+    FileTrace trace(path);
+    ASSERT_EQ(trace.size(), records.size());
+    for (const auto &want : records) {
+        TraceOp got = trace.next();
+        EXPECT_EQ(got.gap, want.gap);
+        EXPECT_EQ(got.isWrite, want.isWrite);
+        EXPECT_EQ(got.dependent, want.dependent);
+        EXPECT_EQ(got.addr, want.addr);
+    }
+}
+
+TEST_F(FileTraceTest, ProgrammaticConstruction)
+{
+    FileTrace trace(std::vector<TraceOp>{{1, false, false, 0x40}});
+    EXPECT_EQ(trace.next().addr, 0x40u);
+    EXPECT_EQ(trace.next().addr, 0x40u);
+}
+
+TEST_F(FileTraceTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(FileTrace("/nonexistent/trace.txt"), "cannot open");
+}
+
+TEST_F(FileTraceTest, BadKindIsFatal)
+{
+    std::ofstream(path) << "1 Q 100\n";
+    EXPECT_DEATH(FileTrace trace(path), "bad access kind");
+}
+
+TEST_F(FileTraceTest, BadAddressIsFatal)
+{
+    std::ofstream(path) << "1 R zz\n";
+    EXPECT_DEATH(FileTrace trace(path), "bad address");
+}
+
+TEST_F(FileTraceTest, EmptyFileIsFatal)
+{
+    std::ofstream(path) << "# only a comment\n";
+    EXPECT_DEATH(FileTrace trace(path), "no records");
+}
+
+} // namespace
+} // namespace dbsim

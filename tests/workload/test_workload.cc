@@ -1,0 +1,170 @@
+/** @file Tests for benchmark profiles, trace generation, and mixes. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/mixes.hh"
+#include "workload/profiles.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(Profiles, FourteenBenchmarks)
+{
+    EXPECT_EQ(allBenchmarks().size(), 14u);
+}
+
+TEST(Profiles, MixturesSumToOne)
+{
+    for (const auto &p : allBenchmarks()) {
+        for (const Mixture *m : {&p.readMix, &p.writeMix}) {
+            double sum = m->hot + m->warm + m->stream + m->cold;
+            EXPECT_NEAR(sum, 1.0, 1e-9) << p.name;
+        }
+        EXPECT_GT(p.memFrac, 0.0);
+        EXPECT_LE(p.memFrac, 1.0);
+        EXPECT_GE(p.writeFrac, 0.0);
+        EXPECT_LE(p.writeFrac, 1.0);
+    }
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(benchmarkByName("mcf").name, "mcf");
+    EXPECT_EQ(benchmarkByName("lbm").writeClass, Intensity::High);
+}
+
+TEST(SyntheticTrace, DeterministicForSeed)
+{
+    const auto &prof = benchmarkByName("soplex");
+    SyntheticTrace a(prof, 0, 42), b(prof, 0, 42);
+    for (int i = 0; i < 1000; ++i) {
+        TraceOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.gap, y.gap);
+        EXPECT_EQ(x.isWrite, y.isWrite);
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.dependent, y.dependent);
+    }
+}
+
+TEST(SyntheticTrace, CoresGetDisjointAddressSpaces)
+{
+    const auto &prof = benchmarkByName("lbm");
+    SyntheticTrace t0(prof, 0, 1), t1(prof, 1, 1);
+    std::set<Addr> bases0, bases1;
+    for (int i = 0; i < 2000; ++i) {
+        bases0.insert(t0.next().addr >> 40);
+        bases1.insert(t1.next().addr >> 40);
+    }
+    for (Addr b : bases0) {
+        EXPECT_FALSE(bases1.count(b));
+    }
+}
+
+TEST(SyntheticTrace, MemoryIntensityMatchesProfile)
+{
+    const auto &prof = benchmarkByName("stream");
+    SyntheticTrace t(prof, 0, 3);
+    std::uint64_t mem_ops = 0, instrs = 0;
+    for (int i = 0; i < 50000; ++i) {
+        TraceOp op = t.next();
+        instrs += op.gap + 1;
+        ++mem_ops;
+    }
+    double frac = static_cast<double>(mem_ops) /
+                  static_cast<double>(instrs);
+    EXPECT_NEAR(frac, prof.memFrac, 0.02);
+}
+
+TEST(SyntheticTrace, WriteFractionMatchesProfile)
+{
+    const auto &prof = benchmarkByName("lbm");
+    SyntheticTrace t(prof, 0, 3);
+    std::uint64_t writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        if (t.next().isWrite) {
+            ++writes;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, prof.writeFrac, 0.02);
+}
+
+TEST(SyntheticTrace, StreamWritesCoverBlocksDensely)
+{
+    // Stream writes should touch consecutive words of a block before
+    // moving on, so per-block store counts concentrate at 8.
+    const auto &prof = benchmarkByName("stream");
+    SyntheticTrace t(prof, 0, 9);
+    std::map<Addr, int> per_block;
+    for (int i = 0; i < 200000; ++i) {
+        TraceOp op = t.next();
+        if (op.isWrite && (op.addr >> 32 & 0xff) == 4) {  // stream-W
+            per_block[blockAlign(op.addr)]++;
+        }
+    }
+    ASSERT_FALSE(per_block.empty());
+    int full = 0, total = 0;
+    for (auto &[a, n] : per_block) {
+        ++total;
+        if (n == 8) {
+            ++full;
+        }
+    }
+    EXPECT_GT(static_cast<double>(full) / total, 0.8);
+}
+
+TEST(SyntheticTrace, DependentFractionRoughlyMatches)
+{
+    const auto &prof = benchmarkByName("mcf");
+    SyntheticTrace t(prof, 0, 5);
+    std::uint64_t dep = 0, loads = 0;
+    for (int i = 0; i < 50000; ++i) {
+        TraceOp op = t.next();
+        if (!op.isWrite) {
+            ++loads;
+            dep += op.dependent;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(dep) / loads, prof.depFrac, 0.03);
+}
+
+TEST(Mixes, CorrectShapeAndDeterminism)
+{
+    auto a = makeMixes(4, 10, 7);
+    auto b = makeMixes(4, 10, 7);
+    ASSERT_EQ(a.size(), 10u);
+    EXPECT_EQ(a, b);
+    for (const auto &mix : a) {
+        ASSERT_EQ(mix.size(), 4u);
+        for (const auto &name : mix) {
+            benchmarkByName(name);  // must not fatal
+        }
+    }
+    auto c = makeMixes(4, 10, 8);
+    EXPECT_NE(a, c);
+}
+
+TEST(Mixes, CoversIntensityClasses)
+{
+    auto mixes = makeMixes(8, 20, 3);
+    std::set<Intensity> seen;
+    for (const auto &mix : mixes) {
+        for (const auto &name : mix) {
+            seen.insert(benchmarkByName(name).readClass);
+        }
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Mixes, LabelJoinsNames)
+{
+    EXPECT_EQ(mixLabel({"a", "b"}), "a+b");
+    EXPECT_EQ(mixLabel({"solo"}), "solo");
+}
+
+} // namespace
+} // namespace dbsim
