@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clb.dir/ablation_clb.cpp.o"
+  "CMakeFiles/ablation_clb.dir/ablation_clb.cpp.o.d"
+  "ablation_clb"
+  "ablation_clb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dbi_repl.dir/ablation_dbi_repl.cpp.o"
+  "CMakeFiles/ablation_dbi_repl.dir/ablation_dbi_repl.cpp.o.d"
+  "ablation_dbi_repl"
+  "ablation_dbi_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dbi_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drrip.dir/ablation_drrip.cpp.o"
+  "CMakeFiles/ablation_drrip.dir/ablation_drrip.cpp.o.d"
+  "ablation_drrip"
+  "ablation_drrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_run.dir/diag_run.cpp.o"
+  "CMakeFiles/diag_run.dir/diag_run.cpp.o.d"
+  "diag_run"
+  "diag_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scurve.dir/fig8_scurve.cpp.o"
+  "CMakeFiles/fig8_scurve.dir/fig8_scurve.cpp.o.d"
+  "fig8_scurve"
+  "fig8_scurve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

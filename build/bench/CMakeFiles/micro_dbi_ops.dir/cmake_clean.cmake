@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dbi_ops.dir/micro_dbi_ops.cpp.o"
+  "CMakeFiles/micro_dbi_ops.dir/micro_dbi_ops.cpp.o.d"
+  "micro_dbi_ops"
+  "micro_dbi_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dbi_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fairness.dir/table3_fairness.cpp.o"
+  "CMakeFiles/table3_fairness.dir/table3_fairness.cpp.o.d"
+  "table3_fairness"
+  "table3_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_storage.dir/table4_storage.cpp.o"
+  "CMakeFiles/table4_storage.dir/table4_storage.cpp.o.d"
+  "table4_storage"
+  "table4_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

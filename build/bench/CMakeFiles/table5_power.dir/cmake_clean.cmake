@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_power.dir/table5_power.cpp.o"
+  "CMakeFiles/table5_power.dir/table5_power.cpp.o.d"
+  "table5_power"
+  "table5_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

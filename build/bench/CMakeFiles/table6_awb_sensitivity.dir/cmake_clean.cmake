@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_awb_sensitivity.dir/table6_awb_sensitivity.cpp.o"
+  "CMakeFiles/table6_awb_sensitivity.dir/table6_awb_sensitivity.cpp.o.d"
+  "table6_awb_sensitivity"
+  "table6_awb_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_awb_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

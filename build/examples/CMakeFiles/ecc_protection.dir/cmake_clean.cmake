@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_protection.dir/ecc_protection.cpp.o"
+  "CMakeFiles/ecc_protection.dir/ecc_protection.cpp.o.d"
+  "ecc_protection"
+  "ecc_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogram.dir/multiprogram.cpp.o"
+  "CMakeFiles/multiprogram.dir/multiprogram.cpp.o.d"
+  "multiprogram"
+  "multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

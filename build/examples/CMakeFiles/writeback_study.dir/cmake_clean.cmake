@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writeback_study.dir/writeback_study.cpp.o"
+  "CMakeFiles/writeback_study.dir/writeback_study.cpp.o.d"
+  "writeback_study"
+  "writeback_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writeback_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

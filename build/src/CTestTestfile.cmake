@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ecc")
+subdirs("model")
+subdirs("dram")
+subdirs("cache")
+subdirs("dbi")
+subdirs("coherence")
+subdirs("pred")
+subdirs("llc")
+subdirs("cpu")
+subdirs("workload")
+subdirs("sim")

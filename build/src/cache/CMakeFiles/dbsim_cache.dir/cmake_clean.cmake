@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_cache.dir/tag_store.cc.o"
+  "CMakeFiles/dbsim_cache.dir/tag_store.cc.o.d"
+  "libdbsim_cache.a"
+  "libdbsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/split_directory.cc" "src/coherence/CMakeFiles/dbsim_coherence.dir/split_directory.cc.o" "gcc" "src/coherence/CMakeFiles/dbsim_coherence.dir/split_directory.cc.o.d"
+  "/root/repo/src/coherence/state_split.cc" "src/coherence/CMakeFiles/dbsim_coherence.dir/state_split.cc.o" "gcc" "src/coherence/CMakeFiles/dbsim_coherence.dir/state_split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/dbsim_dbi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_coherence.dir/split_directory.cc.o"
+  "CMakeFiles/dbsim_coherence.dir/split_directory.cc.o.d"
+  "CMakeFiles/dbsim_coherence.dir/state_split.cc.o"
+  "CMakeFiles/dbsim_coherence.dir/state_split.cc.o.d"
+  "libdbsim_coherence.a"
+  "libdbsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

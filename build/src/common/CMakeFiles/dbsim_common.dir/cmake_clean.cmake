@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_common.dir/logging.cc.o"
+  "CMakeFiles/dbsim_common.dir/logging.cc.o.d"
+  "libdbsim_common.a"
+  "libdbsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_cpu.dir/core.cc.o"
+  "CMakeFiles/dbsim_cpu.dir/core.cc.o.d"
+  "CMakeFiles/dbsim_cpu.dir/core_memory.cc.o"
+  "CMakeFiles/dbsim_cpu.dir/core_memory.cc.o.d"
+  "libdbsim_cpu.a"
+  "libdbsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

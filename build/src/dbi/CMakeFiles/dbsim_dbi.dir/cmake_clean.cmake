@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_dbi.dir/dbi.cc.o"
+  "CMakeFiles/dbsim_dbi.dir/dbi.cc.o.d"
+  "libdbsim_dbi.a"
+  "libdbsim_dbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_dbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

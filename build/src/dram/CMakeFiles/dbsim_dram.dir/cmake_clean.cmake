@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_dram.dir/dram_controller.cc.o"
+  "CMakeFiles/dbsim_dram.dir/dram_controller.cc.o.d"
+  "libdbsim_dram.a"
+  "libdbsim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_ecc.dir/hetero_ecc.cc.o"
+  "CMakeFiles/dbsim_ecc.dir/hetero_ecc.cc.o.d"
+  "CMakeFiles/dbsim_ecc.dir/secded.cc.o"
+  "CMakeFiles/dbsim_ecc.dir/secded.cc.o.d"
+  "libdbsim_ecc.a"
+  "libdbsim_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_llc.dir/llc.cc.o"
+  "CMakeFiles/dbsim_llc.dir/llc.cc.o.d"
+  "CMakeFiles/dbsim_llc.dir/llc_variants.cc.o"
+  "CMakeFiles/dbsim_llc.dir/llc_variants.cc.o.d"
+  "libdbsim_llc.a"
+  "libdbsim_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_model.dir/cacti_lite.cc.o"
+  "CMakeFiles/dbsim_model.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/dbsim_model.dir/storage_model.cc.o"
+  "CMakeFiles/dbsim_model.dir/storage_model.cc.o.d"
+  "libdbsim_model.a"
+  "libdbsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_pred.dir/miss_predictor.cc.o"
+  "CMakeFiles/dbsim_pred.dir/miss_predictor.cc.o.d"
+  "libdbsim_pred.a"
+  "libdbsim_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_sim.dir/mechanism.cc.o"
+  "CMakeFiles/dbsim_sim.dir/mechanism.cc.o.d"
+  "CMakeFiles/dbsim_sim.dir/metrics.cc.o"
+  "CMakeFiles/dbsim_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/dbsim_sim.dir/runner.cc.o"
+  "CMakeFiles/dbsim_sim.dir/runner.cc.o.d"
+  "CMakeFiles/dbsim_sim.dir/system.cc.o"
+  "CMakeFiles/dbsim_sim.dir/system.cc.o.d"
+  "libdbsim_sim.a"
+  "libdbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

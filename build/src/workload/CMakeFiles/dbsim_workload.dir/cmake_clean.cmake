@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_workload.dir/file_trace.cc.o"
+  "CMakeFiles/dbsim_workload.dir/file_trace.cc.o.d"
+  "CMakeFiles/dbsim_workload.dir/mixes.cc.o"
+  "CMakeFiles/dbsim_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/dbsim_workload.dir/profiles.cc.o"
+  "CMakeFiles/dbsim_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/dbsim_workload.dir/synthetic_trace.cc.o"
+  "CMakeFiles/dbsim_workload.dir/synthetic_trace.cc.o.d"
+  "libdbsim_workload.a"
+  "libdbsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbi.dir/dbi/test_dbi.cc.o"
+  "CMakeFiles/test_dbi.dir/dbi/test_dbi.cc.o.d"
+  "CMakeFiles/test_dbi.dir/dbi/test_dbi_param.cc.o"
+  "CMakeFiles/test_dbi.dir/dbi/test_dbi_param.cc.o.d"
+  "test_dbi"
+  "test_dbi.pdb"
+  "test_dbi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc.dir/ecc/test_hetero_ecc.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_hetero_ecc.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_secded.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_secded.cc.o.d"
+  "test_ecc"
+  "test_ecc.pdb"
+  "test_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llc.dir/llc/test_llc.cc.o"
+  "CMakeFiles/test_llc.dir/llc/test_llc.cc.o.d"
+  "CMakeFiles/test_llc.dir/llc/test_llc_param.cc.o"
+  "CMakeFiles/test_llc.dir/llc/test_llc_param.cc.o.d"
+  "CMakeFiles/test_llc.dir/llc/test_port_contention.cc.o"
+  "CMakeFiles/test_llc.dir/llc/test_port_contention.cc.o.d"
+  "CMakeFiles/test_llc.dir/llc/test_region_ops.cc.o"
+  "CMakeFiles/test_llc.dir/llc/test_region_ops.cc.o.d"
+  "test_llc"
+  "test_llc.pdb"
+  "test_llc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
