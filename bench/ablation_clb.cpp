@@ -5,15 +5,16 @@
  * (which sets the latency on the bypass-check path). The paper finds no
  * significant performance difference across reasonable values.
  *
- * Usage: ablation_clb [warmup] [measure]
+ * Usage: ablation_clb [warmup] [measure] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "harness.hh"
 #include "sim/metrics.hh"
-#include "sim/system.hh"
 
 using namespace dbsim;
 
@@ -23,14 +24,104 @@ namespace {
 const std::vector<std::string> kBenches = {"libquantum", "lbm", "stream",
                                            "mcf"};
 
-double
-gmeanIpc(SystemConfig cfg)
+/** Add one 1-D parameter sweep: every value x every benchmark. */
+void
+addAxis(exp::SweepSpec &spec, const std::string &param,
+        const std::vector<std::pair<std::string,
+                                    std::function<void(SystemConfig &)>>>
+            &values)
 {
-    std::vector<double> ipcs;
-    for (const auto &b : kBenches) {
-        ipcs.push_back(runWorkload(cfg, {b}).ipc[0]);
+    for (const auto &[value, apply] : values) {
+        for (const auto &b : kBenches) {
+            auto &pt = spec.addSim(Mechanism::DbiClb, WorkloadMix{b});
+            apply(pt.cfg);
+            pt.tags["param"] = param;
+            pt.tags["value"] = value;
+        }
     }
-    return geomean(ipcs);
+}
+
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    exp::SweepSpec spec;
+    spec.base().mech = Mechanism::DbiClb;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = o.warmupOr(o.posIntOr(0, 3'000'000));
+    spec.base().core.measureInstrs =
+        o.measureOr(o.posIntOr(1, 1'000'000));
+
+    std::vector<std::pair<std::string,
+                          std::function<void(SystemConfig &)>>>
+        thr_values, epoch_values, alpha_values;
+    for (double thr : {0.5, 0.75, 0.9, 0.95}) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "%4.2f", thr);
+        thr_values.emplace_back(label, [thr](SystemConfig &c) {
+            c.pred.missThreshold = thr;
+        });
+    }
+    for (Cycle epoch : {1'000'000ull, 2'500'000ull, 5'000'000ull,
+                        10'000'000ull}) {
+        char label[24];
+        std::snprintf(label, sizeof(label), "%8llu",
+                      static_cast<unsigned long long>(epoch));
+        epoch_values.emplace_back(label, [epoch](SystemConfig &c) {
+            c.pred.epochCycles = epoch;
+        });
+    }
+    for (double alpha : {0.25, 0.5}) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "%4.2f", alpha);
+        alpha_values.emplace_back(label, [alpha](SystemConfig &c) {
+            c.dbi.alpha = alpha;
+        });
+    }
+
+    addAxis(spec, "threshold", thr_values);
+    addAxis(spec, "epoch", epoch_values);
+    addAxis(spec, "alpha", alpha_values);
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
+    // Geomean IPC per (param, value), preserving first-seen order.
+    std::map<std::string, std::vector<std::string>> value_order;
+    std::map<std::string, std::map<std::string, std::vector<double>>>
+        ipcs;
+    for (const auto &rec : records) {
+        const std::string &param = rec.tags.at("param");
+        const std::string &value = rec.tags.at("value");
+        if (!ipcs[param].count(value)) {
+            value_order[param].push_back(value);
+        }
+        ipcs[param][value].push_back(rec.metric("ipc0"));
+    }
+
+    std::printf("CLB sensitivity (DBI+CLB gmean IPC over %zu "
+                "benchmarks)\n\n",
+                kBenches.size());
+
+    std::printf("bypass threshold:\n");
+    for (const auto &v : value_order["threshold"]) {
+        std::printf("  %s -> %.4f\n", v.c_str(),
+                    geomean(ipcs["threshold"][v]));
+    }
+
+    std::printf("epoch length (cycles):\n");
+    for (const auto &v : value_order["epoch"]) {
+        std::printf("  %s -> %.4f\n", v.c_str(),
+                    geomean(ipcs["epoch"][v]));
+    }
+
+    std::printf("DBI size alpha:\n");
+    for (const auto &v : value_order["alpha"]) {
+        std::printf("  %s -> %.4f\n", v.c_str(),
+                    geomean(ipcs["alpha"][v]));
+    }
 }
 
 } // namespace
@@ -38,41 +129,9 @@ gmeanIpc(SystemConfig cfg)
 int
 main(int argc, char **argv)
 {
-    std::uint64_t warmup =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000;
-    std::uint64_t measure =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
-
-    SystemConfig cfg;
-    cfg.mech = Mechanism::DbiClb;
-    cfg.core.warmupInstrs = warmup;
-    cfg.core.measureInstrs = measure;
-
-    std::printf("CLB sensitivity (DBI+CLB gmean IPC over %zu "
-                "benchmarks)\n\n",
-                kBenches.size());
-
-    std::printf("bypass threshold:\n");
-    for (double thr : {0.5, 0.75, 0.9, 0.95}) {
-        SystemConfig c = cfg;
-        c.pred.missThreshold = thr;
-        std::printf("  %4.2f -> %.4f\n", thr, gmeanIpc(c));
-    }
-
-    std::printf("epoch length (cycles):\n");
-    for (Cycle epoch : {1'000'000ull, 2'500'000ull, 5'000'000ull,
-                        10'000'000ull}) {
-        SystemConfig c = cfg;
-        c.pred.epochCycles = epoch;
-        std::printf("  %8llu -> %.4f\n",
-                    static_cast<unsigned long long>(epoch), gmeanIpc(c));
-    }
-
-    std::printf("DBI size alpha:\n");
-    for (double alpha : {0.25, 0.5}) {
-        SystemConfig c = cfg;
-        c.dbi.alpha = alpha;
-        std::printf("  %4.2f -> %.4f\n", alpha, gmeanIpc(c));
-    }
-    return 0;
+    bench::registerExperiment(
+        {"ablation_clb",
+         "CLB sensitivity to predictor and DBI parameters (Section 6.4)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

@@ -7,20 +7,27 @@
  * write-intensive benchmarks, plus the premature-writeback count (WPKI)
  * the policy causes.
  *
- * Usage: ablation_dbi_repl [warmup] [measure]
+ * Usage: ablation_dbi_repl [warmup] [measure] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "harness.hh"
 #include "sim/metrics.hh"
-#include "sim/system.hh"
 #include "workload/profiles.hh"
 
 using namespace dbsim;
 
 namespace {
+
+const std::vector<DbiReplPolicy> kPolicies = {
+    DbiReplPolicy::Lrw,      DbiReplPolicy::LrwBip,
+    DbiReplPolicy::Rrip,     DbiReplPolicy::MaxDirty,
+    DbiReplPolicy::MinDirty,
+};
 
 const char *
 policyName(DbiReplPolicy p)
@@ -40,49 +47,68 @@ policyName(DbiReplPolicy p)
     return "?";
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
 {
-    std::uint64_t warmup =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000;
-    std::uint64_t measure =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+    exp::SweepSpec spec;
+    spec.base().mech = Mechanism::DbiAwb;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = o.warmupOr(o.posIntOr(0, 3'000'000));
+    spec.base().core.measureInstrs =
+        o.measureOr(o.posIntOr(1, 1'000'000));
 
-    std::vector<std::string> benches;
-    for (const auto &p : allBenchmarks()) {
-        if (p.writeClass != Intensity::Low) {
-            benches.push_back(p.name);
+    for (DbiReplPolicy pol : kPolicies) {
+        for (const auto &p : allBenchmarks()) {
+            if (p.writeClass == Intensity::Low) {
+                continue;
+            }
+            auto &pt = spec.addSim(Mechanism::DbiAwb, {p.name});
+            pt.cfg.dbi.repl = pol;
+            pt.tags["policy"] = policyName(pol);
         }
     }
+    return spec;
+}
 
-    SystemConfig cfg;
-    cfg.mech = Mechanism::DbiAwb;
-    cfg.core.warmupInstrs = warmup;
-    cfg.core.measureInstrs = measure;
-
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
     std::printf("DBI replacement policy ablation (DBI+AWB, single core, "
                 "write-intensive benchmarks)\n\n");
     std::printf("%-14s %10s %10s %12s\n", "policy", "gmean IPC",
                 "avg WPKI", "avg writeRHR");
 
-    for (DbiReplPolicy pol :
-         {DbiReplPolicy::Lrw, DbiReplPolicy::LrwBip, DbiReplPolicy::Rrip,
-          DbiReplPolicy::MaxDirty, DbiReplPolicy::MinDirty}) {
-        cfg.dbi.repl = pol;
+    struct Agg
+    {
         std::vector<double> ipcs;
-        double wpki = 0.0, rhr = 0.0;
-        for (const auto &b : benches) {
-            SimResult r = runWorkload(cfg, {b});
-            ipcs.push_back(r.ipc[0]);
-            wpki += r.wpki;
-            rhr += r.writeRowHitRate;
-        }
-        std::printf("%-14s %10.4f %10.2f %11.1f%%\n", policyName(pol),
-                    geomean(ipcs), wpki / benches.size(),
-                    100.0 * rhr / benches.size());
-        std::fprintf(stderr, "  %s done\n", policyName(pol));
+        double wpki = 0.0;
+        double rhr = 0.0;
+    };
+    std::map<std::string, Agg> per_policy;
+    for (const auto &rec : records) {
+        Agg &a = per_policy[rec.tags.at("policy")];
+        a.ipcs.push_back(rec.metric("ipc0"));
+        a.wpki += rec.metric("wpki");
+        a.rhr += rec.metric("writeRowHitRate");
     }
-    return 0;
+
+    for (DbiReplPolicy pol : kPolicies) {
+        const Agg &a = per_policy.at(policyName(pol));
+        std::printf("%-14s %10.4f %10.2f %11.1f%%\n", policyName(pol),
+                    geomean(a.ipcs), a.wpki / a.ipcs.size(),
+                    100.0 * a.rhr / a.ipcs.size());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"ablation_dbi_repl",
+         "DBI replacement policy comparison (Sections 4.3/6.4)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

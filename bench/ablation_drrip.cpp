@@ -5,53 +5,89 @@
  * TA-DIP for every non-baseline mechanism; the paper reports DBI still
  * improves ~7% over DAWB at 8 cores under DRRIP.
  *
- * Usage: ablation_drrip [mixes] [warmup] [measure]
+ * Usage: ablation_drrip [mixes] [warmup] [measure] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "workload/mixes.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+namespace {
+
+struct Params
 {
-    std::uint32_t count = argc > 1 ? std::atoi(argv[1]) : 4;
-    std::uint64_t warmup =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'500'000;
-    std::uint64_t measure =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+    std::uint32_t count;
+    std::uint64_t warmup;
+    std::uint64_t measure;
+};
 
-    SystemConfig base;
-    base.numCores = 8;
-    base.useDrrip = true;
-    base.core.warmupInstrs = warmup;
-    base.core.measureInstrs = measure;
-    AloneIpcCache alone(base);
+Params
+paramsOf(const bench::HarnessOptions &o)
+{
+    return {static_cast<std::uint32_t>(o.posIntOr(0, 4)),
+            o.warmupOr(o.posIntOr(1, 2'500'000)),
+            o.measureOr(o.posIntOr(2, 1'000'000))};
+}
 
-    auto mixes = makeMixes(8, count, /*seed=*/2014);
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+    exp::SweepSpec spec;
+    spec.base().numCores = 8;
+    spec.base().useDrrip = true;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = p.warmup;
+    spec.base().core.measureInstrs = p.measure;
+    spec.setAloneBase(spec.base());
+
+    auto mixes = makeMixes(8, p.count, /*seed=*/2014);
+    for (const auto &mix : mixes) {
+        for (Mechanism m : {Mechanism::Baseline, Mechanism::Dawb,
+                            Mechanism::DbiAwbClb}) {
+            spec.addMixSim(m, mix);
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
 
     std::printf("Section 6.5: 8-core weighted speedup with DRRIP "
                 "replacement\n\n");
-    double ws_dawb = 0.0, ws_dbi = 0.0, ws_base = 0.0;
-    for (const auto &mix : mixes) {
-        SystemConfig cfg = base;
-        cfg.mech = Mechanism::Baseline;
-        ws_base += evalMix(cfg, mix, alone).weightedSpeedup;
-        cfg.mech = Mechanism::Dawb;
-        ws_dawb += evalMix(cfg, mix, alone).weightedSpeedup;
-        cfg.mech = Mechanism::DbiAwbClb;
-        ws_dbi += evalMix(cfg, mix, alone).weightedSpeedup;
-        std::fprintf(stderr, "  mix done\n");
+    std::map<std::string, double> ws;
+    for (const auto &rec : records) {
+        ws[rec.mechanism] += rec.metric("weightedSpeedup");
     }
-    std::printf("%-14s %10.3f\n", "Baseline", ws_base / count);
-    std::printf("%-14s %10.3f\n", "DAWB", ws_dawb / count);
-    std::printf("%-14s %10.3f\n", "DBI+AWB+CLB", ws_dbi / count);
+    double ws_base = ws[mechanismName(Mechanism::Baseline)];
+    double ws_dawb = ws[mechanismName(Mechanism::Dawb)];
+    double ws_dbi = ws[mechanismName(Mechanism::DbiAwbClb)];
+
+    std::printf("%-14s %10.3f\n", "Baseline", ws_base / p.count);
+    std::printf("%-14s %10.3f\n", "DAWB", ws_dawb / p.count);
+    std::printf("%-14s %10.3f\n", "DBI+AWB+CLB", ws_dbi / p.count);
     std::printf("\nDBI+AWB+CLB over DAWB under DRRIP: %.1f%% "
                 "(paper: ~7%%)\n",
                 100.0 * (ws_dbi / ws_dawb - 1.0));
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"ablation_drrip",
+         "8-core weighted speedup under DRRIP (Section 6.5)", buildSpec,
+         format});
+    return bench::harnessMain(argc, argv);
 }

@@ -6,12 +6,13 @@
  * lookup cost of the conventional brute-force tag sweep against the
  * DBI's compact per-row answers.
  *
- * Usage: ablation_flush [benchmark]
+ * Usage: ablation_flush [benchmark] [harness flags]
  */
 
 #include <cstdio>
 #include <string>
 
+#include "harness.hh"
 #include "llc/llc_variants.hh"
 #include "sim/system.hh"
 
@@ -19,33 +20,72 @@ using namespace dbsim;
 
 namespace {
 
-struct FlushNumbers
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
 {
-    std::uint64_t lookups;
-    std::uint64_t writebacks;
-    std::uint64_t queryLookups;
-};
+    std::string bench_name = o.posOr(0, "lbm");
+    std::uint64_t warmup = o.warmupOr(1'500'000);
+    std::uint64_t measure = o.measureOr(500'000);
+    std::uint64_t seed = o.seed;
 
-FlushNumbers
-measure(Mechanism mech, const std::string &bench)
+    exp::SweepSpec spec;
+    for (Mechanism m : {Mechanism::TaDip, Mechanism::DbiAwb}) {
+        auto &pt = spec.addCustom([m, bench_name, warmup, measure,
+                                   seed](exp::PointRecord &rec) {
+            SystemConfig cfg;
+            cfg.mech = m;
+            cfg.seed = seed;
+            cfg.core.warmupInstrs = warmup;
+            cfg.core.measureInstrs = measure;
+            System sys(cfg, {bench_name});
+            sys.run();
+
+            Llc &llc = sys.llc();
+            // The benchmark's write-stream region: core 0's address-
+            // space slice, stream-write sub-region (see SyntheticTrace's
+            // layout).
+            Addr base = (Addr{1} << 40) + (Addr{4} << 32);
+            std::uint64_t span = 256ull << 20;  // stream footprint
+            // DMA coherence query first (read-only)...
+            auto query = llc.queryRegionDirty(base, span);
+            // ...then flush the same span.
+            auto flush = llc.flushRegion(base, span, 0);
+
+            rec.mechanism = mechanismName(m);
+            rec.mix = bench_name;
+            rec.stats["flushLookups"] = flush.lookups;
+            rec.stats["flushWritebacks"] = flush.writebacks;
+            rec.stats["queryLookups"] = query.lookups;
+        });
+        pt.tags["bench"] = bench_name;
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &o)
 {
-    SystemConfig cfg;
-    cfg.mech = mech;
-    cfg.core.warmupInstrs = 1'500'000;
-    cfg.core.measureInstrs = 500'000;
-    System sys(cfg, {bench});
-    sys.run();
+    std::printf("Section 7: cache flush & DMA coherence on '%s'\n\n",
+                o.posOr(0, "lbm").c_str());
+    std::printf("%-14s %15s %12s %18s\n", "mechanism", "flush lookups",
+                "writebacks", "DMA query lookups");
 
-    Llc &llc = sys.llc();
-    // The benchmark's write-stream region: core 0's address-space
-    // slice, stream-write sub-region (see SyntheticTrace's layout).
-    Addr base = (Addr{1} << 40) + (Addr{4} << 32);
-    std::uint64_t span = 256ull << 20;  // covers the stream footprint
-    // DMA coherence query first (read-only)...
-    auto query = llc.queryRegionDirty(base, span);
-    // ...then flush the same span.
-    auto flush = llc.flushRegion(base, span, 0);
-    return {flush.lookups, flush.writebacks, query.lookups};
+    for (const auto &rec : records) {
+        std::printf("%-14s %15llu %12llu %18llu\n",
+                    rec.mechanism.c_str(),
+                    static_cast<unsigned long long>(
+                        rec.stat("flushLookups")),
+                    static_cast<unsigned long long>(
+                        rec.stat("flushWritebacks")),
+                    static_cast<unsigned long long>(
+                        rec.stat("queryLookups")));
+    }
+
+    std::printf("\nThe conventional cache must look up every block of "
+                "the range; the DBI answers each DRAM-row region with "
+                "one access\nand spends tag lookups only on blocks that "
+                "are actually dirty.\n");
 }
 
 } // namespace
@@ -53,24 +93,9 @@ measure(Mechanism mech, const std::string &bench)
 int
 main(int argc, char **argv)
 {
-    std::string bench = argc > 1 ? argv[1] : "lbm";
-
-    std::printf("Section 7: cache flush & DMA coherence on '%s'\n\n",
-                bench.c_str());
-    std::printf("%-14s %15s %12s %18s\n", "mechanism", "flush lookups",
-                "writebacks", "DMA query lookups");
-
-    for (Mechanism m : {Mechanism::TaDip, Mechanism::DbiAwb}) {
-        FlushNumbers n = measure(m, bench);
-        std::printf("%-14s %15llu %12llu %18llu\n", mechanismName(m),
-                    static_cast<unsigned long long>(n.lookups),
-                    static_cast<unsigned long long>(n.writebacks),
-                    static_cast<unsigned long long>(n.queryLookups));
-    }
-
-    std::printf("\nThe conventional cache must look up every block of "
-                "the range; the DBI answers each DRAM-row region with "
-                "one access\nand spends tag lookups only on blocks that "
-                "are actually dirty.\n");
-    return 0;
+    bench::registerExperiment(
+        {"ablation_flush",
+         "cache flush and DMA coherence query costs (Section 7)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

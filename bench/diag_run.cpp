@@ -5,74 +5,132 @@
  * a debugging/inspection tool for the other benches.
  *
  * Usage: diag_run <mechanism> <cores> <bench1> [bench2 ...]
- *        [--warmup N] [--measure N]
+ *        [--warmup N] [--measure N] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "harness.hh"
 #include "sim/system.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+namespace {
+
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
 {
     SystemConfig cfg;
-    cfg.core.warmupInstrs = 1'000'000;
-    cfg.core.measureInstrs = 1'000'000;
+    cfg.seed = o.seed;
+    cfg.core.warmupInstrs = o.warmupOr(1'000'000);
+    cfg.core.measureInstrs = o.measureOr(1'000'000);
 
     WorkloadMix mix;
-    if (argc < 4) {
+    if (o.positional.size() < 3) {
         // Default inspection run so the bench loop can invoke us bare.
         cfg.mech = Mechanism::DbiAwbClb;
         cfg.numCores = 2;
         mix = {"lbm", "libquantum"};
     } else {
-        cfg.mech = mechanismByName(argv[1]);
-        cfg.numCores = static_cast<std::uint32_t>(std::atoi(argv[2]));
-    }
-    for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
-            cfg.core.warmupInstrs = std::strtoull(argv[++i], nullptr, 10);
-        } else if (std::strcmp(argv[i], "--measure") == 0 &&
-                   i + 1 < argc) {
-            cfg.core.measureInstrs = std::strtoull(argv[++i], nullptr, 10);
-        } else {
-            mix.push_back(argv[i]);
+        cfg.mech = mechanismByName(o.positional[0]);
+        cfg.numCores =
+            static_cast<std::uint32_t>(o.posIntOr(1, 2));
+        for (std::size_t i = 2; i < o.positional.size(); ++i) {
+            mix.push_back(o.positional[i]);
         }
     }
     while (mix.size() < cfg.numCores) {
         mix.push_back(mix.back());
     }
 
-    System sys(cfg, mix);
-    SimResult r = sys.run();
+    exp::SweepSpec spec;
+    spec.addCustom([cfg, mix](exp::PointRecord &rec) {
+        System sys(cfg, mix);
+        SimResult r = sys.run();
 
-    std::printf("mechanism %s, %u cores\n", mechanismName(cfg.mech),
-                cfg.numCores);
-    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        rec.mechanism = mechanismName(cfg.mech);
+        rec.mix = mixLabel(mix);
+        rec.tags["cores"] = std::to_string(cfg.numCores);
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+            std::string i = std::to_string(c);
+            rec.metrics["ipc" + i] = r.ipc[c];
+            rec.metrics["loadsTotal" + i] = static_cast<double>(
+                sys.coreMemory(c).statLoads.value());
+            rec.metrics["loadsSinceSnap" + i] = static_cast<double>(
+                sys.coreMemory(c).statLoads.sinceSnapshot());
+        }
+        rec.metrics["windowCycles"] =
+            static_cast<double>(r.windowCycles);
+        rec.metrics["totalInstrs"] = static_cast<double>(r.totalInstrs);
+        rec.metrics["readRowHitRate"] = r.readRowHitRate;
+        rec.metrics["writeRowHitRate"] = r.writeRowHitRate;
+        rec.metrics["tagLookupsPki"] = r.tagLookupsPki;
+        rec.metrics["wpki"] = r.wpki;
+        rec.metrics["mpki"] = r.mpki;
+        rec.stats = r.stats;
+    });
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
+    const exp::PointRecord &rec = records.at(0);
+    std::uint32_t cores =
+        static_cast<std::uint32_t>(std::stoul(rec.tags.at("cores")));
+
+    // Reconstruct the per-core benchmark names from the mix label.
+    std::vector<std::string> mix;
+    std::string label = rec.mix;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t plus = label.find('+', start);
+        mix.push_back(label.substr(start, plus - start));
+        if (plus == std::string::npos) {
+            break;
+        }
+        start = plus + 1;
+    }
+
+    std::printf("mechanism %s, %u cores\n", rec.mechanism.c_str(),
+                cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        std::string i = std::to_string(c);
         std::printf("  core %u (%s): IPC %.4f  loads(total) %llu "
                     "since-snap %llu\n", c,
-                    mix[c].c_str(), r.ipc[c],
-                    (unsigned long long)
-                        sys.coreMemory(c).statLoads.value(),
-                    (unsigned long long)
-                        sys.coreMemory(c).statLoads.sinceSnapshot());
+                    mix[c].c_str(), rec.metric("ipc" + i),
+                    static_cast<unsigned long long>(
+                        rec.metric("loadsTotal" + i)),
+                    static_cast<unsigned long long>(
+                        rec.metric("loadsSinceSnap" + i)));
     }
     std::printf("windowCycles %llu  totalInstrs %llu\n",
-                static_cast<unsigned long long>(r.windowCycles),
-                static_cast<unsigned long long>(r.totalInstrs));
+                static_cast<unsigned long long>(
+                    rec.metric("windowCycles")),
+                static_cast<unsigned long long>(
+                    rec.metric("totalInstrs")));
     std::printf("readRHR %.3f  writeRHR %.3f  tagPKI %.1f  WPKI %.2f  "
                 "MPKI %.2f\n",
-                r.readRowHitRate, r.writeRowHitRate, r.tagLookupsPki,
-                r.wpki, r.mpki);
-    for (const auto &[name, value] : r.stats) {
+                rec.metric("readRowHitRate"),
+                rec.metric("writeRowHitRate"),
+                rec.metric("tagLookupsPki"), rec.metric("wpki"),
+                rec.metric("mpki"));
+    for (const auto &[name, value] : rec.stats) {
         std::printf("  %-24s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"diag_run", "single-run statistic dump (debug tool)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

@@ -10,18 +10,17 @@
  * with benchmarks sorted by increasing baseline IPC (as in the paper)
  * and a gmean column for IPC.
  *
- * Usage: fig6_single_core [warmup_instrs] [measure_instrs]
+ * Usage: fig6_single_core [warmup_instrs] [measure_instrs] [harness flags]
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "harness.hh"
 #include "sim/metrics.hh"
-#include "sim/system.hh"
 #include "workload/profiles.hh"
 
 using namespace dbsim;
@@ -37,14 +36,13 @@ const std::vector<Mechanism> kMechs = {
 struct Row
 {
     std::string bench;
-    std::map<Mechanism, SimResult> results;
+    std::map<Mechanism, const exp::PointRecord *> results;
     double baseIpc = 0.0;
 };
 
 void
 printPanel(const char *title, const std::vector<Row> &rows,
-           double (*get)(const SimResult &), const char *fmt,
-           bool with_gmean)
+           const char *metric, const char *fmt, bool with_gmean)
 {
     std::printf("\n-- %s --\n%-12s", title, "benchmark");
     for (Mechanism m : kMechs) {
@@ -55,7 +53,7 @@ printPanel(const char *title, const std::vector<Row> &rows,
     for (const auto &row : rows) {
         std::printf("%-12s", row.bench.c_str());
         for (Mechanism m : kMechs) {
-            double v = get(row.results.at(m));
+            double v = row.results.at(m)->metric(metric);
             per_mech[m].push_back(v);
             std::printf(fmt, v);
         }
@@ -71,33 +69,58 @@ printPanel(const char *title, const std::vector<Row> &rows,
     }
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+struct Params
 {
-    std::uint64_t warmup = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                    : 3'000'000;
-    std::uint64_t measure = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                     : 2'000'000;
+    std::uint64_t warmup;
+    std::uint64_t measure;
+};
 
-    SystemConfig cfg;
-    cfg.numCores = 1;
-    cfg.core.warmupInstrs = warmup;
-    cfg.core.measureInstrs = measure;
+Params
+paramsOf(const bench::HarnessOptions &o)
+{
+    return {o.warmupOr(o.posIntOr(0, 3'000'000)),
+            o.measureOr(o.posIntOr(1, 2'000'000))};
+}
 
-    std::vector<Row> rows;
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+    exp::SweepSpec spec;
+    spec.base().numCores = 1;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = p.warmup;
+    spec.base().core.measureInstrs = p.measure;
+
     for (const auto &prof : allBenchmarks()) {
-        Row row;
-        row.bench = prof.name;
         for (Mechanism m : kMechs) {
-            cfg.mech = m;
-            row.results[m] = runWorkload(cfg, WorkloadMix{prof.name});
+            spec.addSim(m, WorkloadMix{prof.name})
+                .tags["bench"] = prof.name;
         }
-        row.baseIpc = row.results[Mechanism::TaDip].ipc[0];
-        std::fprintf(stderr, "  done %s (TA-DIP IPC %.3f)\n",
-                     prof.name.c_str(), row.baseIpc);
-        rows.push_back(std::move(row));
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+
+    // Regroup the flat record list into one row per benchmark.
+    std::vector<Row> rows;
+    std::map<std::string, std::size_t> row_of;
+    for (const auto &rec : records) {
+        const std::string &bench = rec.tags.at("bench");
+        if (!row_of.count(bench)) {
+            row_of[bench] = rows.size();
+            rows.push_back(Row{bench, {}, 0.0});
+        }
+        rows[row_of[bench]].results[mechanismByName(rec.mechanism)] =
+            &rec;
+    }
+    for (auto &row : rows) {
+        row.baseIpc = row.results.at(Mechanism::TaDip)->metric("ipc0");
     }
 
     std::sort(rows.begin(), rows.end(),
@@ -107,23 +130,29 @@ main(int argc, char **argv)
 
     std::printf("Figure 6: single-core results "
                 "(warmup %llu, measure %llu instructions)\n",
-                static_cast<unsigned long long>(warmup),
-                static_cast<unsigned long long>(measure));
+                static_cast<unsigned long long>(p.warmup),
+                static_cast<unsigned long long>(p.measure));
 
-    printPanel("(a) Instructions per Cycle", rows,
-               [](const SimResult &r) { return r.ipc[0]; }, " %11.3f",
+    printPanel("(a) Instructions per Cycle", rows, "ipc0", " %11.3f",
                true);
-    printPanel("(b) Write Row Hit Rate", rows,
-               [](const SimResult &r) { return r.writeRowHitRate; },
+    printPanel("(b) Write Row Hit Rate", rows, "writeRowHitRate",
                " %11.3f", false);
     printPanel("(c) Tag Lookups per Kilo Instruction", rows,
-               [](const SimResult &r) { return r.tagLookupsPki; },
-               " %11.1f", false);
-    printPanel("(d) Memory Writes per Kilo Instruction", rows,
-               [](const SimResult &r) { return r.wpki; }, " %11.2f",
-               false);
-    printPanel("(e) Read Row Hit Rate", rows,
-               [](const SimResult &r) { return r.readRowHitRate; },
+               "tagLookupsPki", " %11.1f", false);
+    printPanel("(d) Memory Writes per Kilo Instruction", rows, "wpki",
+               " %11.2f", false);
+    printPanel("(e) Read Row Hit Rate", rows, "readRowHitRate",
                " %11.3f", false);
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"fig6_single_core",
+         "single-core IPC/row-hit/lookup/WPKI panels (Figure 6)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

@@ -6,14 +6,15 @@
  * the paper headlines (31% over baseline, 6% over DAWB at 8 cores).
  *
  * Usage: fig7_multicore [mixes2] [mixes4] [mixes8] [warmup] [measure]
+ *                       [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "workload/mixes.hh"
 
 using namespace dbsim;
@@ -26,52 +27,76 @@ const std::vector<Mechanism> kMechs = {
     Mechanism::DbiAwbClb,
 };
 
-} // namespace
-
-int
-main(int argc, char **argv)
+struct Params
 {
-    std::uint32_t n2 = argc > 1 ? std::atoi(argv[1]) : 10;
-    std::uint32_t n4 = argc > 2 ? std::atoi(argv[2]) : 10;
-    std::uint32_t n8 = argc > 3 ? std::atoi(argv[3]) : 6;
-    std::uint64_t warmup =
-        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2'000'000;
-    std::uint64_t measure =
-        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1'500'000;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> configs;
+    std::uint64_t warmup;
+    std::uint64_t measure;
+};
 
-    SystemConfig base;
-    base.core.warmupInstrs = warmup;
-    base.core.measureInstrs = measure;
+Params
+paramsOf(const bench::HarnessOptions &o)
+{
+    Params p;
+    p.configs = {{2, static_cast<std::uint32_t>(o.posIntOr(0, 10))},
+                 {4, static_cast<std::uint32_t>(o.posIntOr(1, 10))},
+                 {8, static_cast<std::uint32_t>(o.posIntOr(2, 6))}};
+    p.warmup = o.warmupOr(o.posIntOr(3, 2'000'000));
+    p.measure = o.measureOr(o.posIntOr(4, 1'500'000));
+    return p;
+}
 
-    AloneIpcCache alone(base);
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+    exp::SweepSpec spec;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = p.warmup;
+    spec.base().core.measureInstrs = p.measure;
+    spec.setAloneBase(spec.base());
+
+    for (auto [cores, count] : p.configs) {
+        auto mixes = makeMixes(cores, count, /*seed=*/2014);
+        for (Mechanism m : kMechs) {
+            for (const auto &mix : mixes) {
+                auto &pt = spec.addMixSim(m, mix);
+                pt.cfg.numCores = cores;
+                pt.tags["cores"] = std::to_string(cores);
+            }
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
 
     std::printf("Figure 7: multi-core weighted speedup "
                 "(avg over mixes; warmup %llu, measure %llu)\n\n",
-                static_cast<unsigned long long>(warmup),
-                static_cast<unsigned long long>(measure));
+                static_cast<unsigned long long>(p.warmup),
+                static_cast<unsigned long long>(p.measure));
     std::printf("%-14s", "mechanism");
     for (const char *label : {"2-Core", "4-Core", "8-Core"}) {
         std::printf(" %10s", label);
     }
     std::printf("\n");
 
-    std::map<Mechanism, std::vector<double>> avg_ws;
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> configs = {
-        {2, n2}, {4, n4}, {8, n8}};
+    // Sum weighted speedups per (mechanism, core count).
+    std::map<Mechanism, std::map<std::uint32_t, double>> totals;
+    for (const auto &rec : records) {
+        totals[mechanismByName(rec.mechanism)]
+              [std::stoul(rec.tags.at("cores"))] +=
+            rec.metric("weightedSpeedup");
+    }
 
-    for (auto [cores, count] : configs) {
-        auto mixes = makeMixes(cores, count, /*seed=*/2014);
-        for (Mechanism m : kMechs) {
-            SystemConfig cfg = base;
-            cfg.numCores = cores;
-            cfg.mech = m;
-            double total = 0.0;
-            for (const auto &mix : mixes) {
-                total += evalMix(cfg, mix, alone).weightedSpeedup;
-            }
-            avg_ws[m].push_back(total / count);
-            std::fprintf(stderr, "  %u-core %s done\n", cores,
-                         mechanismName(m));
+    std::map<Mechanism, std::vector<double>> avg_ws;
+    for (Mechanism m : kMechs) {
+        for (auto [cores, count] : p.configs) {
+            avg_ws[m].push_back(totals[m][cores] / count);
         }
     }
 
@@ -95,5 +120,16 @@ main(int argc, char **argv)
         }
         std::printf("\n");
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"fig7_multicore",
+         "2/4/8-core average weighted speedup (Figure 7)", buildSpec,
+         format});
+    return bench::harnessMain(argc, argv);
 }

@@ -6,57 +6,93 @@
  * check: DBI+AWB+CLB consistently outperforms DAWB (not just on a few
  * mixes), and only a handful of workloads regress below baseline.
  *
- * Usage: fig8_scurve [num_mixes] [warmup] [measure]
+ * Usage: fig8_scurve [num_mixes] [warmup] [measure] [harness flags]
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "workload/mixes.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+namespace {
+
+const std::vector<Mechanism> kMechs = {Mechanism::Baseline,
+                                       Mechanism::Dawb,
+                                       Mechanism::DbiAwbClb};
+
+struct Params
 {
-    std::uint32_t count = argc > 1 ? std::atoi(argv[1]) : 16;
-    std::uint64_t warmup =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
-    std::uint64_t measure =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'500'000;
+    std::uint32_t count;
+    std::uint64_t warmup;
+    std::uint64_t measure;
+};
 
-    SystemConfig base;
-    base.numCores = 4;
-    base.core.warmupInstrs = warmup;
-    base.core.measureInstrs = measure;
+Params
+paramsOf(const bench::HarnessOptions &o)
+{
+    return {static_cast<std::uint32_t>(o.posIntOr(0, 16)),
+            o.warmupOr(o.posIntOr(1, 2'000'000)),
+            o.measureOr(o.posIntOr(2, 1'500'000))};
+}
 
-    AloneIpcCache alone(base);
-    auto mixes = makeMixes(4, count, /*seed=*/88);
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+    exp::SweepSpec spec;
+    spec.base().numCores = 4;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = p.warmup;
+    spec.base().core.measureInstrs = p.measure;
+    spec.setAloneBase(spec.base());
 
+    auto mixes = makeMixes(4, p.count, /*seed=*/88);
+    for (std::uint32_t i = 0; i < mixes.size(); ++i) {
+        for (Mechanism m : kMechs) {
+            spec.addMixSim(m, mixes[i]).tags["mixIndex"] =
+                std::to_string(i);
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
     struct Point
     {
         std::string label;
-        double baseline;
-        double dawb;
-        double dbi;
+        double baseline = 0.0;
+        double dawb = 0.0;
+        double dbi = 0.0;
     };
     std::vector<Point> points;
 
-    for (const auto &mix : mixes) {
-        Point p;
-        p.label = mixLabel(mix);
-        SystemConfig cfg = base;
-        cfg.mech = Mechanism::Baseline;
-        p.baseline = evalMix(cfg, mix, alone).weightedSpeedup;
-        cfg.mech = Mechanism::Dawb;
-        p.dawb = evalMix(cfg, mix, alone).weightedSpeedup;
-        cfg.mech = Mechanism::DbiAwbClb;
-        p.dbi = evalMix(cfg, mix, alone).weightedSpeedup;
-        std::fprintf(stderr, "  done %s\n", p.label.c_str());
-        points.push_back(std::move(p));
+    // Records arrive mix-major (3 mechanisms per mix, spec order).
+    for (const auto &rec : records) {
+        std::size_t i = std::stoul(rec.tags.at("mixIndex"));
+        if (points.size() <= i) {
+            points.resize(i + 1);
+        }
+        points[i].label = rec.mix;
+        double ws = rec.metric("weightedSpeedup");
+        switch (mechanismByName(rec.mechanism)) {
+          case Mechanism::Baseline:
+            points[i].baseline = ws;
+            break;
+          case Mechanism::Dawb:
+            points[i].dawb = ws;
+            break;
+          default:
+            points[i].dbi = ws;
+            break;
+        }
     }
 
     std::sort(points.begin(), points.end(),
@@ -84,5 +120,16 @@ main(int argc, char **argv)
                 "baseline on %u/%zu\n",
                 dbi_beats_dawb, points.size(), dbi_below_base,
                 points.size());
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"fig8_scurve",
+         "4-core per-workload normalized speedup s-curve (Figure 8)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

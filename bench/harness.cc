@@ -1,0 +1,135 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dbsim::bench {
+
+namespace {
+
+std::vector<Experiment> &
+registry()
+{
+    static std::vector<Experiment> experiments;
+    return experiments;
+}
+
+std::uint64_t
+parseUint(const char *flag, const std::string &text)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    fatal_if(end == text.c_str() || *end != '\0',
+             "%s expects an unsigned integer, got '%s'", flag,
+             text.c_str());
+    return v;
+}
+
+void
+printUsage(const char *argv0)
+{
+    std::printf("usage: %s [positional args...] [--jobs N] [--json FILE]\n"
+                "        [--seed S] [--warmup N] [--measure N] "
+                "[--instrs K]\n"
+                "        [--no-progress] [--list] [--help]\n\n"
+                "experiments in this binary:\n",
+                argv0);
+    for (const auto &e : registry()) {
+        std::printf("  %-24s %s\n", e.name.c_str(),
+                    e.description.c_str());
+    }
+}
+
+} // namespace
+
+std::uint64_t
+HarnessOptions::posIntOr(std::size_t i, std::uint64_t def) const
+{
+    if (i >= positional.size()) {
+        return def;
+    }
+    return parseUint("positional argument", positional[i]);
+}
+
+std::string
+HarnessOptions::posOr(std::size_t i, const std::string &def) const
+{
+    return i < positional.size() ? positional[i] : def;
+}
+
+void
+registerExperiment(Experiment experiment)
+{
+    registry().push_back(std::move(experiment));
+}
+
+int
+harnessMain(int argc, char **argv)
+{
+    HarnessOptions opts;
+
+    auto needValue = [&](int i) -> std::string {
+        fatal_if(i + 1 >= argc, "%s requires a value", argv[i]);
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            opts.jobs = static_cast<std::uint32_t>(
+                parseUint(arg, needValue(i)));
+            ++i;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            opts.jsonPath = needValue(i);
+            ++i;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.seed = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--warmup") == 0) {
+            opts.warmup = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--measure") == 0) {
+            opts.measure = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--instrs") == 0) {
+            std::uint64_t k = parseUint(arg, needValue(i));
+            opts.warmup = k;
+            opts.measure = k;
+            ++i;
+        } else if (std::strcmp(arg, "--no-progress") == 0) {
+            opts.progress = false;
+        } else if (std::strcmp(arg, "--list") == 0 ||
+                   std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            printUsage(argv[0]);
+            return 0;
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg);
+            printUsage(argv[0]);
+            return 2;
+        } else {
+            opts.positional.push_back(arg);
+        }
+    }
+
+    fatal_if(registry().empty(), "no experiment registered");
+
+    for (const auto &e : registry()) {
+        exp::RunOptions run_opts;
+        run_opts.jobs = e.serialOnly ? 1 : opts.jobs;
+        run_opts.jsonlPath = opts.jsonPath;
+        run_opts.progress = opts.progress;
+        run_opts.experiment = e.name;
+
+        exp::SweepSpec spec = e.spec(opts);
+        exp::ExperimentRunner runner(run_opts);
+        std::vector<exp::PointRecord> records = runner.run(spec);
+        e.format(records, opts);
+    }
+    return 0;
+}
+
+} // namespace dbsim::bench

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The unified bench/driver API. A bench binary is a thin declarative
+ * registration: it describes its experiment as a SweepSpec builder plus
+ * a formatter that turns the structured records back into the paper's
+ * human-readable table, then delegates to harnessMain(), which provides
+ * the common CLI:
+ *
+ *   <bench> [positional args...]      historical per-bench arguments
+ *           [--jobs N]                parallel runs on N threads
+ *           [--json FILE]             one JSONL record per sweep point
+ *           [--seed S]                base RNG seed (default 1)
+ *           [--warmup N] [--measure N]   instruction-count overrides
+ *           [--instrs K]              shorthand: warmup = measure = K
+ *           [--no-progress]           suppress the stderr progress line
+ *           [--list] [--help]
+ *
+ * Identical seeds produce identical tables and JSONL records at any
+ * --jobs value; parallelism changes wall-clock time only.
+ */
+
+#ifndef DBSIM_BENCH_HARNESS_HH
+#define DBSIM_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/record.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+
+namespace dbsim::bench {
+
+/** Parsed common CLI plus leftover positional arguments. */
+struct HarnessOptions
+{
+    std::uint32_t jobs = 1;
+    std::string jsonPath;
+    std::uint64_t seed = 1;
+    std::optional<std::uint64_t> warmup;
+    std::optional<std::uint64_t> measure;
+    bool progress = true;
+    std::vector<std::string> positional;
+
+    /** --warmup override, else the (positional-derived) default. */
+    std::uint64_t warmupOr(std::uint64_t def) const
+    {
+        return warmup ? *warmup : def;
+    }
+
+    /** --measure override, else the (positional-derived) default. */
+    std::uint64_t measureOr(std::uint64_t def) const
+    {
+        return measure ? *measure : def;
+    }
+
+    /** Numeric positional argument i, else `def`. */
+    std::uint64_t posIntOr(std::size_t i, std::uint64_t def) const;
+
+    /** String positional argument i, else `def`. */
+    std::string posOr(std::size_t i, const std::string &def) const;
+};
+
+/** Builds the sweep for the parsed options. */
+using SpecBuilder = std::function<exp::SweepSpec(const HarnessOptions &)>;
+
+/** Prints the human-readable table from the ordered records. */
+using Formatter = std::function<void(
+    const std::vector<exp::PointRecord> &, const HarnessOptions &)>;
+
+/** One registered experiment (normally one per bench binary). */
+struct Experiment
+{
+    std::string name;
+    std::string description;
+    SpecBuilder spec;
+    Formatter format;
+
+    /**
+     * Force --jobs 1 (wall-clock timing experiments whose numbers
+     * parallel neighbours would perturb).
+     */
+    bool serialOnly = false;
+};
+
+/** Register an experiment; typically called once before harnessMain. */
+void registerExperiment(Experiment experiment);
+
+/**
+ * Parse the common CLI, then run every registered experiment through
+ * the parallel ExperimentRunner and its formatter. Returns the
+ * process exit code.
+ */
+int harnessMain(int argc, char **argv);
+
+} // namespace dbsim::bench
+
+#endif // DBSIM_BENCH_HARNESS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CI smoke sweep: a tiny 2-mechanism x 2-mix multicore experiment,
+ * small enough to finish in seconds, that exercises the whole parallel
+ * path — SweepSpec expansion, the thread pool, the shared AloneIpcCache
+ * and the JSONL sink. ctest runs it as `bench_smoke` with --jobs 4.
+ *
+ * Usage: smoke [harness flags]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+#include "workload/mixes.hh"
+
+using namespace dbsim;
+
+namespace {
+
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    SystemConfig base;
+    base.numCores = 2;
+    base.seed = o.seed;
+    base.core.warmupInstrs = o.warmupOr(30'000);
+    base.core.measureInstrs = o.measureOr(20'000);
+
+    exp::SweepSpec spec;
+    spec.base() = base;
+    spec.setAloneBase(base);
+
+    auto mixes = makeMixes(2, 2, 2014);
+    for (Mechanism m : {Mechanism::Baseline, Mechanism::DbiAwbClb}) {
+        for (const auto &mix : mixes) {
+            spec.addMixSim(m, mix);
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
+    std::printf("%-12s %-24s %16s\n", "mechanism", "mix",
+                "weighted speedup");
+    for (const auto &rec : records) {
+        std::printf("%-12s %-24s %16.4f\n", rec.mechanism.c_str(),
+                    rec.mix.c_str(), rec.metric("weightedSpeedup"));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"smoke", "tiny parallel sweep for CI", buildSpec, format});
+    return bench::harnessMain(argc, argv);
+}

@@ -6,33 +6,69 @@
  * reduction, for 2/4/8-core systems.
  *
  * Usage: table3_fairness [mixes2] [mixes4] [mixes8] [warmup] [measure]
+ *                        [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 #include <vector>
 
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "workload/mixes.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+namespace {
+
+struct Params
 {
-    std::uint32_t n2 = argc > 1 ? std::atoi(argv[1]) : 8;
-    std::uint32_t n4 = argc > 2 ? std::atoi(argv[2]) : 8;
-    std::uint32_t n8 = argc > 3 ? std::atoi(argv[3]) : 6;
-    std::uint64_t warmup =
-        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2'000'000;
-    std::uint64_t measure =
-        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1'500'000;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> configs;
+    std::uint64_t warmup;
+    std::uint64_t measure;
+};
 
-    SystemConfig base;
-    base.core.warmupInstrs = warmup;
-    base.core.measureInstrs = measure;
+Params
+paramsOf(const bench::HarnessOptions &o)
+{
+    Params p;
+    p.configs = {{2, static_cast<std::uint32_t>(o.posIntOr(0, 8))},
+                 {4, static_cast<std::uint32_t>(o.posIntOr(1, 8))},
+                 {8, static_cast<std::uint32_t>(o.posIntOr(2, 6))}};
+    p.warmup = o.warmupOr(o.posIntOr(3, 2'000'000));
+    p.measure = o.measureOr(o.posIntOr(4, 1'500'000));
+    return p;
+}
 
-    AloneIpcCache alone(base);
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+    exp::SweepSpec spec;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = p.warmup;
+    spec.base().core.measureInstrs = p.measure;
+    spec.setAloneBase(spec.base());
+
+    for (auto [cores, count] : p.configs) {
+        auto mixes = makeMixes(cores, count, /*seed=*/2014);
+        for (const auto &mix : mixes) {
+            for (Mechanism m :
+                 {Mechanism::Baseline, Mechanism::DbiAwbClb}) {
+                auto &pt = spec.addMixSim(m, mix);
+                pt.cfg.numCores = cores;
+                pt.tags["cores"] = std::to_string(cores);
+            }
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
 
     struct Row
     {
@@ -40,39 +76,39 @@ main(int argc, char **argv)
         std::uint32_t mixes;
         double ws = 0, it = 0, hs = 0, ms = 0;  // relative improvements
     };
-    std::vector<Row> rows = {{2, n2}, {4, n4}, {8, n8}};
+    std::vector<Row> rows;
+    for (auto [cores, count] : p.configs) {
+        rows.push_back({cores, count});
+    }
+
+    // Sum each metric per (cores, mechanism), then form ratios.
+    struct Sums
+    {
+        double ws = 0, it = 0, hs = 0, ms = 0;
+    };
+    std::map<std::uint32_t, std::map<std::string, Sums>> sums;
+    for (const auto &rec : records) {
+        Sums &s = sums[std::stoul(rec.tags.at("cores"))][rec.mechanism];
+        s.ws += rec.metric("weightedSpeedup");
+        s.it += rec.metric("instructionThroughput");
+        s.hs += rec.metric("harmonicSpeedup");
+        s.ms += rec.metric("maxSlowdown");
+    }
 
     for (auto &row : rows) {
-        auto mixes = makeMixes(row.cores, row.mixes, /*seed=*/2014);
-        double ws_b = 0, it_b = 0, hs_b = 0, ms_b = 0;
-        double ws_d = 0, it_d = 0, hs_d = 0, ms_d = 0;
-        for (const auto &mix : mixes) {
-            SystemConfig cfg = base;
-            cfg.numCores = row.cores;
-            cfg.mech = Mechanism::Baseline;
-            auto mb = evalMix(cfg, mix, alone);
-            cfg.mech = Mechanism::DbiAwbClb;
-            auto md = evalMix(cfg, mix, alone);
-            ws_b += mb.weightedSpeedup;
-            it_b += mb.instructionThroughput;
-            hs_b += mb.harmonicSpeedup;
-            ms_b += mb.maxSlowdown;
-            ws_d += md.weightedSpeedup;
-            it_d += md.instructionThroughput;
-            hs_d += md.harmonicSpeedup;
-            ms_d += md.maxSlowdown;
-        }
-        row.ws = ws_d / ws_b - 1.0;
-        row.it = it_d / it_b - 1.0;
-        row.hs = hs_d / hs_b - 1.0;
-        row.ms = 1.0 - ms_d / ms_b;  // reduction
-        std::fprintf(stderr, "  %u-core done\n", row.cores);
+        const Sums &b = sums[row.cores][mechanismName(Mechanism::Baseline)];
+        const Sums &d =
+            sums[row.cores][mechanismName(Mechanism::DbiAwbClb)];
+        row.ws = d.ws / b.ws - 1.0;
+        row.it = d.it / b.it - 1.0;
+        row.hs = d.hs / b.hs - 1.0;
+        row.ms = 1.0 - d.ms / b.ms;  // reduction
     }
 
     std::printf("Table 3: DBI+AWB+CLB vs Baseline "
                 "(warmup %llu, measure %llu)\n\n",
-                static_cast<unsigned long long>(warmup),
-                static_cast<unsigned long long>(measure));
+                static_cast<unsigned long long>(p.warmup),
+                static_cast<unsigned long long>(p.measure));
     std::printf("%-42s %8s %8s %8s\n", "Number of Cores", "2", "4", "8");
     std::printf("%-42s", "Number of workloads");
     for (const auto &r : rows) {
@@ -95,5 +131,16 @@ main(int argc, char **argv)
         std::printf(" %7.1f%%", 100.0 * r.ms);
     }
     std::printf("\n");
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"table3_fairness",
+         "performance/fairness of DBI+AWB+CLB vs baseline (Table 3)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

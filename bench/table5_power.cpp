@@ -8,44 +8,57 @@
  * Section 6.3 claim that the mechanism reduces memory energy (~14%
  * single-core) by raising the DRAM row hit rate.
  *
- * Usage: table5_power [warmup] [measure]
+ * Usage: table5_power [warmup] [measure] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 
+#include "harness.hh"
 #include "model/cacti_lite.hh"
 #include "model/storage_model.hh"
-#include "sim/system.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
-{
-    std::uint64_t warmup =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
-    std::uint64_t measure =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+namespace {
 
-    CactiLite cacti;
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    exp::SweepSpec spec;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = o.warmupOr(o.posIntOr(0, 2'000'000));
+    spec.base().core.measureInstrs =
+        o.measureOr(o.posIntOr(1, 1'000'000));
 
     // Access counts from a representative single-core run (the ratios
-    // barely depend on the benchmark; lbm exercises the DBI heavily).
-    SystemConfig cfg;
-    cfg.mech = Mechanism::DbiAwbClb;
-    cfg.core.warmupInstrs = warmup;
-    cfg.core.measureInstrs = measure;
-    SimResult r = runWorkload(cfg, {"lbm"});
+    // barely depend on the benchmark; lbm exercises the DBI heavily),
+    // plus the baseline/optimized pair for the energy comparison.
+    spec.addSim(Mechanism::DbiAwbClb, {"lbm"}).tags["role"] = "access";
+    spec.addSim(Mechanism::Baseline, {"lbm"}).tags["role"] = "base";
+    spec.addSim(Mechanism::DbiAwbClb, {"lbm"}).tags["role"] = "opt";
+    return spec;
+}
 
-    double tag_accesses =
-        static_cast<double>(r.stats.at("llc.tagLookups"));
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
+    std::map<std::string, const exp::PointRecord *> by_role;
+    for (const auto &rec : records) {
+        by_role[rec.tags.at("role")] = &rec;
+    }
+    const exp::PointRecord &r = *by_role.at("access");
+
+    CactiLite cacti;
+    double tag_accesses = static_cast<double>(r.stat("llc.tagLookups"));
     double data_accesses =
-        static_cast<double>(r.stats.at("llc.demandHits") +
-                            r.stats.at("llc.writebacksIn") +
-                            r.stats.at("dram.reads"));
-    double dbi_accesses = static_cast<double>(
-        r.stats.at("dbi.lookups") + r.stats.at("dbi.updates"));
+        static_cast<double>(r.stat("llc.demandHits") +
+                            r.stat("llc.writebacksIn") +
+                            r.stat("dram.reads"));
+    double dbi_accesses = static_cast<double>(r.stat("dbi.lookups") +
+                                              r.stat("dbi.updates"));
 
     std::printf("Table 5: DBI power as a fraction of total cache power "
                 "(alpha = 1/4)\n\n");
@@ -88,16 +101,27 @@ main(int argc, char **argv)
     }
 
     // Memory energy reduction (Section 6.3): baseline vs DBI+AWB+CLB.
-    cfg.mech = Mechanism::Baseline;
-    SimResult base = runWorkload(cfg, {"lbm"});
-    cfg.mech = Mechanism::DbiAwbClb;
-    SimResult opt = runWorkload(cfg, {"lbm"});
     // Compare energy per instruction (runs have different durations).
-    double base_epi = base.dramEnergyPj / base.totalInstrs;
-    double opt_epi = opt.dramEnergyPj / opt.totalInstrs;
+    const exp::PointRecord &base = *by_role.at("base");
+    const exp::PointRecord &opt = *by_role.at("opt");
+    double base_epi =
+        base.metric("dramEnergyPj") / base.metric("totalInstrs");
+    double opt_epi =
+        opt.metric("dramEnergyPj") / opt.metric("totalInstrs");
     std::printf("\nDRAM energy per instruction (lbm): baseline %.1f pJ, "
                 "DBI+AWB+CLB %.1f pJ (%.1f%% reduction; paper: ~14%% "
                 "average)\n",
                 base_epi, opt_epi, 100.0 * (1.0 - opt_epi / base_epi));
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"table5_power",
+         "DBI static/dynamic power fractions and DRAM energy (Table 5)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

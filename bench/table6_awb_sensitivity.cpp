@@ -6,44 +6,80 @@
  * across the write-intensive benchmarks (where AWB acts). The paper's
  * trend: performance rises with granularity and with size.
  *
- * Usage: table6_awb_sensitivity [warmup] [measure]
+ * Usage: table6_awb_sensitivity [warmup] [measure] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "harness.hh"
 #include "sim/metrics.hh"
-#include "sim/system.hh"
 #include "workload/profiles.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
-{
-    std::uint64_t warmup =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000;
-    std::uint64_t measure =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000'000;
+namespace {
 
+std::vector<std::string>
+writeIntensiveBenches()
+{
     std::vector<std::string> benches;
     for (const auto &p : allBenchmarks()) {
         if (p.writeClass != Intensity::Low) {
             benches.push_back(p.name);
         }
     }
+    return benches;
+}
 
-    SystemConfig cfg;
-    cfg.core.warmupInstrs = warmup;
-    cfg.core.measureInstrs = measure;
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    exp::SweepSpec spec;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = o.warmupOr(o.posIntOr(0, 3'000'000));
+    spec.base().core.measureInstrs =
+        o.measureOr(o.posIntOr(1, 1'000'000));
+
+    auto benches = writeIntensiveBenches();
 
     // Baseline IPCs once per benchmark.
-    std::vector<double> base_ipc;
     for (const auto &b : benches) {
-        cfg.mech = Mechanism::Baseline;
-        base_ipc.push_back(runWorkload(cfg, {b}).ipc[0]);
-        std::fprintf(stderr, "  baseline %s done\n", b.c_str());
+        spec.addSim(Mechanism::Baseline, WorkloadMix{b});
+    }
+
+    // DBI+AWB across the (alpha, granularity) grid.
+    for (double alpha : {0.25, 0.5}) {
+        for (std::uint32_t gran : {16u, 32u, 64u, 128u}) {
+            for (const auto &b : benches) {
+                auto &pt = spec.addSim(Mechanism::DbiAwb, WorkloadMix{b});
+                pt.cfg.dbi.alpha = alpha;
+                pt.cfg.dbi.granularity = gran;
+                pt.tags["alpha"] = alpha == 0.25 ? "0.25" : "0.5";
+                pt.tags["granularity"] = std::to_string(gran);
+            }
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
+    // Baseline IPC per benchmark, then gains per (alpha, granularity).
+    std::map<std::string, double> base_ipc;
+    std::map<std::string, std::map<std::string, std::vector<double>>>
+        gains;  // alpha -> granularity -> per-bench ratio
+    for (const auto &rec : records) {
+        if (rec.mechanism == mechanismName(Mechanism::Baseline)) {
+            base_ipc[rec.mix] = rec.metric("ipc0");
+        } else {
+            gains[rec.tags.at("alpha")][rec.tags.at("granularity")]
+                .push_back(rec.metric("ipc0") / base_ipc.at(rec.mix));
+        }
     }
 
     std::printf("Table 6: average IPC improvement of DBI+AWB over "
@@ -56,20 +92,23 @@ main(int argc, char **argv)
 
     for (double alpha : {0.25, 0.5}) {
         std::printf("alpha = %-4.2g", alpha);
+        const char *key = alpha == 0.25 ? "0.25" : "0.5";
         for (std::uint32_t gran : {16u, 32u, 64u, 128u}) {
-            cfg.mech = Mechanism::DbiAwb;
-            cfg.dbi.alpha = alpha;
-            cfg.dbi.granularity = gran;
-            std::vector<double> gains;
-            for (std::size_t i = 0; i < benches.size(); ++i) {
-                SimResult r = runWorkload(cfg, {benches[i]});
-                gains.push_back(r.ipc[0] / base_ipc[i]);
-            }
-            std::printf(" %8.1f%%", 100.0 * (geomean(gains) - 1.0));
-            std::fprintf(stderr, "  alpha %.2f gran %u done\n", alpha,
-                         gran);
+            const auto &v = gains.at(key).at(std::to_string(gran));
+            std::printf(" %8.1f%%", 100.0 * (geomean(v) - 1.0));
         }
         std::printf("\n");
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"table6_awb_sensitivity",
+         "AWB sensitivity to DBI granularity and size (Table 6)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

@@ -5,57 +5,105 @@
  * systems. The paper's trend: gains shrink with larger caches (memory
  * bandwidth matters less) but remain significant.
  *
- * Usage: table7_cache_size [mixes] [warmup] [measure]
+ * Usage: table7_cache_size [mixes] [warmup] [measure] [harness flags]
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <map>
+#include <string>
 
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "workload/mixes.hh"
 
 using namespace dbsim;
 
-int
-main(int argc, char **argv)
+namespace {
+
+struct Params
 {
-    std::uint32_t count = argc > 1 ? std::atoi(argv[1]) : 5;
-    std::uint64_t warmup =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'500'000;
-    std::uint64_t measure =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+    std::uint32_t count;
+    std::uint64_t warmup;
+    std::uint64_t measure;
+};
 
-    SystemConfig base;
-    base.core.warmupInstrs = warmup;
-    base.core.measureInstrs = measure;
-    AloneIpcCache alone(base);
+Params
+paramsOf(const bench::HarnessOptions &o)
+{
+    return {static_cast<std::uint32_t>(o.posIntOr(0, 5)),
+            o.warmupOr(o.posIntOr(1, 2'500'000)),
+            o.measureOr(o.posIntOr(2, 1'000'000))};
+}
 
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    Params p = paramsOf(o);
+    exp::SweepSpec spec;
+    spec.base().seed = o.seed;
+    spec.base().core.warmupInstrs = p.warmup;
+    spec.base().core.measureInstrs = p.measure;
+    // Alone runs keep the default 2MB/core LLC for every cache-size
+    // point, matching the original bench's single shared cache.
+    spec.setAloneBase(spec.base());
+
+    for (std::uint64_t mb_per_core : {2, 4}) {
+        for (std::uint32_t cores : {2u, 4u, 8u}) {
+            auto mixes = makeMixes(cores, p.count, /*seed=*/2014);
+            for (const auto &mix : mixes) {
+                for (Mechanism m :
+                     {Mechanism::Baseline, Mechanism::DbiAwbClb}) {
+                    auto &pt = spec.addMixSim(m, mix);
+                    pt.cfg.numCores = cores;
+                    pt.cfg.llcBytesPerCore = mb_per_core << 20;
+                    pt.tags["mbPerCore"] = std::to_string(mb_per_core);
+                    pt.tags["cores"] = std::to_string(cores);
+                }
+            }
+        }
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &)
+{
     std::printf("Table 7: DBI+AWB+CLB weighted speedup improvement over "
                 "baseline by cache size\n\n");
     std::printf("%-12s %9s %9s %9s\n", "Cache Size", "2-Core", "4-Core",
                 "8-Core");
 
+    // ws sums keyed by (mbPerCore, cores, mechanism).
+    std::map<std::string, std::map<std::uint32_t,
+                                   std::map<std::string, double>>>
+        sums;
+    for (const auto &rec : records) {
+        sums[rec.tags.at("mbPerCore")]
+            [std::stoul(rec.tags.at("cores"))][rec.mechanism] +=
+            rec.metric("weightedSpeedup");
+    }
+
     for (std::uint64_t mb_per_core : {2, 4}) {
         std::printf("%lluMB/Core   ",
                     static_cast<unsigned long long>(mb_per_core));
         for (std::uint32_t cores : {2u, 4u, 8u}) {
-            auto mixes = makeMixes(cores, count, /*seed=*/2014);
-            double ws_base = 0.0, ws_dbi = 0.0;
-            for (const auto &mix : mixes) {
-                SystemConfig cfg = base;
-                cfg.numCores = cores;
-                cfg.llcBytesPerCore = mb_per_core << 20;
-                cfg.mech = Mechanism::Baseline;
-                ws_base += evalMix(cfg, mix, alone).weightedSpeedup;
-                cfg.mech = Mechanism::DbiAwbClb;
-                ws_dbi += evalMix(cfg, mix, alone).weightedSpeedup;
-            }
+            auto &at = sums[std::to_string(mb_per_core)][cores];
+            double ws_base = at[mechanismName(Mechanism::Baseline)];
+            double ws_dbi = at[mechanismName(Mechanism::DbiAwbClb)];
             std::printf(" %8.1f%%", 100.0 * (ws_dbi / ws_base - 1.0));
-            std::fprintf(stderr, "  %lluMB %u-core done\n",
-                         static_cast<unsigned long long>(mb_per_core),
-                         cores);
         }
         std::printf("\n");
     }
-    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::registerExperiment(
+        {"table7_cache_size",
+         "speedup improvement at 2MB and 4MB per core (Table 7)",
+         buildSpec, format});
+    return bench::harnessMain(argc, argv);
 }

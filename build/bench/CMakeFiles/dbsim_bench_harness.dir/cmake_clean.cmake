@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dbsim_bench_harness.dir/harness.cc.o.d"
+  "libdbsim_bench_harness.a"
+  "libdbsim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbsim_bench_harness.a"
+)

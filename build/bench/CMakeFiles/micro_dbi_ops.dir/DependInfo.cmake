@@ -13,9 +13,19 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dbsim_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/llc/CMakeFiles/dbsim_llc.dir/DependInfo.cmake"
   "/root/repo/build/src/dbi/CMakeFiles/dbsim_dbi.dir/DependInfo.cmake"
   "/root/repo/build/src/cache/CMakeFiles/dbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dbsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/dbsim_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/dbsim_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbsim_model.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/dbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/dbsim_exp.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dbsim_exp.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/dbsim_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/llc/CMakeFiles/dbsim_llc.dir/DependInfo.cmake"
   "/root/repo/build/src/dbi/CMakeFiles/dbsim_dbi.dir/DependInfo.cmake"

@@ -16,3 +16,4 @@ subdirs("llc")
 subdirs("cpu")
 subdirs("workload")
 subdirs("sim")
+subdirs("exp")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/alone_cache.cc" "src/exp/CMakeFiles/dbsim_exp.dir/alone_cache.cc.o" "gcc" "src/exp/CMakeFiles/dbsim_exp.dir/alone_cache.cc.o.d"
+  "/root/repo/src/exp/json.cc" "src/exp/CMakeFiles/dbsim_exp.dir/json.cc.o" "gcc" "src/exp/CMakeFiles/dbsim_exp.dir/json.cc.o.d"
+  "/root/repo/src/exp/record.cc" "src/exp/CMakeFiles/dbsim_exp.dir/record.cc.o" "gcc" "src/exp/CMakeFiles/dbsim_exp.dir/record.cc.o.d"
+  "/root/repo/src/exp/runner.cc" "src/exp/CMakeFiles/dbsim_exp.dir/runner.cc.o" "gcc" "src/exp/CMakeFiles/dbsim_exp.dir/runner.cc.o.d"
+  "/root/repo/src/exp/sweep.cc" "src/exp/CMakeFiles/dbsim_exp.dir/sweep.cc.o" "gcc" "src/exp/CMakeFiles/dbsim_exp.dir/sweep.cc.o.d"
+  "/root/repo/src/exp/thread_pool.cc" "src/exp/CMakeFiles/dbsim_exp.dir/thread_pool.cc.o" "gcc" "src/exp/CMakeFiles/dbsim_exp.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dbsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/llc/CMakeFiles/dbsim_llc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/dbsim_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/dbsim_pred.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsim_exp.dir/alone_cache.cc.o"
+  "CMakeFiles/dbsim_exp.dir/alone_cache.cc.o.d"
+  "CMakeFiles/dbsim_exp.dir/json.cc.o"
+  "CMakeFiles/dbsim_exp.dir/json.cc.o.d"
+  "CMakeFiles/dbsim_exp.dir/record.cc.o"
+  "CMakeFiles/dbsim_exp.dir/record.cc.o.d"
+  "CMakeFiles/dbsim_exp.dir/runner.cc.o"
+  "CMakeFiles/dbsim_exp.dir/runner.cc.o.d"
+  "CMakeFiles/dbsim_exp.dir/sweep.cc.o"
+  "CMakeFiles/dbsim_exp.dir/sweep.cc.o.d"
+  "CMakeFiles/dbsim_exp.dir/thread_pool.cc.o"
+  "CMakeFiles/dbsim_exp.dir/thread_pool.cc.o.d"
+  "libdbsim_exp.a"
+  "libdbsim_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsim_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

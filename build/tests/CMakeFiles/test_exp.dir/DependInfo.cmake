@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exp/test_alone_cache.cc" "tests/CMakeFiles/test_exp.dir/exp/test_alone_cache.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/test_alone_cache.cc.o.d"
+  "/root/repo/tests/exp/test_runner.cc" "tests/CMakeFiles/test_exp.dir/exp/test_runner.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/test_runner.cc.o.d"
+  "/root/repo/tests/exp/test_sweep.cc" "tests/CMakeFiles/test_exp.dir/exp/test_sweep.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/test_sweep.cc.o.d"
+  "/root/repo/tests/exp/test_thread_pool.cc" "tests/CMakeFiles/test_exp.dir/exp/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/test_exp.dir/exp/test_thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dbsim_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/llc/CMakeFiles/dbsim_llc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/dbsim_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dbsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dbsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pred/CMakeFiles/dbsim_pred.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/dbsim_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbsim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dbsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/exp/test_alone_cache.cc.o"
+  "CMakeFiles/test_exp.dir/exp/test_alone_cache.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_runner.cc.o"
+  "CMakeFiles/test_exp.dir/exp/test_runner.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_sweep.cc.o"
+  "CMakeFiles/test_exp.dir/exp/test_sweep.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/test_thread_pool.cc.o"
+  "CMakeFiles/test_exp.dir/exp/test_thread_pool.cc.o.d"
+  "test_exp"
+  "test_exp.pdb"
+  "test_exp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

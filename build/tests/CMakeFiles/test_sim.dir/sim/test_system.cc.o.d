@@ -293,19 +293,29 @@ tests/CMakeFiles/test_sim.dir/sim/test_system.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/metrics.hh /root/repo/src/sim/runner.hh \
- /root/repo/src/sim/system.hh /root/repo/src/common/event_queue.hh \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/logging.hh \
- /root/repo/src/common/types.hh /root/repo/src/cpu/core.hh \
- /root/repo/src/common/stats.hh /root/repo/src/common/types.hh \
- /root/repo/src/cpu/core_memory.hh /root/repo/src/cache/tag_store.hh \
- /root/repo/src/common/rng.hh /root/repo/src/llc/llc.hh \
- /root/repo/src/dram/dram_controller.hh /root/repo/src/common/addr_map.hh \
- /root/repo/src/dram/dram_config.hh /root/repo/src/cpu/trace.hh \
- /root/repo/src/dbi/dbi.hh /root/repo/src/common/bitvec.hh \
- /root/repo/src/pred/miss_predictor.hh /root/repo/src/sim/mechanism.hh \
- /root/repo/src/workload/mixes.hh /root/repo/src/workload/file_trace.hh \
+ /root/repo/src/exp/alone_cache.hh /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/sim/system.hh \
+ /root/repo/src/common/event_queue.hh /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/logging.hh /root/repo/src/common/types.hh \
+ /root/repo/src/cpu/core.hh /root/repo/src/common/stats.hh \
+ /root/repo/src/common/types.hh /root/repo/src/cpu/core_memory.hh \
+ /root/repo/src/cache/tag_store.hh /root/repo/src/common/rng.hh \
+ /root/repo/src/llc/llc.hh /root/repo/src/dram/dram_controller.hh \
+ /root/repo/src/common/addr_map.hh /root/repo/src/dram/dram_config.hh \
+ /root/repo/src/cpu/trace.hh /root/repo/src/dbi/dbi.hh \
+ /root/repo/src/common/bitvec.hh /root/repo/src/pred/miss_predictor.hh \
+ /root/repo/src/sim/mechanism.hh /root/repo/src/workload/mixes.hh \
+ /root/repo/src/workload/file_trace.hh \
  /root/repo/src/workload/synthetic_trace.hh \
- /root/repo/src/workload/profiles.hh
+ /root/repo/src/workload/profiles.hh /root/repo/src/sim/metrics.hh

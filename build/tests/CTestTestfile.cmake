@@ -16,3 +16,4 @@ include("/root/repo/build/tests/test_cpu[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")
 include("/root/repo/build/tests/test_coherence[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")

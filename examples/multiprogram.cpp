@@ -12,7 +12,9 @@
 
 #include <cstdio>
 
-#include "sim/runner.hh"
+#include "exp/alone_cache.hh"
+#include "sim/metrics.hh"
+#include "sim/system.hh"
 
 using namespace dbsim;
 
@@ -33,7 +35,7 @@ main(int argc, char **argv)
     cfg.core.warmupInstrs = 2'000'000;
     cfg.core.measureInstrs = 1'000'000;
 
-    AloneIpcCache alone(cfg);
+    exp::AloneIpcCache alone(cfg);
 
     std::printf("4-core mix: %s\n\n", mixLabel(mix).c_str());
     std::printf("alone IPCs:");

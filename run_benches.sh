@@ -3,9 +3,52 @@
 # Default arguments are sized so the whole suite finishes in tens of
 # minutes on one machine; pass bigger instruction counts for tighter
 # statistics.
-set -u
+#
+# Usage: run_benches.sh [--jobs N] [--json DIR]
+#   --jobs N   thread-pool size passed to every bench (default: nproc).
+#              Identical seeds mean the tables are the same at any N.
+#   --json DIR also write one JSONL file per bench into DIR
+#
+# Bench stderr (progress lines, warnings) goes to bench_stderr.log. Any
+# bench failure is reported at the end and makes the suite exit
+# non-zero.
+set -euo pipefail
+
+JOBS=$(nproc)
+JSON_DIR=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --jobs) JOBS=$2; shift 2 ;;
+        --json) JSON_DIR=$2; shift 2 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
 B=build/bench
-run() { echo "=================================================================="; echo "\$ $*"; echo; "$@" 2>/dev/null; echo; }
+ERRLOG=bench_stderr.log
+: > "$ERRLOG"
+[[ -n $JSON_DIR ]] && mkdir -p "$JSON_DIR"
+
+FAILED=()
+run() {
+    local name
+    name=$(basename "$1")
+    echo "=================================================================="
+    echo "\$ $* --jobs $JOBS"
+    echo
+    local extra=()
+    [[ -n $JSON_DIR ]] && extra+=(--json "$JSON_DIR/$name.jsonl")
+    local bin=$1
+    shift
+    local status=0
+    "$bin" "$@" --jobs "$JOBS" "${extra[@]}" 2>>"$ERRLOG" || status=$?
+    if ((status)); then
+        echo "*** $name FAILED (exit $status) — see $ERRLOG" >&2
+        FAILED+=("$name")
+    fi
+    echo
+}
+
 run $B/table4_storage
 run $B/table5_power
 run $B/micro_dbi_ops
@@ -20,3 +63,8 @@ run $B/fig8_scurve 16
 run $B/table7_cache_size 5
 run $B/ablation_drrip 4
 run $B/diag_run
+
+if ((${#FAILED[@]})); then
+    echo "FAILED benches: ${FAILED[*]}" >&2
+    exit 1
+fi

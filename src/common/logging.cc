@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace dbsim {
@@ -40,7 +41,11 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    // fatal() can fire on an experiment-runner worker thread; running
+    // static destructors there (std::exit) races with threads still
+    // touching those objects. Flush and leave without them.
+    std::fflush(nullptr);
+    std::_Exit(1);
 }
 
 void

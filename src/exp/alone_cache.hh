@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Thread-safe alone-IPC cache. Weighted speedup and the other fairness
+ * metrics normalize each benchmark against its IPC when running alone
+ * on the 1-core baseline system; those baseline runs are shared across
+ * every concurrent mix evaluation, so each benchmark is simulated
+ * exactly once no matter how many worker threads ask for it (latecomers
+ * block on the first requester's result).
+ *
+ * Supersedes the single-threaded dbsim::AloneIpcCache in sim/runner.hh.
+ */
+
+#ifndef DBSIM_EXP_ALONE_CACHE_HH
+#define DBSIM_EXP_ALONE_CACHE_HH
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/mixes.hh"
+
+namespace dbsim::exp {
+
+class AloneIpcCache
+{
+  public:
+    /** Computes the alone IPC of one benchmark (test seam). */
+    using ComputeFn = std::function<double(const std::string &)>;
+
+    /**
+     * @param base config whose scalar parameters (seed, instruction
+     *        counts, DRAM, ...) the alone runs inherit; core count and
+     *        mechanism are overridden to 1-core Baseline.
+     */
+    explicit AloneIpcCache(const SystemConfig &base);
+
+    /** Like above but with an injected compute function (for tests). */
+    AloneIpcCache(const SystemConfig &base, ComputeFn fn);
+
+    /**
+     * Alone IPC of `bench`. Computes on first request (in the calling
+     * thread); concurrent requests for the same benchmark wait for
+     * that computation instead of duplicating it.
+     */
+    double get(const std::string &bench);
+
+    /** Alone IPCs for each slot of a mix. */
+    std::vector<double> forMix(const WorkloadMix &mix);
+
+    /** Number of computations actually performed (not cache hits). */
+    std::size_t computeCount() const { return computes.load(); }
+
+  private:
+    SystemConfig baseCfg;
+    ComputeFn compute;
+    std::mutex mu;
+    std::map<std::string, std::shared_future<double>> futures;
+    std::atomic<std::size_t> computes{0};
+};
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_ALONE_CACHE_HH

@@ -1,0 +1,78 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dbsim::exp {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[40];
+    // Try successively longer precisions; the first that round-trips
+    // keeps the output short for "nice" values like 0.25.
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v) {
+            break;
+        }
+    }
+    return buf;
+}
+
+std::string
+jsonNumber(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace dbsim::exp

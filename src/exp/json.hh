@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimal JSON emission helpers for the experiment runner's JSON Lines
+ * output. Only what records need: string escaping and round-trippable
+ * number formatting. No parser, no DOM.
+ */
+
+#ifndef DBSIM_EXP_JSON_HH
+#define DBSIM_EXP_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dbsim::exp {
+
+/** `s` with JSON string escapes applied (no surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** `"s"` quoted and escaped. */
+std::string jsonString(const std::string &s);
+
+/**
+ * Shortest decimal that round-trips the double (%.17g, trimmed).
+ * Non-finite values become null, which JSON has no number for.
+ */
+std::string jsonNumber(double v);
+
+/** Decimal form of an unsigned integer. */
+std::string jsonNumber(std::uint64_t v);
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_JSON_HH

@@ -1,0 +1,66 @@
+#include "record.hh"
+
+#include "common/logging.hh"
+#include "exp/json.hh"
+
+namespace dbsim::exp {
+
+double
+PointRecord::metric(const std::string &key) const
+{
+    auto it = metrics.find(key);
+    fatal_if(it == metrics.end(), "record %zu (%s/%s) has no metric '%s'",
+             index, mechanism.c_str(), mix.c_str(), key.c_str());
+    return it->second;
+}
+
+std::uint64_t
+PointRecord::stat(const std::string &key) const
+{
+    auto it = stats.find(key);
+    fatal_if(it == stats.end(), "record %zu (%s/%s) has no stat '%s'",
+             index, mechanism.c_str(), mix.c_str(), key.c_str());
+    return it->second;
+}
+
+std::string
+PointRecord::toJsonLine() const
+{
+    std::string out = "{";
+    out += "\"index\":" + jsonNumber(static_cast<std::uint64_t>(index));
+    out += ",\"experiment\":" + jsonString(experiment);
+    out += ",\"mechanism\":" + jsonString(mechanism);
+    out += ",\"mix\":" + jsonString(mix);
+
+    out += ",\"tags\":{";
+    bool first = true;
+    for (const auto &[k, v] : tags) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += jsonString(k) + ":" + jsonString(v);
+    }
+    out += "},\"metrics\":{";
+    first = true;
+    for (const auto &[k, v] : metrics) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += jsonString(k) + ":" + jsonNumber(v);
+    }
+    out += "},\"stats\":{";
+    first = true;
+    for (const auto &[k, v] : stats) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += jsonString(k) + ":" + jsonNumber(v);
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace dbsim::exp

@@ -1,0 +1,149 @@
+#include "runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "exp/thread_pool.hh"
+#include "sim/metrics.hh"
+
+namespace dbsim::exp {
+
+namespace {
+
+/** Fill the standard per-run metrics from a SimResult. */
+void
+fillSimMetrics(PointRecord &rec, const SimResult &r)
+{
+    for (std::size_t c = 0; c < r.ipc.size(); ++c) {
+        rec.metrics["ipc" + std::to_string(c)] = r.ipc[c];
+    }
+    rec.metrics["readRowHitRate"] = r.readRowHitRate;
+    rec.metrics["writeRowHitRate"] = r.writeRowHitRate;
+    rec.metrics["tagLookupsPki"] = r.tagLookupsPki;
+    rec.metrics["wpki"] = r.wpki;
+    rec.metrics["mpki"] = r.mpki;
+    rec.metrics["dramEnergyPj"] = r.dramEnergyPj;
+    rec.metrics["totalInstrs"] = static_cast<double>(r.totalInstrs);
+    rec.metrics["windowCycles"] = static_cast<double>(r.windowCycles);
+    rec.stats = r.stats;
+}
+
+/** Evaluate one point into a record. */
+PointRecord
+evalPoint(const SweepPoint &p, const std::string &experiment,
+          AloneIpcCache *alone)
+{
+    PointRecord rec;
+    rec.index = p.index;
+    rec.experiment = experiment;
+    rec.tags = p.tags;
+
+    switch (p.kind) {
+      case PointKind::Custom:
+        p.custom(rec);
+        break;
+      case PointKind::Sim:
+      case PointKind::MixSim: {
+        rec.mechanism = mechanismName(p.cfg.mech);
+        rec.mix = mixLabel(p.mix);
+        SimResult r = runWorkload(p.cfg, p.mix);
+        fillSimMetrics(rec, r);
+        if (p.kind == PointKind::MixSim) {
+            panic_if(!alone, "MixSim point without an alone-IPC cache");
+            std::vector<double> alone_ipcs = alone->forMix(p.mix);
+            for (std::size_t c = 0; c < alone_ipcs.size(); ++c) {
+                rec.metrics["aloneIpc" + std::to_string(c)] =
+                    alone_ipcs[c];
+            }
+            rec.metrics["weightedSpeedup"] =
+                weightedSpeedup(r.ipc, alone_ipcs);
+            rec.metrics["instructionThroughput"] =
+                instructionThroughput(r.ipc);
+            rec.metrics["harmonicSpeedup"] =
+                harmonicSpeedup(r.ipc, alone_ipcs);
+            rec.metrics["maxSlowdown"] = maxSlowdown(r.ipc, alone_ipcs);
+        }
+        break;
+      }
+    }
+    return rec;
+}
+
+} // namespace
+
+std::vector<PointRecord>
+ExperimentRunner::run(const SweepSpec &spec)
+{
+    const auto &points = spec.points();
+    std::vector<PointRecord> records(points.size());
+    if (points.empty()) {
+        return records;
+    }
+
+    std::unique_ptr<AloneIpcCache> alone;
+    if (spec.hasMixSim()) {
+        alone = std::make_unique<AloneIpcCache>(spec.aloneBase());
+    }
+
+    std::ofstream jsonl;
+    if (!opts.jsonlPath.empty()) {
+        jsonl.open(opts.jsonlPath, std::ios::out | std::ios::trunc);
+        fatal_if(!jsonl, "cannot open JSONL output '%s'",
+                 opts.jsonlPath.c_str());
+    }
+
+    // Sink state shared by the workers.
+    std::mutex sinkMu;
+    std::size_t completed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+
+    auto sink = [&](const PointRecord &rec) {
+        std::lock_guard<std::mutex> lock(sinkMu);
+        if (jsonl.is_open()) {
+            jsonl << rec.toJsonLine() << '\n';
+            jsonl.flush();
+        }
+        ++completed;
+        if (opts.progress) {
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            std::size_t remaining = points.size() - completed;
+            double eta =
+                completed ? elapsed / completed * remaining : 0.0;
+            std::fprintf(stderr,
+                         "\r[%zu/%zu] %5.1f%%  elapsed %.0fs  eta %.0fs ",
+                         completed, points.size(),
+                         100.0 * completed / points.size(), elapsed, eta);
+            if (completed == points.size()) {
+                std::fprintf(stderr, "\n");
+            }
+        }
+    };
+
+    auto evalOne = [&](const SweepPoint &p) {
+        PointRecord rec = evalPoint(p, opts.experiment, alone.get());
+        records[p.index] = std::move(rec);
+        sink(records[p.index]);
+    };
+
+    if (opts.jobs <= 1) {
+        for (const auto &p : points) {
+            evalOne(p);
+        }
+    } else {
+        ThreadPool pool(opts.jobs);
+        for (const auto &p : points) {
+            pool.submit([&evalOne, &p] { evalOne(p); });
+        }
+        pool.wait();
+    }
+    return records;
+}
+
+} // namespace dbsim::exp

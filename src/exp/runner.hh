@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ExperimentRunner: evaluates every point of a SweepSpec on a
+ * fixed-size thread pool. Each point is an independent System with its
+ * own EventQueue, so isolation is per-run; the only cross-point state
+ * is the thread-safe AloneIpcCache (baseline IPCs computed once and
+ * shared) and the result sink, which streams one JSON Lines record per
+ * completed point and keeps a progress/ETA line on stderr.
+ *
+ * Results are deterministic in the spec and seed: `jobs` changes only
+ * wall-clock time and completion order, never any record's content.
+ */
+
+#ifndef DBSIM_EXP_RUNNER_HH
+#define DBSIM_EXP_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/alone_cache.hh"
+#include "exp/record.hh"
+#include "exp/sweep.hh"
+
+namespace dbsim::exp {
+
+/** Execution knobs for one sweep. */
+struct RunOptions
+{
+    /** Worker threads; 0 or 1 means serial. */
+    std::uint32_t jobs = 1;
+
+    /** When non-empty, append one JSONL record per point here. */
+    std::string jsonlPath;
+
+    /** Progress/ETA line on stderr. */
+    bool progress = true;
+
+    /** Stamped into every record's `experiment` field. */
+    std::string experiment;
+};
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunOptions options) : opts(std::move(options))
+    {}
+
+    /**
+     * Evaluate all points; blocks until done. The returned records are
+     * ordered by point index (i.e. spec order), independent of the
+     * order in which worker threads finished them.
+     */
+    std::vector<PointRecord> run(const SweepSpec &spec);
+
+  private:
+    RunOptions opts;
+};
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_RUNNER_HH

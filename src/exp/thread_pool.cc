@@ -1,0 +1,74 @@
+#include "thread_pool.hh"
+
+namespace dbsim::exp {
+
+ThreadPool::ThreadPool(std::uint32_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = 1;
+    }
+    workers.reserve(num_threads);
+    for (std::uint32_t i = 0; i < num_threads; ++i) {
+        workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        stopping = true;
+    }
+    taskCv.notify_all();
+    for (auto &w : workers) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        queue.push_back(std::move(task));
+    }
+    taskCv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idleCv.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            taskCv.wait(lock,
+                        [this] { return stopping || !queue.empty(); });
+            if (queue.empty()) {
+                // stopping: drain finished, exit. (Destructor joins
+                // only after outstanding tasks have completed.)
+                return;
+            }
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            --active;
+            if (queue.empty() && active == 0) {
+                idleCv.notify_all();
+            }
+        }
+    }
+}
+
+} // namespace dbsim::exp

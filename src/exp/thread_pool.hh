@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-size thread pool for the experiment runner. Each simulation
+ * point owns its own System and EventQueue, so tasks are fully
+ * independent; the pool only provides fan-out and a drain barrier.
+ */
+
+#ifndef DBSIM_EXP_THREAD_POOL_HH
+#define DBSIM_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbsim::exp {
+
+class ThreadPool
+{
+  public:
+    /** Spawns `num_threads` workers (at least one). */
+    explicit ThreadPool(std::uint32_t num_threads);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Callable from any thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(workers.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable taskCv;  ///< workers: work available / stop
+    std::condition_variable idleCv;  ///< wait(): queue drained
+    std::size_t active = 0;          ///< tasks currently executing
+    bool stopping = false;
+};
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_THREAD_POOL_HH

@@ -1,5 +1,9 @@
 #include "runner.hh"
 
+// This file implements the deprecated compatibility wrappers; the
+// definitions themselves must not warn.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace dbsim {
 
 double

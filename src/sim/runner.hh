@@ -1,8 +1,10 @@
 /**
  * @file
- * Experiment-harness helpers shared by the benches: an alone-IPC cache
- * (weighted speedup normalizes against each benchmark running alone on
- * the baseline system) and a multi-core evaluation routine.
+ * DEPRECATED experiment-harness helpers. The bench binaries now route
+ * everything through the parallel runner subsystem (src/exp/ plus
+ * bench/harness.hh); these single-threaded wrappers remain only so
+ * out-of-tree code keeps compiling. New code should use
+ * dbsim::exp::AloneIpcCache and dbsim::exp::ExperimentRunner.
  */
 
 #ifndef DBSIM_SIM_RUNNER_HH
@@ -20,8 +22,12 @@ namespace dbsim {
 /**
  * Caches single-core baseline IPCs per benchmark so multi-core metric
  * normalization reuses them across mechanisms and mixes.
+ *
+ * @deprecated Not safe for concurrent use; superseded by
+ *             dbsim::exp::AloneIpcCache (exp/alone_cache.hh).
  */
-class AloneIpcCache
+class [[deprecated(
+    "use dbsim::exp::AloneIpcCache (thread-safe)")]] AloneIpcCache
 {
   public:
     /**
@@ -51,9 +57,19 @@ struct MulticoreMetrics
     double maxSlowdown = 0.0;
 };
 
-/** Run a mix under `cfg` and compute metrics against alone IPCs. */
+/**
+ * Run a mix under `cfg` and compute metrics against alone IPCs.
+ *
+ * @deprecated Use exp::SweepSpec::addMixSim with an
+ *             exp::ExperimentRunner, which computes the same metrics
+ *             into PointRecord::metrics and runs points in parallel.
+ */
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+[[deprecated("use exp::ExperimentRunner with SweepSpec::addMixSim")]]
 MulticoreMetrics evalMix(const SystemConfig &cfg, const WorkloadMix &mix,
                          AloneIpcCache &alone);
+#pragma GCC diagnostic pop
 
 } // namespace dbsim
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * exp::AloneIpcCache tests. The contract under test: concurrent get()
+ * calls for the same benchmark perform exactly one computation (the
+ * first requester computes, latecomers block on its shared future), and
+ * results are stable across calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exp/alone_cache.hh"
+
+namespace dbsim::exp {
+namespace {
+
+TEST(AloneIpcCache, ComputesEachBenchmarkOnce)
+{
+    AloneIpcCache cache({}, [](const std::string &bench) {
+        return static_cast<double>(bench.size());
+    });
+
+    EXPECT_DOUBLE_EQ(cache.get("lbm"), 3.0);
+    EXPECT_DOUBLE_EQ(cache.get("lbm"), 3.0);
+    EXPECT_DOUBLE_EQ(cache.get("bzip2"), 5.0);
+    EXPECT_EQ(cache.computeCount(), 2u);
+}
+
+TEST(AloneIpcCache, ForMixSharesEntries)
+{
+    AloneIpcCache cache({}, [](const std::string &bench) {
+        return static_cast<double>(bench.size());
+    });
+
+    auto v = cache.forMix({"lbm", "mcf", "lbm", "mcf"});
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 3.0);
+    EXPECT_EQ(v[0], v[2]);
+    EXPECT_EQ(v[1], v[3]);
+    EXPECT_EQ(cache.computeCount(), 2u);
+}
+
+TEST(AloneIpcCache, ConcurrentRequestsComputeOnce)
+{
+    // A slow compute function maximizes the window in which a racy
+    // implementation would duplicate work.
+    std::atomic<int> in_flight{0};
+    std::atomic<int> max_in_flight{0};
+    AloneIpcCache cache({}, [&](const std::string &bench) {
+        int now = ++in_flight;
+        int seen = max_in_flight.load();
+        while (now > seen &&
+               !max_in_flight.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        --in_flight;
+        return static_cast<double>(bench.size());
+    });
+
+    std::vector<std::thread> threads;
+    std::vector<double> results(8, 0.0);
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back(
+            [&cache, &results, t] { results[t] = cache.get("lbm"); });
+    }
+    for (auto &th : threads) {
+        th.join();
+    }
+
+    EXPECT_EQ(cache.computeCount(), 1u);
+    EXPECT_EQ(max_in_flight.load(), 1);
+    for (double r : results) {
+        EXPECT_DOUBLE_EQ(r, 3.0);
+    }
+}
+
+TEST(AloneIpcCache, ConcurrentDistinctBenchmarksDoNotSerialize)
+{
+    // Different benchmarks must compute independently (one per
+    // requester), not behind one global computation lock.
+    AloneIpcCache cache({}, [](const std::string &bench) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return static_cast<double>(bench.size());
+    });
+
+    std::vector<std::string> benches = {"a", "bb", "ccc", "dddd"};
+    std::vector<std::thread> threads;
+    for (const auto &b : benches) {
+        threads.emplace_back([&cache, b] {
+            EXPECT_DOUBLE_EQ(cache.get(b),
+                             static_cast<double>(b.size()));
+        });
+    }
+    for (auto &th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(cache.computeCount(), 4u);
+}
+
+TEST(AloneIpcCache, RealComputeIsDeterministic)
+{
+    // Default compute path: 1-core Baseline runs, repeated lookups
+    // bit-identical.
+    SystemConfig cfg;
+    cfg.core.warmupInstrs = 20'000;
+    cfg.core.measureInstrs = 20'000;
+    AloneIpcCache a(cfg);
+    AloneIpcCache b(cfg);
+    EXPECT_EQ(a.get("lbm"), b.get("lbm"));
+    EXPECT_EQ(a.computeCount(), 1u);
+}
+
+} // namespace
+} // namespace dbsim::exp

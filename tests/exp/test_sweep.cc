@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SweepSpec unit tests: point construction, base-config propagation,
+ * and the cartesian expansion of addGrid (axis nesting order, tag
+ * coordinates, override application).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/sweep.hh"
+
+namespace dbsim::exp {
+namespace {
+
+TEST(SweepSpec, AddSimInheritsBaseConfig)
+{
+    SweepSpec spec;
+    spec.base().seed = 42;
+    spec.base().core.warmupInstrs = 123;
+
+    auto &pt = spec.addSim(Mechanism::Dawb, {"lbm"});
+    EXPECT_EQ(pt.index, 0u);
+    EXPECT_EQ(pt.kind, PointKind::Sim);
+    EXPECT_EQ(pt.cfg.mech, Mechanism::Dawb);
+    EXPECT_EQ(pt.cfg.seed, 42u);
+    EXPECT_EQ(pt.cfg.core.warmupInstrs, 123u);
+    EXPECT_EQ(pt.mix, WorkloadMix{"lbm"});
+    EXPECT_FALSE(spec.hasMixSim());
+}
+
+TEST(SweepSpec, AddMixSimSetsCoreCountAndKind)
+{
+    SweepSpec spec;
+    spec.base().numCores = 4;
+
+    auto &pt = spec.addMixSim(Mechanism::Baseline,
+                              {"lbm", "mcf", "astar", "bzip2"});
+    EXPECT_EQ(pt.kind, PointKind::MixSim);
+    EXPECT_EQ(pt.cfg.numCores, 4u);
+    EXPECT_TRUE(spec.hasMixSim());
+}
+
+TEST(SweepSpec, PointEditsAfterAddStick)
+{
+    SweepSpec spec;
+    auto &pt = spec.addSim(Mechanism::Dbi, {"lbm"});
+    pt.cfg.llcBytesPerCore = 4ull << 20;
+    pt.tags["mb"] = "4";
+
+    EXPECT_EQ(spec.points().at(0).cfg.llcBytesPerCore, 4ull << 20);
+    EXPECT_EQ(spec.points().at(0).tags.at("mb"), "4");
+}
+
+TEST(SweepSpec, AloneBaseDefaultsToConstructionTimeBase)
+{
+    SystemConfig cfg;
+    cfg.seed = 7;
+    SweepSpec spec(cfg);
+    spec.base().seed = 99;  // later edits must not leak into aloneBase
+
+    EXPECT_EQ(spec.aloneBase().seed, 7u);
+    spec.setAloneBase(spec.base());
+    EXPECT_EQ(spec.aloneBase().seed, 99u);
+}
+
+TEST(SweepSpec, GridIsFullCartesianProductInNestingOrder)
+{
+    SweepSpec spec;
+    std::vector<std::vector<ConfigOverride>> axes = {
+        {{"alpha", "0.25", [](SystemConfig &c) { c.dbi.alpha = 0.25; }},
+         {"alpha", "0.5", [](SystemConfig &c) { c.dbi.alpha = 0.5; }}},
+        {{"gran", "16", [](SystemConfig &c) { c.dbi.granularity = 16; }},
+         {"gran", "64", [](SystemConfig &c) { c.dbi.granularity = 64; }},
+         {"gran", "128",
+          [](SystemConfig &c) { c.dbi.granularity = 128; }}},
+    };
+    spec.addGrid({Mechanism::DbiAwb, Mechanism::Dbi},
+                 {{"lbm"}, {"mcf"}}, PointKind::Sim, axes);
+
+    // 2 alpha x 3 gran x 2 mech x 2 mix, axes outermost, mixes
+    // innermost.
+    ASSERT_EQ(spec.points().size(), 24u);
+    const auto &first = spec.points().front();
+    EXPECT_EQ(first.tags.at("alpha"), "0.25");
+    EXPECT_EQ(first.tags.at("gran"), "16");
+    EXPECT_EQ(first.cfg.mech, Mechanism::DbiAwb);
+    EXPECT_EQ(first.mix, WorkloadMix{"lbm"});
+    EXPECT_DOUBLE_EQ(first.cfg.dbi.alpha, 0.25);
+    EXPECT_EQ(first.cfg.dbi.granularity, 16u);
+
+    // Second point: innermost loop (mix) advances first.
+    EXPECT_EQ(spec.points()[1].mix, WorkloadMix{"mcf"});
+    EXPECT_EQ(spec.points()[1].cfg.mech, Mechanism::DbiAwb);
+
+    // Third: mechanism advances after mixes are exhausted.
+    EXPECT_EQ(spec.points()[2].cfg.mech, Mechanism::Dbi);
+    EXPECT_EQ(spec.points()[2].mix, WorkloadMix{"lbm"});
+
+    const auto &last = spec.points().back();
+    EXPECT_EQ(last.tags.at("alpha"), "0.5");
+    EXPECT_EQ(last.tags.at("gran"), "128");
+    EXPECT_EQ(last.cfg.mech, Mechanism::Dbi);
+    EXPECT_EQ(last.mix, WorkloadMix{"mcf"});
+    EXPECT_DOUBLE_EQ(last.cfg.dbi.alpha, 0.5);
+    EXPECT_EQ(last.cfg.dbi.granularity, 128u);
+
+    // Indices are dense and ordered.
+    for (std::size_t i = 0; i < spec.points().size(); ++i) {
+        EXPECT_EQ(spec.points()[i].index, i);
+    }
+}
+
+TEST(SweepSpec, GridWithoutAxesIsMechByMix)
+{
+    SweepSpec spec;
+    spec.addGrid({Mechanism::Baseline, Mechanism::Dawb,
+                  Mechanism::DbiAwbClb},
+                 {{"lbm"}, {"mcf"}}, PointKind::MixSim);
+    EXPECT_EQ(spec.points().size(), 6u);
+    EXPECT_TRUE(spec.hasMixSim());
+}
+
+} // namespace
+} // namespace dbsim::exp

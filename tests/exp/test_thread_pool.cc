@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ThreadPool unit tests: task execution, the wait() drain barrier,
+ * reuse after a drain, submissions from inside tasks, and clean
+ * destruction with work still queued.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "exp/thread_pool.hh"
+
+namespace dbsim::exp {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i) {
+        pool.submit([&sum, i] { sum += i; });
+    }
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIsABarrier)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            ++done;
+        });
+    }
+    pool.wait();
+    // Every task observed complete at the moment wait() returns.
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&pool, &count] {
+            ++count;
+            pool.submit([&count] { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&count] { ++count; });
+        }
+        // No wait(): the destructor must finish the queue, not drop it.
+    }
+    EXPECT_EQ(count.load(), 32);
+}
+
+} // namespace
+} // namespace dbsim::exp

@@ -8,8 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/alone_cache.hh"
 #include "sim/metrics.hh"
-#include "sim/runner.hh"
 #include "sim/system.hh"
 
 namespace dbsim {
@@ -148,7 +148,7 @@ TEST(Metrics, GeomeanMatchesHandComputation)
 TEST(Metrics, AloneIpcCacheIsConsistent)
 {
     SystemConfig cfg = quickConfig(Mechanism::TaDip);
-    AloneIpcCache cache(cfg);
+    exp::AloneIpcCache cache(cfg);
     double a = cache.get("bwaves");
     double b = cache.get("bwaves");
     EXPECT_EQ(a, b);
