@@ -34,7 +34,7 @@ printUsage(const char *argv0)
     std::printf("usage: %s [positional args...] [--jobs N] [--json FILE]\n"
                 "        [--seed S] [--warmup N] [--measure N] "
                 "[--instrs K]\n"
-                "        [--no-progress] [--list] [--help]\n\n"
+                "        [--audit N] [--no-progress] [--list] [--help]\n\n"
                 "experiments in this binary:\n",
                 argv0);
     for (const auto &e : registry()) {
@@ -99,6 +99,9 @@ harnessMain(int argc, char **argv)
             opts.warmup = k;
             opts.measure = k;
             ++i;
+        } else if (std::strcmp(arg, "--audit") == 0) {
+            opts.auditEvery = parseUint(arg, needValue(i));
+            ++i;
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             opts.progress = false;
         } else if (std::strcmp(arg, "--list") == 0 ||
@@ -123,6 +126,7 @@ harnessMain(int argc, char **argv)
         run_opts.jsonlPath = opts.jsonPath;
         run_opts.progress = opts.progress;
         run_opts.experiment = e.name;
+        run_opts.auditEvery = opts.auditEvery;
 
         exp::SweepSpec spec = e.spec(opts);
         exp::ExperimentRunner runner(run_opts);

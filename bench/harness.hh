@@ -12,6 +12,8 @@
  *           [--seed S]                base RNG seed (default 1)
  *           [--warmup N] [--measure N]   instruction-count overrides
  *           [--instrs K]              shorthand: warmup = measure = K
+ *           [--audit N]               run the dirty-state auditor every
+ *                                     N LLC events (default 0 = off)
  *           [--no-progress]           suppress the stderr progress line
  *           [--list] [--help]
  *
@@ -42,6 +44,15 @@ struct HarnessOptions
     std::uint64_t seed = 1;
     std::optional<std::uint64_t> warmup;
     std::optional<std::uint64_t> measure;
+
+    /**
+     * Dirty-state audit period (--audit N). Bench runs measure; they
+     * default to 0 (auditor off) regardless of the DBSIM_AUDIT build
+     * default, so tables are never produced under auditing overhead
+     * unless explicitly requested.
+     */
+    std::uint64_t auditEvery = 0;
+
     bool progress = true;
     std::vector<std::string> positional;
 

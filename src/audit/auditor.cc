@@ -1,0 +1,146 @@
+#include "auditor.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "llc/llc_variants.hh"
+
+namespace dbsim::audit {
+
+InvariantAuditor::InvariantAuditor(Llc &llc, const AuditConfig &config)
+    : subject(llc), cfg(config), ring(config.traceDepth)
+{
+    fatal_if(cfg.checkEvery == 0, "auditor checkEvery must be positive");
+    subject.attachAuditor(this);
+}
+
+InvariantAuditor::~InvariantAuditor()
+{
+    subject.attachAuditor(nullptr);
+}
+
+void
+InvariantAuditor::onWritebackIn(Addr block_addr, Cycle when)
+{
+    ring.push(DirtyEventKind::WritebackIn, block_addr, when);
+    ++events;
+    ++sinceCheck;
+    model.onWritebackIn(block_addr);
+}
+
+void
+InvariantAuditor::onFill(Addr block_addr, bool dirty, Cycle when)
+{
+    ring.push(dirty ? DirtyEventKind::FillDirty : DirtyEventKind::Fill,
+              block_addr, when);
+    ++events;
+    ++sinceCheck;
+    model.onFill(block_addr, dirty);
+}
+
+void
+InvariantAuditor::onEviction(Addr block_addr, Cycle when)
+{
+    ring.push(DirtyEventKind::Eviction, block_addr, when);
+    ++events;
+    ++sinceCheck;
+    if (!model.onEviction(block_addr)) {
+        // I4: the mechanism displaced a block whose latest data never
+        // reached memory. This is the silent-corruption case the
+        // periodic checks could only catch after the fact.
+        fail("block evicted while dirty (memory update lost)",
+             block_addr);
+    }
+}
+
+void
+InvariantAuditor::onWbToDram(Addr block_addr, Cycle when)
+{
+    ring.push(DirtyEventKind::WbToDram, block_addr, when);
+    ++events;
+    ++sinceCheck;
+    model.onWbToDram(block_addr);
+}
+
+void
+InvariantAuditor::onOperationEnd()
+{
+    if (sinceCheck >= cfg.checkEvery) {
+        checkNow();
+    }
+}
+
+std::vector<Addr>
+InvariantAuditor::mechanismDirtyBlocks() const
+{
+    std::vector<Addr> blocks;
+    if (const auto *d = dynamic_cast<const DbiLlc *>(&subject)) {
+        d->dbi().forEachDirtyBlock(
+            [&](Addr a) { blocks.push_back(a); });
+        return blocks;
+    }
+    const TagStore &tags = subject.tags();
+    for (std::uint32_t s = 0; s < tags.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < tags.assoc(); ++w) {
+            const TagStore::Entry &e = tags.entryAt(s, w);
+            if (e.valid && e.dirty) {
+                blocks.push_back(e.block);
+            }
+        }
+    }
+    return blocks;
+}
+
+void
+InvariantAuditor::checkNow()
+{
+    ++checks;
+    sinceCheck = 0;
+
+    const TagStore &tags = subject.tags();
+    std::vector<Addr> mech_list = mechanismDirtyBlocks();
+    std::unordered_set<Addr> mech(mech_list.begin(), mech_list.end());
+
+    // I1 (mechanism -> shadow) and I2: everything the mechanism calls
+    // dirty must be ground-truth dirty and resident.
+    for (Addr a : mech_list) {
+        if (!model.isDirty(a)) {
+            fail("mechanism marks a ground-truth-clean block dirty", a);
+        }
+        if (!tags.contains(a)) {
+            fail("dirty block not resident in the cache", a);
+        }
+    }
+
+    // I1 (shadow -> mechanism): no dirty block may be forgotten.
+    for (Addr a : model.dirtyBlocks()) {
+        if (!mech.count(a)) {
+            fail("mechanism lost a dirty block (update would be lost)",
+                 a);
+        }
+    }
+
+    if (const auto *d = dynamic_cast<const DbiLlc *>(&subject)) {
+        // I3: the DBI is the only dirty-state source, and its own
+        // aggregate count agrees with ground truth.
+        if (tags.countDirty() != 0) {
+            fail("tag store of a DBI cache carries dirty bits", 0);
+        }
+        if (d->dbi().countDirtyBlocks() != model.countDirty()) {
+            fail("DBI dirty-block count diverges from ground truth", 0);
+        }
+    }
+}
+
+void
+InvariantAuditor::fail(const char *what, Addr addr)
+{
+    ring.dump(stderr);
+    panic("dirty-state audit: %s (block %#llx, after %llu events, "
+          "%llu checks)",
+          what, static_cast<unsigned long long>(addr),
+          static_cast<unsigned long long>(events),
+          static_cast<unsigned long long>(checks));
+}
+
+} // namespace dbsim::audit

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * InvariantAuditor: runtime cross-checker of the paper's central
+ * contract — the dirty-state source (tag-store dirty bits for
+ * conventional LLCs, the DBI for DBI LLCs) must agree with ground
+ * truth at every quiescent point:
+ *
+ *   I1. a block is dirty in the mechanism <=> the shadow model, which
+ *       replays the raw event stream, says it is dirty;
+ *   I2. every dirty block is resident in the cache;
+ *   I3. a DBI cache's tag store carries no dirty bits, and the DBI's
+ *       own dirty count matches ground truth;
+ *   I4. no block is ever evicted while still dirty (its update would
+ *       be lost) — checked per eviction event, not just periodically.
+ *
+ * The auditor attaches to an Llc as a passive LlcAuditObserver, runs a
+ * full cross-check every `checkEvery` events (at operation boundaries
+ * only, so mid-operation transients never false-positive), and panics
+ * with a dump of the bounded event-trace ring on first divergence.
+ */
+
+#ifndef DBSIM_AUDIT_AUDITOR_HH
+#define DBSIM_AUDIT_AUDITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "audit/event_trace.hh"
+#include "audit/shadow_model.hh"
+#include "llc/llc.hh"
+
+namespace dbsim::audit {
+
+/** Auditor knobs. */
+struct AuditConfig
+{
+    /** Events between full cross-checks (per-event checks always run). */
+    std::uint64_t checkEvery = 4096;
+    /** Events kept for the divergence dump. */
+    std::size_t traceDepth = 64;
+};
+
+class InvariantAuditor : public LlcAuditObserver
+{
+  public:
+    /** Attaches itself to `llc`; detaches on destruction. */
+    InvariantAuditor(Llc &llc, const AuditConfig &config = {});
+    ~InvariantAuditor() override;
+
+    InvariantAuditor(const InvariantAuditor &) = delete;
+    InvariantAuditor &operator=(const InvariantAuditor &) = delete;
+
+    // LlcAuditObserver
+    void onWritebackIn(Addr block_addr, Cycle when) override;
+    void onFill(Addr block_addr, bool dirty, Cycle when) override;
+    void onEviction(Addr block_addr, Cycle when) override;
+    void onWbToDram(Addr block_addr, Cycle when) override;
+    void onOperationEnd() override;
+
+    /** Run the full cross-check now; panics on divergence. */
+    void checkNow();
+
+    /**
+     * The dirty blocks as the audited mechanism reports them: the DBI's
+     * vectors for a DbiLlc, the tag-store dirty bits otherwise.
+     */
+    std::vector<Addr> mechanismDirtyBlocks() const;
+
+    /**
+     * Final memory image the mechanism would produce: memory's current
+     * content plus a flush of everything the mechanism believes dirty.
+     * Identical across correct mechanisms driven by the same requests.
+     */
+    MemoryImage finalImage() const { return model.finalImage(mechanismDirtyBlocks()); }
+
+    const ShadowDirtyModel &shadow() const { return model; }
+    const EventTraceRing &trace() const { return ring; }
+    std::uint64_t eventsObserved() const { return events; }
+    std::uint64_t checksRun() const { return checks; }
+
+  private:
+    [[noreturn]] void fail(const char *what, Addr addr);
+
+    Llc &subject;
+    AuditConfig cfg;
+    ShadowDirtyModel model;
+    EventTraceRing ring;
+    std::uint64_t events = 0;
+    std::uint64_t sinceCheck = 0;
+    std::uint64_t checks = 0;
+};
+
+} // namespace dbsim::audit
+
+#endif // DBSIM_AUDIT_AUDITOR_HH

@@ -1,0 +1,40 @@
+#include "event_trace.hh"
+
+namespace dbsim::audit {
+
+const char *
+dirtyEventKindName(DirtyEventKind kind)
+{
+    switch (kind) {
+      case DirtyEventKind::WritebackIn:
+        return "wb-in";
+      case DirtyEventKind::Fill:
+        return "fill";
+      case DirtyEventKind::FillDirty:
+        return "fill-dirty";
+      case DirtyEventKind::Eviction:
+        return "evict";
+      case DirtyEventKind::WbToDram:
+        return "wb-to-dram";
+    }
+    return "?";
+}
+
+void
+EventTraceRing::dump(std::FILE *out) const
+{
+    std::fprintf(out,
+                 "---- dirty-event trace (last %zu of %llu events) ----\n",
+                 size(),
+                 static_cast<unsigned long long>(totalRecorded()));
+    forEach([out](const DirtyEvent &ev) {
+        std::fprintf(out, "  #%-10llu %-10s block %#llx @ cycle %llu\n",
+                     static_cast<unsigned long long>(ev.seq),
+                     dirtyEventKindName(ev.kind),
+                     static_cast<unsigned long long>(ev.addr),
+                     static_cast<unsigned long long>(ev.when));
+    });
+    std::fprintf(out, "----------------------------------------------------\n");
+}
+
+} // namespace dbsim::audit

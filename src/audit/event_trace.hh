@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded ring buffer of recent dirty-state events. When the invariant
+ * auditor detects a divergence it dumps this trace, so the panic
+ * message comes with the exact event history that led up to the bug —
+ * the difference between "a dirty block is missing" and knowing which
+ * writeback dropped it.
+ */
+
+#ifndef DBSIM_AUDIT_EVENT_TRACE_HH
+#define DBSIM_AUDIT_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dbsim::audit {
+
+/** Kinds of dirty-state transitions the LLC reports. */
+enum class DirtyEventKind : std::uint8_t
+{
+    WritebackIn,  ///< writeback request brought data into the LLC
+    Fill,         ///< block filled clean
+    FillDirty,    ///< block filled (or merged) dirty
+    Eviction,     ///< block displaced from the cache
+    WbToDram,     ///< block's data written back to memory
+};
+
+const char *dirtyEventKindName(DirtyEventKind kind);
+
+/** One recorded transition. */
+struct DirtyEvent
+{
+    std::uint64_t seq = 0;  ///< global event sequence number
+    DirtyEventKind kind = DirtyEventKind::WritebackIn;
+    Addr addr = 0;
+    Cycle when = 0;
+};
+
+/** Fixed-capacity ring holding the most recent events. */
+class EventTraceRing
+{
+  public:
+    explicit EventTraceRing(std::size_t capacity)
+        : cap(capacity ? capacity : 1)
+    {
+        events.reserve(cap);
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return events.size(); }
+    std::uint64_t totalRecorded() const { return nextSeq; }
+
+    /** Record one event (assigns its sequence number). */
+    void
+    push(DirtyEventKind kind, Addr addr, Cycle when)
+    {
+        DirtyEvent ev{nextSeq++, kind, addr, when};
+        if (events.size() < cap) {
+            events.push_back(ev);
+        } else {
+            events[head] = ev;
+            head = (head + 1) % cap;
+        }
+    }
+
+    /** Invoke fn(event) oldest-to-newest. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            fn(events[(head + i) % events.size()]);
+        }
+    }
+
+    /** Write the trace (oldest first) to `out`. */
+    void dump(std::FILE *out) const;
+
+  private:
+    std::size_t cap;
+    std::size_t head = 0;
+    std::uint64_t nextSeq = 0;
+    std::vector<DirtyEvent> events;
+};
+
+} // namespace dbsim::audit
+
+#endif // DBSIM_AUDIT_EVENT_TRACE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ground-truth model of dirty state and memory content. The shadow
+ * model replays the same event stream the LLC mechanisms act on —
+ * writeback-in, fill, eviction, writeback-to-DRAM — but with the
+ * simplest possible bookkeeping, so any divergence between it and a
+ * mechanism's own structures (tag-store dirty bits or the DBI) is a
+ * mechanism bug, not a model subtlety.
+ *
+ * Content is modeled as a per-block version counter: every writeback
+ * into the LLC bumps the block's version ("new data arrived"), and a
+ * writeback to DRAM publishes the current version to memory. A block is
+ * dirty exactly while its cached version is ahead of memory's. The
+ * "final memory image" is what memory would hold after flushing a given
+ * dirty set — mechanisms that track dirtiness correctly produce
+ * identical images; a lost dirty bit leaves a stale version behind.
+ */
+
+#ifndef DBSIM_AUDIT_SHADOW_MODEL_HH
+#define DBSIM_AUDIT_SHADOW_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dbsim::audit {
+
+/** Final memory image: every block ever written -> version held. */
+using MemoryImage = std::map<Addr, std::uint64_t>;
+
+class ShadowDirtyModel
+{
+  public:
+    /** A writeback request carried new data for `addr` into the LLC. */
+    void
+    onWritebackIn(Addr addr)
+    {
+        ++cacheVersion[addr];
+        dirty.insert(addr);
+    }
+
+    /** `addr` was filled (insert or resident merge) with `is_dirty`. */
+    void
+    onFill(Addr addr, bool is_dirty)
+    {
+        resident.insert(addr);
+        if (is_dirty) {
+            dirty.insert(addr);
+        }
+    }
+
+    /**
+     * `addr` was displaced from the cache, after the mechanism ran its
+     * eviction handling. @return false if the block was still dirty —
+     * its latest data never reached memory (a lost update).
+     */
+    bool
+    onEviction(Addr addr)
+    {
+        resident.erase(addr);
+        return dirty.count(addr) == 0;
+    }
+
+    /** `addr`'s data was written back: memory now holds the latest. */
+    void
+    onWbToDram(Addr addr)
+    {
+        memVersion[addr] = cacheVersion[addr];
+        dirty.erase(addr);
+    }
+
+    bool isDirty(Addr addr) const { return dirty.count(addr) != 0; }
+    bool isResident(Addr addr) const { return resident.count(addr) != 0; }
+    std::size_t countDirty() const { return dirty.size(); }
+
+    const std::unordered_set<Addr> &dirtyBlocks() const { return dirty; }
+
+    /**
+     * Memory image after flushing `flush_list` (a mechanism's idea of
+     * the dirty blocks). Flushing a block publishes its latest cached
+     * version; blocks the mechanism wrongly believes clean keep the
+     * stale version memory last saw.
+     */
+    MemoryImage
+    finalImage(const std::vector<Addr> &flush_list) const
+    {
+        MemoryImage img;
+        for (const auto &[addr, ver] : memVersion) {
+            if (ver != 0) {
+                img[addr] = ver;
+            }
+        }
+        for (Addr a : flush_list) {
+            auto it = cacheVersion.find(a);
+            if (it != cacheVersion.end()) {
+                img[a] = it->second;
+            }
+        }
+        return img;
+    }
+
+    /** Image after flushing the shadow (ground-truth) dirty set. */
+    MemoryImage
+    finalImage() const
+    {
+        return finalImage({dirty.begin(), dirty.end()});
+    }
+
+  private:
+    std::unordered_set<Addr> dirty;     ///< ground-truth dirty blocks
+    std::unordered_set<Addr> resident;  ///< blocks in the cache
+    std::unordered_map<Addr, std::uint64_t> cacheVersion;
+    std::unordered_map<Addr, std::uint64_t> memVersion;
+};
+
+} // namespace dbsim::audit
+
+#endif // DBSIM_AUDIT_SHADOW_MODEL_HH

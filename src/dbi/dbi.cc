@@ -254,20 +254,23 @@ bool
 Dbi::bankHasDirty(std::uint32_t bank, const DramAddrMap &map) const
 {
     ++const_cast<Dbi *>(this)->statLookups;
-    std::uint32_t regions_per_row = map.blocksPerRow() / cfg.granularity;
-    if (regions_per_row == 0) {
-        regions_per_row = 1;
-    }
     for (const auto &e : entries) {
         if (!e.valid || e.dirty.none()) {
             continue;
         }
-        // Recover the region's DRAM row from its tag. Region tags are
-        // region indices (addr / regionBytes), so the row index is the
-        // tag divided by regions-per-row (or tag * rows-per-region for
-        // granularities above a row, which we cap at one row).
-        std::uint64_t row = e.regionTag / regions_per_row;
-        if (row % map.numBanks() == bank) {
+        // Reconstruct each dirty block's address and ask the DRAM map
+        // which bank it lives in. A region never has to fit inside one
+        // DRAM row (granularity can exceed blocksPerRow), so per-block
+        // translation is the only mapping that cannot drift from the
+        // controller's own DramAddrMap::bank().
+        bool hit = false;
+        e.dirty.forEachSet([&](std::uint32_t idx) {
+            if (!hit &&
+                map.bank(regionMap.blockAddr(e.regionTag, idx)) == bank) {
+                hit = true;
+            }
+        });
+        if (hit) {
             return true;
         }
     }

@@ -214,22 +214,24 @@ DramController::issue(Addr addr, bool is_write, Cycle arrive, Cycle now)
 }
 
 void
+DramController::endDrain(Cycle now)
+{
+    drainMode = false;
+    statDrainCycles += now > drainStartAt ? now - drainStartAt : 0;
+}
+
+void
 DramController::serviceNext()
 {
     Cycle now = eq.now();
-
-    // Leave drain mode once the buffer is at the low watermark.
-    if (drainMode && writeQ.size() <= cfg.drainLowWatermark) {
-        drainMode = false;
-        statDrainCycles += now > drainStartAt ? now - drainStartAt : 0;
-    }
 
     bool do_write;
     if (drainMode) {
         do_write = !writeQ.empty();
         if (!do_write) {
-            drainMode = false;
-            do_write = false;
+            // Defensive only: the drain now ends at the dequeue that
+            // crosses the watermark, so it never runs the queue empty.
+            endDrain(now);
         }
     } else if (!readQ.empty()) {
         do_write = false;
@@ -245,6 +247,14 @@ DramController::serviceNext()
         WriteReq req = writeQ[static_cast<std::size_t>(idx)];
         writeQ.erase(writeQ.begin() + idx);
         issue(req.addr, true, req.arrive, now);
+        // The drain window ends the moment this dequeue reaches the low
+        // watermark. Waiting for a later service event to observe the
+        // transition (as this used to) under-counts statDrainCycles —
+        // a drain that empties the queue with no subsequent traffic was
+        // never credited at all — and leaves drainMode latched on.
+        if (drainMode && writeQ.size() <= cfg.drainLowWatermark) {
+            endDrain(now);
+        }
     } else {
         if (readQ.empty()) {
             return;

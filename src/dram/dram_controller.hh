@@ -118,6 +118,9 @@ class DramController
     /** Dispatch one request (called from the event queue). */
     void serviceNext();
 
+    /** Close the current drain window and credit statDrainCycles. */
+    void endDrain(Cycle now);
+
     /** FR-FCFS pick from a queue; returns index or -1 if empty. */
     template <typename Queue>
     int pickFrFcfs(const Queue &q) const;

@@ -34,12 +34,12 @@ fillSimMetrics(PointRecord &rec, const SimResult &r)
 
 /** Evaluate one point into a record. */
 PointRecord
-evalPoint(const SweepPoint &p, const std::string &experiment,
+evalPoint(const SweepPoint &p, const RunOptions &opts,
           AloneIpcCache *alone)
 {
     PointRecord rec;
     rec.index = p.index;
-    rec.experiment = experiment;
+    rec.experiment = opts.experiment;
     rec.tags = p.tags;
 
     switch (p.kind) {
@@ -50,7 +50,11 @@ evalPoint(const SweepPoint &p, const std::string &experiment,
       case PointKind::MixSim: {
         rec.mechanism = mechanismName(p.cfg.mech);
         rec.mix = mixLabel(p.mix);
-        SimResult r = runWorkload(p.cfg, p.mix);
+        SystemConfig cfg = p.cfg;
+        if (opts.auditEvery) {
+            cfg.auditEvery = *opts.auditEvery;
+        }
+        SimResult r = runWorkload(cfg, p.mix);
         fillSimMetrics(rec, r);
         if (p.kind == PointKind::MixSim) {
             panic_if(!alone, "MixSim point without an alone-IPC cache");
@@ -86,7 +90,11 @@ ExperimentRunner::run(const SweepSpec &spec)
 
     std::unique_ptr<AloneIpcCache> alone;
     if (spec.hasMixSim()) {
-        alone = std::make_unique<AloneIpcCache>(spec.aloneBase());
+        SystemConfig alone_base = spec.aloneBase();
+        if (opts.auditEvery) {
+            alone_base.auditEvery = *opts.auditEvery;
+        }
+        alone = std::make_unique<AloneIpcCache>(alone_base);
     }
 
     std::ofstream jsonl;
@@ -127,7 +135,7 @@ ExperimentRunner::run(const SweepSpec &spec)
     };
 
     auto evalOne = [&](const SweepPoint &p) {
-        PointRecord rec = evalPoint(p, opts.experiment, alone.get());
+        PointRecord rec = evalPoint(p, opts, alone.get());
         records[p.index] = std::move(rec);
         sink(records[p.index]);
     };

@@ -15,6 +15,7 @@
 #define DBSIM_EXP_RUNNER_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,13 @@ struct RunOptions
 
     /** Stamped into every record's `experiment` field. */
     std::string experiment;
+
+    /**
+     * When set, overrides SystemConfig::auditEvery on every point (and
+     * on the alone-IPC baseline runs). The bench harness passes 0 here
+     * so measurement runs never audit; tests can force auditing on.
+     */
+    std::optional<std::uint64_t> auditEvery;
 };
 
 class ExperimentRunner

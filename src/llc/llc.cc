@@ -37,6 +37,28 @@ Llc::occupyPort(Cycle when)
 }
 
 void
+Llc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+{
+    Addr a = blockAlign(block_addr);
+    ++statWritebacksIn;
+    if (auditor) {
+        auditor->onWritebackIn(a, when);
+    }
+    doWriteback(a, core, when);
+    endAuditOp();
+}
+
+void
+Llc::writebackToDram(Addr block_addr, Cycle when)
+{
+    dram.enqueueWrite(block_addr, when);
+    ++statWbToDram;
+    if (auditor) {
+        auditor->onWbToDram(block_addr, when);
+    }
+}
+
+void
 Llc::read(Addr block_addr, std::uint32_t core, Cycle when, Callback cb)
 {
     Addr a = blockAlign(block_addr);
@@ -94,6 +116,7 @@ Llc::missToDram(Addr block_addr, std::uint32_t core, Cycle when,
         pendingReads.erase(pit);
         // Fill, then complete all merged requesters.
         fillBlock(block_addr, p.core, false, done);
+        endAuditOp();
         for (auto &waiting : p.cbs) {
             waiting(done);
         }
@@ -115,11 +138,11 @@ Llc::flushRegion(Addr base, std::uint64_t bytes, Cycle when)
         if (store.contains(a) && blockDirty(a)) {
             res.anyDirty = true;
             ++res.writebacks;
-            dram.enqueueWrite(a, t + cfg.tagLatency);
-            ++statWbToDram;
+            writebackToDram(a, t + cfg.tagLatency);
             cleanBlock(a);
         }
     }
+    endAuditOp();
     return res;
 }
 
@@ -142,13 +165,27 @@ void
 Llc::fillBlock(Addr block_addr, std::uint32_t core, bool dirty, Cycle when)
 {
     if (store.contains(block_addr)) {
-        // Already filled by a racing writeback-allocate; just promote.
+        // Already filled by a racing writeback-allocate: promote, and
+        // merge the incoming dirty state. Dropping it here would turn a
+        // dirty writeback silently clean and lose a memory update.
         store.touch(block_addr, core);
+        if (dirty) {
+            store.markDirty(block_addr);
+        }
+        if (auditor) {
+            auditor->onFill(block_addr, dirty, when);
+        }
         return;
     }
     TagStore::Eviction ev = store.insert(block_addr, core, dirty);
+    if (auditor) {
+        auditor->onFill(block_addr, dirty, when);
+    }
     if (ev.valid) {
         handleEviction(ev.block, ev.dirty, when);
+        if (auditor) {
+            auditor->onEviction(ev.block, when);
+        }
     }
 }
 

@@ -45,6 +45,37 @@ struct LlcConfig
 };
 
 /**
+ * Observer of the LLC's dirty-state transitions (src/audit). The four
+ * events below are the complete set of places a block's dirtiness or
+ * residency can change; every LLC variant reports through them, which
+ * is what lets a shadow model replay ground truth alongside any
+ * mechanism. Notifications are synchronous and must not re-enter the
+ * LLC. operationEnd() fires when one externally-initiated operation
+ * (writeback, fill completion, flush) has fully settled — the only
+ * points where cross-structure invariants are required to hold.
+ */
+class LlcAuditObserver
+{
+  public:
+    virtual ~LlcAuditObserver() = default;
+
+    /** A writeback request carried new data into the LLC. */
+    virtual void onWritebackIn(Addr block_addr, Cycle when) = 0;
+
+    /** A block was filled (or found resident) with this dirty state. */
+    virtual void onFill(Addr block_addr, bool dirty, Cycle when) = 0;
+
+    /** A block was displaced, after the mechanism handled it. */
+    virtual void onEviction(Addr block_addr, Cycle when) = 0;
+
+    /** A block's data was written back to memory (it becomes clean). */
+    virtual void onWbToDram(Addr block_addr, Cycle when) = 0;
+
+    /** One LLC operation finished; internal state is consistent. */
+    virtual void onOperationEnd() = 0;
+};
+
+/**
  * Abstract shared LLC. Reads complete through a callback with the
  * completion cycle; writebacks from the private levels are
  * fire-and-forget.
@@ -62,9 +93,20 @@ class Llc
     virtual void read(Addr block_addr, std::uint32_t core, Cycle when,
                       Callback cb);
 
-    /** Writeback request from a private L2 (Section 2.2.2). */
-    virtual void writeback(Addr block_addr, std::uint32_t core,
-                           Cycle when) = 0;
+    /**
+     * Writeback request from a private L2 (Section 2.2.2). Non-virtual
+     * entry point: aligns the address, accounts the request, and
+     * notifies the attached auditor before and after the mechanism's
+     * doWriteback() so every variant is observable the same way.
+     */
+    void writeback(Addr block_addr, std::uint32_t core, Cycle when);
+
+    /**
+     * Attach (or detach, with nullptr) a dirty-state observer. The
+     * observer is passive: it adds no cycles and changes no stats, so
+     * audited and unaudited runs are timing-identical.
+     */
+    void attachAuditor(LlcAuditObserver *observer) { auditor = observer; }
 
     /** Outcome of a flush or DMA-coherence operation (Section 7). */
     struct RegionOpResult
@@ -118,6 +160,27 @@ class Llc
      */
     Cycle occupyPort(Cycle when);
 
+    /** Mechanism-specific writeback handling (address pre-aligned). */
+    virtual void doWriteback(Addr block_addr, std::uint32_t core,
+                             Cycle when) = 0;
+
+    /**
+     * Send one block's data to memory: enqueue the DRAM write, account
+     * it, and notify the auditor. Every writeback-to-memory in every
+     * variant must go through here — it is the single point where a
+     * block's latest data reaches DRAM.
+     */
+    void writebackToDram(Addr block_addr, Cycle when);
+
+    /** Notify the auditor that one operation has settled. */
+    void
+    endAuditOp()
+    {
+        if (auditor) {
+            auditor->onOperationEnd();
+        }
+    }
+
     /** Is this block dirty under the mechanism's bookkeeping? */
     virtual bool blockDirty(Addr block_addr) const = 0;
 
@@ -164,6 +227,7 @@ class Llc
     EventQueue &eq;
     TagStore store;
     Cycle portFreeAt = 0;
+    LlcAuditObserver *auditor = nullptr;
 
     /** Outstanding demand reads: block -> waiting callbacks + owner. */
     struct Pending

@@ -15,18 +15,16 @@ BaselineLlc::BaselineLlc(const LlcConfig &config, DramController &dram_ctrl,
 }
 
 void
-BaselineLlc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+BaselineLlc::doWriteback(Addr block_addr, std::uint32_t core, Cycle when)
 {
-    Addr a = blockAlign(block_addr);
-    ++statWritebacksIn;
     Cycle start = occupyPort(when);
     Cycle tag_done = start + cfg.tagLatency;
 
-    if (store.contains(a)) {
-        store.markDirty(a);
+    if (store.contains(block_addr)) {
+        store.markDirty(block_addr);
     } else {
         // Writeback-allocate: insert the incoming dirty block.
-        fillBlock(a, core, true, tag_done);
+        fillBlock(block_addr, core, true, tag_done);
     }
 }
 
@@ -47,8 +45,7 @@ void
 BaselineLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
 {
     if (tag_dirty) {
-        dram.enqueueWrite(block_addr, when);
-        ++statWbToDram;
+        writebackToDram(block_addr, when);
     }
 }
 
@@ -87,8 +84,7 @@ DawbLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
         TagStore::Entry *e = store.find(b);
         if (e && e->dirty) {
             store.markClean(b);
-            dram.enqueueWrite(b, start + cfg.tagLatency);
-            ++statWbToDram;
+            writebackToDram(b, start + cfg.tagLatency);
         }
     }
 }
@@ -147,8 +143,7 @@ VwqLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
         TagStore::Entry *e = store.find(b);
         if (e && e->dirty && store.lruRank(b) < lruWays) {
             store.markClean(b);
-            dram.enqueueWrite(b, start + cfg.tagLatency);
-            ++statWbToDram;
+            writebackToDram(b, start + cfg.tagLatency);
         }
     }
 }
@@ -166,16 +161,13 @@ SkipLlc::SkipLlc(const LlcConfig &config, DramController &dram_ctrl,
 }
 
 void
-SkipLlc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+SkipLlc::doWriteback(Addr block_addr, std::uint32_t core, Cycle when)
 {
     (void)core;
-    Addr a = blockAlign(block_addr);
-    ++statWritebacksIn;
     // Write-through: the block (if present) is updated but stays clean,
     // and the write goes straight to memory. No write-allocate.
     Cycle start = occupyPort(when);
-    dram.enqueueWrite(a, start + cfg.tagLatency);
-    ++statWbToDram;
+    writebackToDram(block_addr, start + cfg.tagLatency);
 }
 
 bool
@@ -225,22 +217,20 @@ DbiLlc::registerStats(StatSet &set)
 }
 
 void
-DbiLlc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
+DbiLlc::doWriteback(Addr block_addr, std::uint32_t core, Cycle when)
 {
-    Addr a = blockAlign(block_addr);
-    ++statWritebacksIn;
     Cycle start = occupyPort(when);
     Cycle tag_done = start + cfg.tagLatency;
 
     // 1) Insert/update the block in the cache (never via the tag store's
     //    dirty bit — the DBI is authoritative).
-    if (!store.contains(a)) {
-        fillBlock(a, core, false, tag_done);
+    if (!store.contains(block_addr)) {
+        fillBlock(block_addr, core, false, tag_done);
     }
 
     // 2) Update the DBI. A DBI eviction writes back the victim entry's
     //    blocks (which remain cached, now clean).
-    std::vector<Addr> drained = index.setDirty(a);
+    std::vector<Addr> drained = index.setDirty(block_addr);
     drainDbiEviction(drained, tag_done);
 }
 
@@ -257,8 +247,7 @@ DbiLlc::drainDbiEviction(const std::vector<Addr> &blocks, Cycle when)
         Cycle start = occupyPort(cursor);
         ++statSweepLookups;
         cursor = start + 1;
-        dram.enqueueWrite(b, start + cfg.tagLatency);
-        ++statWbToDram;
+        writebackToDram(b, start + cfg.tagLatency);
         ++statDbiEvictionWbs;
     }
 }
@@ -297,11 +286,11 @@ DbiLlc::flushRegion(Addr base, std::uint64_t bytes, Cycle when)
             ++res.lookups;
             res.anyDirty = true;
             ++res.writebacks;
-            dram.enqueueWrite(b, t + cfg.tagLatency);
-            ++statWbToDram;
+            writebackToDram(b, t + cfg.tagLatency);
             index.clearDirty(b);
         }
     }
+    endAuditOp();
     return res;
 }
 
@@ -333,8 +322,7 @@ DbiLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
     }
 
     // Dirty eviction: write the victim back...
-    dram.enqueueWrite(block_addr, when);
-    ++statWbToDram;
+    writebackToDram(block_addr, when);
     index.clearDirty(block_addr);
 
     if (!awb) {
@@ -356,8 +344,7 @@ DbiLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
         Cycle start = occupyPort(cursor);
         ++statSweepLookups;
         cursor = start + 1;
-        dram.enqueueWrite(b, start + cfg.tagLatency);
-        ++statWbToDram;
+        writebackToDram(b, start + cfg.tagLatency);
         ++statAwbWritebacks;
         index.clearDirty(b);
     }

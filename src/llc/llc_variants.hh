@@ -26,10 +26,9 @@ class BaselineLlc : public Llc
     BaselineLlc(const LlcConfig &config, DramController &dram_ctrl,
                 EventQueue &event_queue);
 
-    void writeback(Addr block_addr, std::uint32_t core,
-                   Cycle when) override;
-
   protected:
+    void doWriteback(Addr block_addr, std::uint32_t core,
+                     Cycle when) override;
     bool blockDirty(Addr block_addr) const override;
     void cleanBlock(Addr block_addr) override;
     void handleEviction(Addr block_addr, bool tag_dirty,
@@ -89,10 +88,9 @@ class SkipLlc : public Llc
             EventQueue &event_queue,
             std::shared_ptr<MissPredictor> predictor);
 
-    void writeback(Addr block_addr, std::uint32_t core,
-                   Cycle when) override;
-
   protected:
+    void doWriteback(Addr block_addr, std::uint32_t core,
+                     Cycle when) override;
     bool blockDirty(Addr) const override { return false; }
     void cleanBlock(Addr) override {}
     void handleEviction(Addr, bool, Cycle) override {}
@@ -126,9 +124,6 @@ class DbiLlc : public Llc
            bool enable_awb, bool enable_clb,
            std::shared_ptr<MissPredictor> predictor = nullptr);
 
-    void writeback(Addr block_addr, std::uint32_t core,
-                   Cycle when) override;
-
     Dbi &dbi() { return index; }
     const Dbi &dbi() const { return index; }
     bool awbEnabled() const { return awb; }
@@ -153,6 +148,8 @@ class DbiLlc : public Llc
     Counter statDbiEvictionWbs; ///< writebacks from DBI evictions
 
   protected:
+    void doWriteback(Addr block_addr, std::uint32_t core,
+                     Cycle when) override;
     bool blockDirty(Addr block_addr) const override;
     void cleanBlock(Addr block_addr) override;
     void handleEviction(Addr block_addr, bool tag_dirty,

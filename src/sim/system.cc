@@ -98,6 +98,13 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
       }
     }
 
+    if (cfg.auditEvery > 0) {
+        audit::AuditConfig ac;
+        ac.checkEvery = cfg.auditEvery;
+        auditWatch =
+            std::make_unique<audit::InvariantAuditor>(*sharedLlc, ac);
+    }
+
     sharedLlc->registerStats(statSet);
     dramCtrl->registerStats(statSet);
 
@@ -188,6 +195,14 @@ System::run()
     res.dramEnergyPj = dramCtrl->energySince(res.windowCycles).totalPj();
 
     sharedLlc->checkInvariants();
+    if (auditWatch) {
+        // End-of-run differential: the mechanism's final dirty state
+        // must reproduce the ground-truth memory image exactly.
+        auditWatch->checkNow();
+        panic_if(auditWatch->finalImage() !=
+                     auditWatch->shadow().finalImage(),
+                 "final memory image diverges from ground truth");
+    }
     return res;
 }
 

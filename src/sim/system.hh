@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hh"
 #include "common/event_queue.hh"
 #include "cpu/core.hh"
 #include "cpu/core_memory.hh"
@@ -56,6 +57,21 @@ struct SystemConfig
     SkipPredictorConfig pred;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Dirty-state invariant auditing (src/audit): cross-check the
+     * mechanism's dirty bookkeeping against a shadow ground-truth model
+     * every `auditEvery` LLC events; 0 disables the auditor entirely.
+     * Builds configured with -DDBSIM_AUDIT=ON (the default, so ctest
+     * runs are covered) audit by default; the bench harness overrides
+     * this to 0 so measured numbers never carry auditing overhead.
+     * The auditor is passive — it changes no timing and no stats.
+     */
+#ifdef DBSIM_AUDIT
+    std::uint64_t auditEvery = 4096;
+#else
+    std::uint64_t auditEvery = 0;
+#endif
 
     /** Hard simulation cap; exceeded means a deadlock bug. */
     Cycle maxCycles = 20'000'000'000ull;
@@ -115,6 +131,9 @@ class System
     /** The DRAM controller. */
     DramController &dram() { return *dramCtrl; }
 
+    /** The invariant auditor, when enabled (nullptr otherwise). */
+    audit::InvariantAuditor *auditor() { return auditWatch.get(); }
+
     /** Per-core private hierarchy (for inspection). */
     CoreMemory &coreMemory(std::uint32_t core) { return *mems.at(core); }
 
@@ -129,6 +148,7 @@ class System
     std::unique_ptr<DramController> dramCtrl;
     std::shared_ptr<MissPredictor> predictor;
     std::unique_ptr<Llc> sharedLlc;
+    std::unique_ptr<audit::InvariantAuditor> auditWatch;
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<CoreMemory>> mems;
     std::vector<std::unique_ptr<Core>> cores;

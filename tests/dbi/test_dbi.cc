@@ -295,6 +295,42 @@ TEST(Dbi, BankHasDirtyQueries)
     EXPECT_FALSE(dbi.bankHasDirty(5, map));
 }
 
+TEST(Dbi, BankHasDirtyAgreesWithDramMapAcrossGranularities)
+{
+    // bankHasDirty once re-derived the bank from the region tag, which
+    // drifts from DramAddrMap::bank() whenever a region does not fit in
+    // one DRAM row (granularity > blocksPerRow). Sweep granularities and
+    // row sizes and require exact agreement with the controller's map
+    // for every dirty block.
+    for (std::uint64_t row_bytes : {4096u, 8192u}) {
+        for (std::uint32_t gran : {1u, 4u, 16u, 64u, 128u}) {
+            DramAddrMap map(row_bytes, 8);
+            DbiConfig cfg;
+            cfg.alpha = 1.0;
+            cfg.granularity = gran;
+            cfg.assoc = 4;
+            Dbi dbi(cfg, /*cache_blocks=*/4096);
+
+            Rng rng(row_bytes + gran);
+            for (int i = 0; i < 300; ++i) {
+                dbi.setDirty(blockAlign(rng.below(1 << 22)));
+            }
+
+            for (std::uint32_t b = 0; b < map.numBanks(); ++b) {
+                bool expect = false;
+                dbi.forEachDirtyBlock([&](Addr a) {
+                    if (map.bank(a) == b) {
+                        expect = true;
+                    }
+                });
+                EXPECT_EQ(dbi.bankHasDirty(b, map), expect)
+                    << "granularity " << gran << ", rowBytes "
+                    << row_bytes << ", bank " << b;
+            }
+        }
+    }
+}
+
 TEST(Dbi, DegenerateSmallConfigBecomesFullyAssociative)
 {
     DbiConfig cfg = testConfig();

@@ -100,6 +100,60 @@ TEST_F(DramTest, DrainTriggersWhenFull)
     EXPECT_EQ(ctrl.pendingWrites(), 0u);
 }
 
+TEST_F(DramTest, DrainCyclesCreditedWhenDrainEndsQuietly)
+{
+    // A drain that empties the buffer with no subsequent traffic must
+    // still close its accounting window: the cycles are credited at the
+    // dequeue that crosses the watermark, not at some later service
+    // event that may never come.
+    std::uint32_t cap = ctrl.config().writeBufEntries;
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        ctrl.enqueueWrite(i * kBlockBytes * 131, i);  // scattered rows
+    }
+    eq.runAll();
+    EXPECT_EQ(ctrl.statDrains.value(), 1u);
+    EXPECT_EQ(ctrl.pendingWrites(), 0u);
+    EXPECT_FALSE(ctrl.draining());
+    EXPECT_GT(ctrl.statDrainCycles.value(), 0u);
+}
+
+TEST_F(DramTest, DrainStopsAndIsAccountedAtLowWatermark)
+{
+    DramConfig cfg;
+    cfg.writeBufEntries = 8;
+    cfg.drainLowWatermark = 4;
+    EventQueue q;
+    DramController c(cfg, q);
+    for (std::uint32_t i = 0; i < cfg.writeBufEntries; ++i) {
+        c.enqueueWrite(i * kBlockBytes * 131, i);
+    }
+    q.runAll();
+    // Drained exactly down to the watermark, then stopped; the window
+    // was credited when the crossing dequeue happened.
+    EXPECT_FALSE(c.draining());
+    EXPECT_EQ(c.statWrites.value(), 4u);
+    EXPECT_EQ(c.pendingWrites(), 4u);
+    EXPECT_EQ(c.statDrains.value(), 1u);
+    EXPECT_GT(c.statDrainCycles.value(), 0u);
+}
+
+TEST_F(DramTest, ConsecutiveDrainsAccumulateDrainCycles)
+{
+    std::uint32_t cap = ctrl.config().writeBufEntries;
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        ctrl.enqueueWrite(i * kBlockBytes * 131, i);
+    }
+    eq.runAll();
+    std::uint64_t first = ctrl.statDrainCycles.value();
+    EXPECT_GT(first, 0u);
+    for (std::uint32_t i = 0; i < cap; ++i) {
+        ctrl.enqueueWrite((cap + i) * kBlockBytes * 131, eq.now());
+    }
+    eq.runAll();
+    EXPECT_EQ(ctrl.statDrains.value(), 2u);
+    EXPECT_GT(ctrl.statDrainCycles.value(), first);
+}
+
 TEST_F(DramTest, RowClusteredDrainFasterThanScattered)
 {
     // The heart of AWB: a buffer of same-row writes drains much faster

@@ -331,6 +331,34 @@ TEST_F(LlcTest, DbiClbDirtyBlockTakesNormalPath)
     EXPECT_EQ(done, t + smallDbi().latency + 10 + 24);
 }
 
+// ------------------------------------------------------ fill semantics
+
+/** Exposes the protected fill path to drive the writeback-fill race. */
+class FillProbeLlc : public BaselineLlc
+{
+  public:
+    using BaselineLlc::BaselineLlc;
+    using Llc::fillBlock;
+};
+
+TEST_F(LlcTest, FillMergesDirtyIntoResidentBlock)
+{
+    // Racing writeback-allocate: a dirty fill can land after a demand
+    // read already made the block resident (and clean). The dirty state
+    // must merge — dropping it silently loses a memory update.
+    FillProbeLlc llc(smallLlc(), dram, eq);
+    readDone(llc, 0x7000, 0);
+    ASSERT_TRUE(llc.tags().contains(0x7000));
+    ASSERT_FALSE(llc.tags().isDirty(0x7000));
+
+    llc.fillBlock(0x7000, 0, true, eq.now());
+    EXPECT_TRUE(llc.tags().isDirty(0x7000));
+
+    // And a later clean fill must not revert it.
+    llc.fillBlock(0x7000, 0, false, eq.now());
+    EXPECT_TRUE(llc.tags().isDirty(0x7000));
+}
+
 TEST_F(LlcTest, DbiStressInvariantsHold)
 {
     DbiLlc llc(smallLlc(), smallDbi(), dram, eq, true, false);

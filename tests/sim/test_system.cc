@@ -85,6 +85,50 @@ TEST(SystemIntegration, ClbReducesTagLookups)
     EXPECT_GT(clb.stats.at("llc.bypasses"), 0u);
 }
 
+TEST(SystemIntegration, AuditorActiveByDefaultAndQuiet)
+{
+    // DBSIM_AUDIT builds (the ctest default) attach the invariant
+    // auditor to every System; a full run completing is the statement
+    // that zero invariant violations occurred.
+    SystemConfig cfg = quickConfig(Mechanism::DbiAwb);
+#ifdef DBSIM_AUDIT
+    System sys(cfg, {"lbm"});
+    ASSERT_NE(sys.auditor(), nullptr);
+    sys.run();
+    EXPECT_GT(sys.auditor()->eventsObserved(), 0u);
+    EXPECT_GT(sys.auditor()->checksRun(), 0u);
+#else
+    System sys(cfg, {"lbm"});
+    EXPECT_EQ(sys.auditor(), nullptr);
+#endif
+}
+
+TEST(SystemIntegration, AuditingDisabledPerRunWithZeroPeriod)
+{
+    SystemConfig cfg = quickConfig(Mechanism::Dbi);
+    cfg.auditEvery = 0;  // what the bench harness passes by default
+    System sys(cfg, {"stream"});
+    EXPECT_EQ(sys.auditor(), nullptr);
+    SimResult r = sys.run();
+    EXPECT_GT(r.ipc[0], 0.01);
+}
+
+TEST(SystemIntegration, AuditedAndUnauditedRunsAreTimingIdentical)
+{
+    // The auditor is passive: stats and cycle counts must be identical
+    // with auditing on and off, which is what keeps bench tables
+    // byte-stable regardless of the build default.
+    SystemConfig on = quickConfig(Mechanism::DbiAwbClb);
+    on.auditEvery = 1024;
+    SystemConfig off = on;
+    off.auditEvery = 0;
+    SimResult a = runWorkload(on, {"lbm"});
+    SimResult b = runWorkload(off, {"lbm"});
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_EQ(a.ipc[0], b.ipc[0]);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
 TEST(SystemIntegration, DbiAccessorOnlyForDbiMechanisms)
 {
     System with(quickConfig(Mechanism::Dbi), {"stream"});
