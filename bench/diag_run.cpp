@@ -45,6 +45,10 @@ buildSpec(const bench::HarnessOptions &o)
         mix.push_back(mix.back());
     }
 
+    // Custom points build their own System, so the harness telemetry
+    // flags are applied here rather than by the runner.
+    cfg.telemetry = o.telemetryConfig("diag_run");
+
     exp::SweepSpec spec;
     spec.addCustom([cfg, mix](exp::PointRecord &rec) {
         System sys(cfg, mix);
@@ -69,6 +73,19 @@ buildSpec(const bench::HarnessOptions &o)
         rec.metrics["tagLookupsPki"] = r.tagLookupsPki;
         rec.metrics["wpki"] = r.wpki;
         rec.metrics["mpki"] = r.mpki;
+        for (const auto &[k, v] : r.telemetry) {
+            rec.metrics[k] = v;
+        }
+        if (telemetry::SimTelemetry *t = sys.telemetry()) {
+            // Lifetime drain totals from both sides of the observer
+            // seam; tools/check_trace.py asserts they agree exactly.
+            rec.metrics["drainCyclesTraced"] =
+                static_cast<double>(t->drainCyclesTraced());
+            rec.metrics["drainWindowsTraced"] =
+                static_cast<double>(t->drainWindowsTraced());
+            rec.metrics["dramDrainCyclesTotal"] = static_cast<double>(
+                sys.dram().statDrainCycles.value());
+        }
         rec.stats = r.stats;
     });
     return spec;
@@ -121,6 +138,18 @@ format(const std::vector<exp::PointRecord> &records,
     for (const auto &[name, value] : rec.stats) {
         std::printf("  %-24s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
+    }
+
+    bool any_hist = false;
+    for (const auto &[name, value] : rec.metrics) {
+        if (name.rfind("hist.", 0) != 0) {
+            continue;
+        }
+        if (!any_hist) {
+            std::printf("telemetry histograms:\n");
+            any_hist = true;
+        }
+        std::printf("  %-32s %.3f\n", name.c_str(), value);
     }
 }
 

@@ -34,7 +34,9 @@ printUsage(const char *argv0)
     std::printf("usage: %s [positional args...] [--jobs N] [--json FILE]\n"
                 "        [--seed S] [--warmup N] [--measure N] "
                 "[--instrs K]\n"
-                "        [--audit N] [--no-progress] [--list] [--help]\n\n"
+                "        [--audit N] [--sample N] [--timeseries FILE]\n"
+                "        [--trace FILE] [--hist] [--host-timers]\n"
+                "        [--no-progress] [--list] [--help]\n\n"
                 "experiments in this binary:\n",
                 argv0);
     for (const auto &e : registry()) {
@@ -58,6 +60,20 @@ std::string
 HarnessOptions::posOr(std::size_t i, const std::string &def) const
 {
     return i < positional.size() ? positional[i] : def;
+}
+
+telemetry::TelemetryConfig
+HarnessOptions::telemetryConfig(const std::string &experiment) const
+{
+    telemetry::TelemetryConfig tc;
+    tc.sampleEvery = sampleEvery;
+    tc.timeseriesPath = timeseriesPath;
+    if (sampleEvery > 0 && timeseriesPath.empty()) {
+        tc.timeseriesPath = experiment + "_timeseries.jsonl";
+    }
+    tc.tracePath = tracePath;
+    tc.histograms = histograms;
+    return tc;
 }
 
 void
@@ -102,6 +118,19 @@ harnessMain(int argc, char **argv)
         } else if (std::strcmp(arg, "--audit") == 0) {
             opts.auditEvery = parseUint(arg, needValue(i));
             ++i;
+        } else if (std::strcmp(arg, "--sample") == 0) {
+            opts.sampleEvery = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--timeseries") == 0) {
+            opts.timeseriesPath = needValue(i);
+            ++i;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opts.tracePath = needValue(i);
+            ++i;
+        } else if (std::strcmp(arg, "--hist") == 0) {
+            opts.histograms = true;
+        } else if (std::strcmp(arg, "--host-timers") == 0) {
+            opts.hostTimers = true;
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             opts.progress = false;
         } else if (std::strcmp(arg, "--list") == 0 ||
@@ -127,6 +156,8 @@ harnessMain(int argc, char **argv)
         run_opts.progress = opts.progress;
         run_opts.experiment = e.name;
         run_opts.auditEvery = opts.auditEvery;
+        run_opts.telemetry = opts.telemetryConfig(e.name);
+        run_opts.hostTimers = opts.hostTimers;
 
         exp::SweepSpec spec = e.spec(opts);
         exp::ExperimentRunner runner(run_opts);

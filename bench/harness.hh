@@ -14,6 +14,19 @@
  *           [--instrs K]              shorthand: warmup = measure = K
  *           [--audit N]               run the dirty-state auditor every
  *                                     N LLC events (default 0 = off)
+ *           [--sample N]              telemetry: sample the stat channels
+ *                                     every N simulated cycles
+ *           [--timeseries FILE]       epoch samples as JSONL (default
+ *                                     <experiment>_timeseries.jsonl when
+ *                                     --sample is given)
+ *           [--trace FILE]            Chrome trace-event JSON (load in
+ *                                     Perfetto / chrome://tracing)
+ *           [--hist]                  latency/drain/dirty-row histograms
+ *                                     (summaries land in the JSONL
+ *                                     records as hist.* metrics)
+ *           [--host-timers]           per-point wall-clock phase timings
+ *                                     in the JSONL records ("host" key;
+ *                                     non-deterministic, hence opt-in)
  *           [--no-progress]           suppress the stderr progress line
  *           [--list] [--help]
  *
@@ -33,6 +46,7 @@
 #include "exp/record.hh"
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dbsim::bench {
 
@@ -53,8 +67,25 @@ struct HarnessOptions
      */
     std::uint64_t auditEvery = 0;
 
+    /** Telemetry flags: --sample N / --timeseries / --trace / --hist. */
+    std::uint64_t sampleEvery = 0;
+    std::string timeseriesPath;
+    std::string tracePath;
+    bool histograms = false;
+
+    /** --host-timers: wall-clock phase timings in the JSONL records. */
+    bool hostTimers = false;
+
     bool progress = true;
     std::vector<std::string> positional;
+
+    /**
+     * The telemetry configuration the flags describe, for `experiment`.
+     * When --sample is given without --timeseries, epochs stream to
+     * "<experiment>_timeseries.jsonl".
+     */
+    telemetry::TelemetryConfig telemetryConfig(
+        const std::string &experiment) const;
 
     /** --warmup override, else the (positional-derived) default. */
     std::uint64_t warmupOr(std::uint64_t def) const

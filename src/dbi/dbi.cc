@@ -278,6 +278,31 @@ Dbi::bankHasDirty(std::uint32_t bank, const DramAddrMap &map) const
 }
 
 std::uint64_t
+Dbi::countDirtyInRange(Addr base, std::uint64_t bytes) const
+{
+    if (bytes == 0) {
+        return 0;
+    }
+    std::uint64_t region_bytes =
+        static_cast<std::uint64_t>(cfg.granularity) * kBlockBytes;
+    Addr start = base - base % region_bytes;
+    std::uint64_t n = 0;
+    for (Addr r = start; r < base + bytes; r += region_bytes) {
+        const Entry *e = findEntry(regionMap.regionTag(r));
+        if (!e) {
+            continue;
+        }
+        e->dirty.forEachSet([&](std::uint32_t idx) {
+            Addr b = regionMap.blockAddr(e->regionTag, idx);
+            if (b >= base && b < base + bytes) {
+                ++n;
+            }
+        });
+    }
+    return n;
+}
+
+std::uint64_t
 Dbi::countDirtyBlocks() const
 {
     std::uint64_t n = 0;

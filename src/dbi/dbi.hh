@@ -115,6 +115,14 @@ class Dbi
     std::uint64_t countDirtyBlocks() const;
 
     /**
+     * Dirty blocks in [base, base+bytes). Unlike the access-path queries
+     * above this bumps no counters — it exists for passive observers
+     * (telemetry's dirty-blocks-per-row histogram), which must leave the
+     * DBI's stats exactly as a run without them would.
+     */
+    std::uint64_t countDirtyInRange(Addr base, std::uint64_t bytes) const;
+
+    /**
      * Invoke fn(block_addr) for every block marked dirty anywhere in the
      * DBI (used for flush operations and invariant checks).
      */

@@ -92,7 +92,11 @@ DramController::enqueueWrite(Addr block_addr, Cycle when)
     if (writeQ.size() >= cfg.writeBufEntries && !drainMode) {
         drainMode = true;
         drainStartAt = std::max(when, eq.now());
+        drainWrites = 0;
         ++statDrains;
+        if (obs) {
+            obs->onDrainStart(drainStartAt);
+        }
     }
     scheduleService(when);
 }
@@ -217,7 +221,12 @@ void
 DramController::endDrain(Cycle now)
 {
     drainMode = false;
-    statDrainCycles += now > drainStartAt ? now - drainStartAt : 0;
+    Cycle credited = now > drainStartAt ? now - drainStartAt : 0;
+    statDrainCycles += credited;
+    if (obs) {
+        obs->onDrainEnd(drainStartAt, drainStartAt + credited,
+                        drainWrites);
+    }
 }
 
 void
@@ -247,6 +256,9 @@ DramController::serviceNext()
         WriteReq req = writeQ[static_cast<std::size_t>(idx)];
         writeQ.erase(writeQ.begin() + idx);
         issue(req.addr, true, req.arrive, now);
+        if (drainMode) {
+            ++drainWrites;
+        }
         // The drain window ends the moment this dequeue reaches the low
         // watermark. Waiting for a later service event to observe the
         // transition (as this used to) under-counts statDrainCycles —

@@ -40,6 +40,30 @@ struct DramEnergy
 };
 
 /**
+ * Observer of the controller's write-drain windows (telemetry seam,
+ * mirroring LlcAuditObserver). Notifications are synchronous, must not
+ * re-enter the controller, and are strictly passive: an attached
+ * observer changes no timing and no stats, so observed and unobserved
+ * runs are cycle- and stat-identical.
+ */
+class DramObserver
+{
+  public:
+    virtual ~DramObserver() = default;
+
+    /** The write buffer filled and a drain window opened at `when`. */
+    virtual void onDrainStart(Cycle when) = 0;
+
+    /**
+     * The drain window [start, end] closed after servicing `writes`
+     * write bursts. end - start is exactly the amount credited to
+     * statDrainCycles for this window.
+     */
+    virtual void onDrainEnd(Cycle start, Cycle end,
+                            std::uint64_t writes) = 0;
+};
+
+/**
  * The memory controller. Reads complete through a callback carrying the
  * completion cycle; writes are fire-and-forget into the write buffer.
  */
@@ -64,6 +88,9 @@ class DramController
 
     /** True while a write drain is in progress. */
     bool draining() const { return drainMode; }
+
+    /** Attach (or detach, with nullptr) a passive drain observer. */
+    void attachObserver(DramObserver *observer) { obs = observer; }
 
     const DramAddrMap &addrMap() const { return map; }
     const DramConfig &config() const { return cfg; }
@@ -150,7 +177,9 @@ class DramController
     std::deque<WriteReq> writeQ;
     bool drainMode = false;
     Cycle drainStartAt = 0;
+    std::uint64_t drainWrites = 0;  ///< writes serviced this window
     bool servicePending = false;
+    DramObserver *obs = nullptr;
 };
 
 } // namespace dbsim

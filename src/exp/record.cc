@@ -59,7 +59,20 @@ PointRecord::toJsonLine() const
         first = false;
         out += jsonString(k) + ":" + jsonNumber(v);
     }
-    out += "}}";
+    out += "}";
+    if (!host.empty()) {
+        out += ",\"host\":{";
+        first = true;
+        for (const auto &[k, v] : host) {
+            if (!first) {
+                out += ",";
+            }
+            first = false;
+            out += jsonString(k) + ":" + jsonNumber(v);
+        }
+        out += "}";
+    }
+    out += "}";
     return out;
 }
 

@@ -44,6 +44,15 @@ struct PointRecord
     /** Raw counters from the measurement window. */
     std::map<std::string, std::uint64_t> stats;
 
+    /**
+     * Host-side wall-clock phase timings in milliseconds (build / run /
+     * collect), filled only when RunOptions::hostTimers is on. Kept out
+     * of `metrics` and serialized under a separate "host" key (omitted
+     * when empty) because wall-clock values are non-deterministic: the
+     * default record stays bit-identical across --jobs and machines.
+     */
+    std::map<std::string, double> host;
+
     /** Metric value; fatal() when the key was never filled. */
     double metric(const std::string &key) const;
 

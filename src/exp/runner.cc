@@ -32,10 +32,18 @@ fillSimMetrics(PointRecord &rec, const SimResult &r)
     rec.stats = r.stats;
 }
 
+using HostClock = std::chrono::steady_clock;
+
+double
+msSince(HostClock::time_point from, HostClock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
 /** Evaluate one point into a record. */
 PointRecord
 evalPoint(const SweepPoint &p, const RunOptions &opts,
-          AloneIpcCache *alone)
+          std::size_t total_points, AloneIpcCache *alone)
 {
     PointRecord rec;
     rec.index = p.index;
@@ -43,9 +51,14 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
     rec.tags = p.tags;
 
     switch (p.kind) {
-      case PointKind::Custom:
+      case PointKind::Custom: {
+        auto t0 = HostClock::now();
         p.custom(rec);
+        if (opts.hostTimers) {
+            rec.host["evalMs"] = msSince(t0, HostClock::now());
+        }
         break;
+      }
       case PointKind::Sim:
       case PointKind::MixSim: {
         rec.mechanism = mechanismName(p.cfg.mech);
@@ -54,8 +67,20 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
         if (opts.auditEvery) {
             cfg.auditEvery = *opts.auditEvery;
         }
-        SimResult r = runWorkload(cfg, p.mix);
+        if (opts.telemetry.enabled()) {
+            cfg.telemetry = total_points > 1
+                                ? opts.telemetry.withPointSuffix(p.index)
+                                : opts.telemetry;
+        }
+        auto t0 = HostClock::now();
+        System sys(cfg, p.mix);
+        auto t_built = HostClock::now();
+        SimResult r = sys.run();
+        auto t_ran = HostClock::now();
         fillSimMetrics(rec, r);
+        for (const auto &[k, v] : r.telemetry) {
+            rec.metrics[k] = v;
+        }
         if (p.kind == PointKind::MixSim) {
             panic_if(!alone, "MixSim point without an alone-IPC cache");
             std::vector<double> alone_ipcs = alone->forMix(p.mix);
@@ -70,6 +95,11 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
             rec.metrics["harmonicSpeedup"] =
                 harmonicSpeedup(r.ipc, alone_ipcs);
             rec.metrics["maxSlowdown"] = maxSlowdown(r.ipc, alone_ipcs);
+        }
+        if (opts.hostTimers) {
+            rec.host["buildMs"] = msSince(t0, t_built);
+            rec.host["runMs"] = msSince(t_built, t_ran);
+            rec.host["collectMs"] = msSince(t_ran, HostClock::now());
         }
         break;
       }
@@ -107,23 +137,28 @@ ExperimentRunner::run(const SweepSpec &spec)
     // Sink state shared by the workers.
     std::mutex sinkMu;
     std::size_t completed = 0;
-    auto t0 = std::chrono::steady_clock::now();
+    double pointSecondsSum = 0.0;
+    auto t0 = HostClock::now();
 
-    auto sink = [&](const PointRecord &rec) {
+    auto sink = [&](const PointRecord &rec, double point_seconds) {
         std::lock_guard<std::mutex> lock(sinkMu);
         if (jsonl.is_open()) {
             jsonl << rec.toJsonLine() << '\n';
             jsonl.flush();
         }
         ++completed;
+        pointSecondsSum += point_seconds;
         if (opts.progress) {
             double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
+                std::chrono::duration<double>(HostClock::now() - t0)
                     .count();
             std::size_t remaining = points.size() - completed;
-            double eta =
-                completed ? elapsed / completed * remaining : 0.0;
+            // ETA from the measured mean point cost spread over the
+            // worker pool, not elapsed/completed: the latter overshoots
+            // while the pool is still ramping up its first batch.
+            double per_point = pointSecondsSum / completed;
+            std::size_t lanes = opts.jobs > 1 ? opts.jobs : 1;
+            double eta = per_point * remaining / lanes;
             std::fprintf(stderr,
                          "\r[%zu/%zu] %5.1f%%  elapsed %.0fs  eta %.0fs ",
                          completed, points.size(),
@@ -135,9 +170,13 @@ ExperimentRunner::run(const SweepSpec &spec)
     };
 
     auto evalOne = [&](const SweepPoint &p) {
-        PointRecord rec = evalPoint(p, opts, alone.get());
+        auto t_point = HostClock::now();
+        PointRecord rec = evalPoint(p, opts, points.size(), alone.get());
+        double secs = std::chrono::duration<double>(HostClock::now() -
+                                                    t_point)
+                          .count();
         records[p.index] = std::move(rec);
-        sink(records[p.index]);
+        sink(records[p.index], secs);
     };
 
     if (opts.jobs <= 1) {

@@ -22,6 +22,7 @@
 #include "exp/alone_cache.hh"
 #include "exp/record.hh"
 #include "exp/sweep.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dbsim::exp {
 
@@ -46,6 +47,25 @@ struct RunOptions
      * so measurement runs never audit; tests can force auditing on.
      */
     std::optional<std::uint64_t> auditEvery;
+
+    /**
+     * Telemetry applied to every simulated point (sampler / histograms
+     * / trace; see telemetry::TelemetryConfig). In sweeps with more
+     * than one point, output file names get a ".pt<index>" suffix so
+     * points never clobber each other. Alone-IPC baseline runs are
+     * never telemetered. Histogram summaries land in each record's
+     * metrics ("hist.*"); they are deterministic, so the --jobs
+     * bit-identity guarantee still holds.
+     */
+    telemetry::TelemetryConfig telemetry;
+
+    /**
+     * Measure wall-clock build/run/collect phases per point and attach
+     * them to the record's `host` map ("host" key in the JSONL). Off by
+     * default: host timings are non-deterministic and would break
+     * record bit-identity across machines and runs.
+     */
+    bool hostTimers = false;
 };
 
 class ExperimentRunner

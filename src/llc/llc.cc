@@ -85,12 +85,50 @@ Llc::normalRead(Addr block_addr, std::uint32_t core, Cycle when,
         ++statDemandHits;
         store.touch(a, core);
         Cycle done = tag_done + cfg.dataLatency;
+        if constexpr (telemetry::kEnabled) {
+            if (telem) {
+                telem->readLatency(telemetry::ReadClass::Hit, done - when);
+            }
+        }
         eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
         return;
     }
 
     ++statDemandMisses;
+    if constexpr (telemetry::kEnabled) {
+        cb = wrapReadLatency(telemetry::ReadClass::Miss, when,
+                             std::move(cb));
+    }
     missToDram(a, core, tag_done, std::move(cb));
+}
+
+Llc::Callback
+Llc::wrapReadLatency(telemetry::ReadClass cls, Cycle when, Callback cb)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (telem && telem->histogramsEnabled()) {
+            return [this, cls, when, cb = std::move(cb)](Cycle done) {
+                telem->readLatency(cls, done > when ? done - when : 0);
+                cb(done);
+            };
+        }
+    }
+    return cb;
+}
+
+std::uint64_t
+Llc::countStoreDirtyInRow(Addr block_addr) const
+{
+    const DramAddrMap &map = dram.addrMap();
+    Addr base = map.rowBase(block_addr);
+    std::uint64_t dirty = 0;
+    for (std::uint32_t i = 0; i < map.blocksPerRow(); ++i) {
+        const TagStore::Entry *e = store.find(base + Addr{i} * kBlockBytes);
+        if (e && e->dirty) {
+            ++dirty;
+        }
+    }
+    return dirty;
 }
 
 void

@@ -29,6 +29,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_controller.hh"
+#include "telemetry/telemetry.hh"
 
 namespace dbsim {
 
@@ -107,6 +108,16 @@ class Llc
      * audited and unaudited runs are timing-identical.
      */
     void attachAuditor(LlcAuditObserver *observer) { auditor = observer; }
+
+    /**
+     * Attach (or detach, with nullptr) the telemetry sink. Like the
+     * auditor, the sink is passive: hooks record latencies and trace
+     * events into telemetry-private structures without touching
+     * counters, cycles, or replacement state, so instrumented and
+     * plain runs are cycle- and stat-identical. Hook sites compile
+     * away entirely when DBSIM_TELEMETRY is off.
+     */
+    void attachTelemetry(telemetry::SimTelemetry *sink) { telem = sink; }
 
     /** Outcome of a flush or DMA-coherence operation (Section 7). */
     struct RegionOpResult
@@ -222,12 +233,29 @@ class Llc
     void normalRead(Addr block_addr, std::uint32_t core, Cycle when,
                     Callback cb);
 
+    /**
+     * Wrap a read-completion callback so the request's latency lands in
+     * the class-`cls` histogram when it completes. Returns `cb`
+     * unchanged when no histogram would record (keeping the common path
+     * free of an extra std::function hop).
+     */
+    Callback wrapReadLatency(telemetry::ReadClass cls, Cycle when,
+                             Callback cb);
+
+    /**
+     * Dirty blocks the tag store currently holds in `block_addr`'s DRAM
+     * row (telemetry only; reads tag state without touching stats or
+     * replacement order).
+     */
+    std::uint64_t countStoreDirtyInRow(Addr block_addr) const;
+
     LlcConfig cfg;
     DramController &dram;
     EventQueue &eq;
     TagStore store;
     Cycle portFreeAt = 0;
     LlcAuditObserver *auditor = nullptr;
+    telemetry::SimTelemetry *telem = nullptr;
 
     /** Outstanding demand reads: block -> waiting callbacks + owner. */
     struct Pending

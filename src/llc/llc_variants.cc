@@ -45,6 +45,15 @@ void
 BaselineLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
 {
     if (tag_dirty) {
+        if constexpr (telemetry::kEnabled) {
+            // Fig. 2 sample: dirty blocks co-resident in the victim's
+            // DRAM row. The victim itself has already been displaced
+            // from the tag store, hence the +1.
+            if (telem && telem->histogramsEnabled()) {
+                telem->dirtyRowWriteback(countStoreDirtyInRow(block_addr) +
+                                         1);
+            }
+        }
         writebackToDram(block_addr, when);
     }
 }
@@ -181,6 +190,10 @@ SkipLlc::tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
     // Write-through guarantees no dirty blocks, so bypassing is always
     // safe. Bypassed misses do not allocate.
     ++statBypasses;
+    if constexpr (telemetry::kEnabled) {
+        cb = wrapReadLatency(telemetry::ReadClass::Bypass, when,
+                             std::move(cb));
+    }
     dram.enqueueRead(block_addr, when, std::move(cb));
     return true;
 }
@@ -238,6 +251,7 @@ void
 DbiLlc::drainDbiEviction(const std::vector<Addr> &blocks, Cycle when)
 {
     Cycle cursor = when;
+    Cycle last = when;
     for (Addr b : blocks) {
         panic_if(!store.contains(b),
                  "DBI invariant violated: dirty block %llx not cached",
@@ -247,8 +261,14 @@ DbiLlc::drainDbiEviction(const std::vector<Addr> &blocks, Cycle when)
         Cycle start = occupyPort(cursor);
         ++statSweepLookups;
         cursor = start + 1;
-        writebackToDram(b, start + cfg.tagLatency);
+        last = start + cfg.tagLatency;
+        writebackToDram(b, last);
         ++statDbiEvictionWbs;
+    }
+    if constexpr (telemetry::kEnabled) {
+        if (telem && !blocks.empty()) {
+            telem->dbiEvictionDrain(when, last, blocks.size());
+        }
     }
 }
 
@@ -321,6 +341,17 @@ DbiLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
         return;  // clean eviction: nothing to write back
     }
 
+    if constexpr (telemetry::kEnabled) {
+        // Fig. 2 sample: the victim is still marked in the DBI here, so
+        // the range count includes it (no +1 needed, unlike Baseline).
+        if (telem && telem->histogramsEnabled()) {
+            const DramAddrMap &map = dram.addrMap();
+            telem->dirtyRowWriteback(
+                index.countDirtyInRange(map.rowBase(block_addr),
+                                        map.rowBytes()));
+        }
+    }
+
     // Dirty eviction: write the victim back...
     writebackToDram(block_addr, when);
     index.clearDirty(block_addr);
@@ -334,6 +365,8 @@ DbiLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
     // lookups are spent only on blocks that are actually dirty.
     std::vector<Addr> row_dirty = index.dirtyBlocksInRegion(block_addr);
     Cycle cursor = when;
+    Cycle last = when;
+    std::uint64_t burst = 0;
     for (Addr b : row_dirty) {
         if (b == block_addr) {
             continue;
@@ -344,9 +377,16 @@ DbiLlc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
         Cycle start = occupyPort(cursor);
         ++statSweepLookups;
         cursor = start + 1;
-        writebackToDram(b, start + cfg.tagLatency);
+        last = start + cfg.tagLatency;
+        writebackToDram(b, last);
         ++statAwbWritebacks;
+        ++burst;
         index.clearDirty(b);
+    }
+    if constexpr (telemetry::kEnabled) {
+        if (telem && burst > 0) {
+            telem->awbBurst(when, last, burst);
+        }
     }
 }
 
@@ -368,10 +408,22 @@ DbiLlc::tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
     ++statDbiChecks;
     Cycle checked = when + index.latency();
     if (index.isDirty(block_addr)) {
+        if constexpr (telemetry::kEnabled) {
+            if (telem) {
+                telem->clbDecision(block_addr, checked, true);
+            }
+        }
         normalRead(block_addr, core, checked, std::move(cb));
         return true;
     }
     ++statBypasses;
+    if constexpr (telemetry::kEnabled) {
+        if (telem) {
+            telem->clbDecision(block_addr, checked, false);
+        }
+        cb = wrapReadLatency(telemetry::ReadClass::Bypass, when,
+                             std::move(cb));
+    }
     dram.enqueueRead(block_addr, checked, std::move(cb));
     return true;
 }

@@ -16,6 +16,23 @@ checkSizes(const std::vector<double> &shared,
              "metric inputs must be equal-sized and non-empty");
 }
 
+/**
+ * Every speedup/slowdown metric divides by per-core IPCs, so a zero,
+ * negative, or non-finite input would silently yield inf/NaN and
+ * poison every downstream aggregate (a geomean over a table column,
+ * a JSONL record). An IPC that is not a positive finite number means
+ * the simulation that produced it is broken — fail loudly instead.
+ */
+void
+checkIpcs(const char *metric, const std::vector<double> &ipcs)
+{
+    for (double v : ipcs) {
+        panic_if(!std::isfinite(v) || v <= 0.0,
+                 "%s: IPC inputs must be positive finite, got %f",
+                 metric, v);
+    }
+}
+
 } // namespace
 
 double
@@ -23,6 +40,8 @@ weightedSpeedup(const std::vector<double> &shared,
                 const std::vector<double> &alone)
 {
     checkSizes(shared, alone);
+    checkIpcs("weightedSpeedup", shared);
+    checkIpcs("weightedSpeedup", alone);
     double ws = 0.0;
     for (std::size_t i = 0; i < shared.size(); ++i) {
         ws += shared[i] / alone[i];
@@ -45,6 +64,8 @@ harmonicSpeedup(const std::vector<double> &shared,
                 const std::vector<double> &alone)
 {
     checkSizes(shared, alone);
+    checkIpcs("harmonicSpeedup", shared);
+    checkIpcs("harmonicSpeedup", alone);
     double denom = 0.0;
     for (std::size_t i = 0; i < shared.size(); ++i) {
         denom += alone[i] / shared[i];
@@ -57,6 +78,8 @@ maxSlowdown(const std::vector<double> &shared,
             const std::vector<double> &alone)
 {
     checkSizes(shared, alone);
+    checkIpcs("maxSlowdown", shared);
+    checkIpcs("maxSlowdown", alone);
     double worst = 0.0;
     for (std::size_t i = 0; i < shared.size(); ++i) {
         double s = alone[i] / shared[i];
@@ -73,7 +96,8 @@ geomean(const std::vector<double> &values)
     panic_if(values.empty(), "geomean of empty set");
     double acc = 0.0;
     for (double v : values) {
-        panic_if(v <= 0.0, "geomean requires positive values");
+        panic_if(!std::isfinite(v) || v <= 0.0,
+                 "geomean requires positive finite values, got %f", v);
         acc += std::log(v);
     }
     return std::exp(acc / static_cast<double>(values.size()));

@@ -4,6 +4,10 @@
  * speedup [50], instruction throughput, harmonic speedup [32], and
  * maximum slowdown [14, 24]. All take per-core shared-run IPCs and the
  * corresponding alone-run IPCs.
+ *
+ * All IPC inputs must be positive finite numbers — every metric divides
+ * by them, and a zero or NaN would silently poison downstream
+ * aggregates. Violations panic() instead of returning inf/NaN.
  */
 
 #ifndef DBSIM_SIM_METRICS_HH

@@ -105,6 +105,8 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
             std::make_unique<audit::InvariantAuditor>(*sharedLlc, ac);
     }
 
+    setupTelemetry();
+
     sharedLlc->registerStats(statSet);
     dramCtrl->registerStats(statSet);
 
@@ -129,6 +131,56 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
 }
 
 System::~System() = default;
+
+void
+System::setupTelemetry()
+{
+    if (!cfg.telemetry.enabled()) {
+        return;
+    }
+    if constexpr (!telemetry::kEnabled) {
+        warn("telemetry requested but this build has DBSIM_TELEMETRY "
+             "off; ignoring");
+        return;
+    }
+    telem = std::make_unique<telemetry::SimTelemetry>(cfg.telemetry);
+    sharedLlc->attachTelemetry(telem.get());
+    dramCtrl->attachObserver(telem.get());
+
+    telemetry::StatSampler *s = telem->sampler();
+    if (!s) {
+        return;
+    }
+    // Gauges read component state through stat-free const accessors
+    // only; counters/rates are tracked with sampler-private last-value
+    // bookkeeping. Either way the sampled run's stats stay identical
+    // to an unsampled run's.
+    Dbi *d = dbi();
+    if (d) {
+        s->addGauge("dirtyBlocks",
+                    [d] { return double(d->countDirtyBlocks()); });
+        s->addGauge("dbiValidEntries",
+                    [d] { return double(d->countValidEntries()); });
+    } else {
+        const TagStore &ts = sharedLlc->tags();
+        s->addGauge("dirtyBlocks",
+                    [&ts] { return double(ts.countDirty()); });
+    }
+    DramController *dc = dramCtrl.get();
+    s->addGauge("writeQueueDepth",
+                [dc] { return double(dc->pendingWrites()); });
+    s->addGauge("readQueueDepth",
+                [dc] { return double(dc->pendingReads()); });
+    s->addGauge("drainMode", [dc] { return dc->draining() ? 1.0 : 0.0; });
+    s->addCounter("dramReads", dramCtrl->statReads);
+    s->addCounter("dramWrites", dramCtrl->statWrites);
+    s->addRate("readRowHitRate", dramCtrl->statReadRowHits,
+               dramCtrl->statReads);
+    s->addRate("writeRowHitRate", dramCtrl->statWriteRowHits,
+               dramCtrl->statWrites);
+    s->addCounter("llcDemandMisses", sharedLlc->statDemandMisses);
+    s->addCounter("llcWbToDram", sharedLlc->statWbToDram);
+}
 
 Dbi *
 System::dbi()
@@ -167,7 +219,16 @@ System::run()
     for (auto &core : cores) {
         core->start();
     }
+    // The sampler is polled (one comparison) rather than event-driven:
+    // scheduling sampling events would keep the queue alive and perturb
+    // same-cycle FIFO ordering, breaking run/no-run identity.
+    telemetry::StatSampler *sampler = telem ? telem->sampler() : nullptr;
     while (eq.step()) {
+        if constexpr (telemetry::kEnabled) {
+            if (sampler) {
+                sampler->poll(eq.now());
+            }
+        }
         if (eq.now() > cfg.maxCycles) {
             fatal("simulation exceeded %llu cycles: likely deadlock",
                   static_cast<unsigned long long>(cfg.maxCycles));
@@ -193,6 +254,16 @@ System::run()
     res.mpki =
         static_cast<double>(res.stats["llc.demandMisses"]) / kilo_instrs;
     res.dramEnergyPj = dramCtrl->energySince(res.windowCycles).totalPj();
+
+    if constexpr (telemetry::kEnabled) {
+        if (telem) {
+            telem->setTotal("dram.drainCycles",
+                            dramCtrl->statDrainCycles.value());
+            telem->setTotal("dram.drains", dramCtrl->statDrains.value());
+            telem->finish(eq.now());
+            res.telemetry = telem->summaryMetrics();
+        }
+    }
 
     sharedLlc->checkInvariants();
     if (auditWatch) {

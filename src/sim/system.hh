@@ -24,6 +24,7 @@
 #include "llc/llc.hh"
 #include "pred/miss_predictor.hh"
 #include "sim/mechanism.hh"
+#include "telemetry/telemetry.hh"
 #include "workload/mixes.hh"
 #include "workload/file_trace.hh"
 #include "workload/synthetic_trace.hh"
@@ -73,6 +74,16 @@ struct SystemConfig
     std::uint64_t auditEvery = 0;
 #endif
 
+    /**
+     * Telemetry (src/telemetry): epoch time-series sampling, latency /
+     * drain histograms, and Chrome-trace export. Off by default
+     * (TelemetryConfig::enabled() is false); requesting it in a build
+     * configured with -DDBSIM_TELEMETRY=OFF draws a warning and is
+     * ignored. Observation is strictly passive: a run with telemetry on
+     * is cycle- and stat-identical to the same run without.
+     */
+    telemetry::TelemetryConfig telemetry;
+
     /** Hard simulation cap; exceeded means a deadlock bug. */
     Cycle maxCycles = 20'000'000'000ull;
 
@@ -102,6 +113,13 @@ struct SimResult
     double wpki = 0.0;   ///< memory writes per kilo instructions
     double mpki = 0.0;   ///< LLC demand misses per kilo instructions
     double dramEnergyPj = 0.0;
+
+    /**
+     * Histogram summaries ("hist.<name>.<stat>") when the run collected
+     * telemetry histograms; empty otherwise. Deterministic in the
+     * simulation.
+     */
+    std::map<std::string, double> telemetry;
 };
 
 /**
@@ -134,12 +152,16 @@ class System
     /** The invariant auditor, when enabled (nullptr otherwise). */
     audit::InvariantAuditor *auditor() { return auditWatch.get(); }
 
+    /** The telemetry sink, when enabled (nullptr otherwise). */
+    dbsim::telemetry::SimTelemetry *telemetry() { return telem.get(); }
+
     /** Per-core private hierarchy (for inspection). */
     CoreMemory &coreMemory(std::uint32_t core) { return *mems.at(core); }
 
   private:
     void onCoreWarmed(std::uint32_t core_id);
     void onCoreDone(std::uint32_t core_id);
+    void setupTelemetry();
 
     SystemConfig cfg;
     WorkloadMix workload;
@@ -149,6 +171,7 @@ class System
     std::shared_ptr<MissPredictor> predictor;
     std::unique_ptr<Llc> sharedLlc;
     std::unique_ptr<audit::InvariantAuditor> auditWatch;
+    std::unique_ptr<dbsim::telemetry::SimTelemetry> telem;
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<CoreMemory>> mems;
     std::vector<std::unique_ptr<Core>> cores;

@@ -1,0 +1,85 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dbsim::telemetry {
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (samples_.empty()) {
+        return 0;
+    }
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0) {
+        return samples_.front();
+    }
+    if (p >= 100.0) {
+        return samples_.back();
+    }
+    // Nearest rank: ceil(p/100 * N), 1-based.
+    double n = static_cast<double>(samples_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0) {
+        rank = 1;
+    }
+    return samples_[rank - 1];
+}
+
+std::string
+Histogram::summaryLine() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "count=%llu mean=%.2f p50=%llu p95=%llu p99=%llu "
+                  "max=%llu",
+                  static_cast<unsigned long long>(count()), mean(),
+                  static_cast<unsigned long long>(percentile(50)),
+                  static_cast<unsigned long long>(percentile(95)),
+                  static_cast<unsigned long long>(percentile(99)),
+                  static_cast<unsigned long long>(max()));
+    return buf;
+}
+
+std::string
+Histogram::report() const
+{
+    std::string out;
+    out += (name_.empty() ? std::string("histogram") : name_) + ": " +
+           summaryLine() + "\n";
+    if (empty()) {
+        return out;
+    }
+    std::uint64_t peak = 0;
+    for (std::uint64_t c : buckets_) {
+        peak = std::max(peak, c);
+    }
+    for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0) {
+            continue;
+        }
+        static constexpr int kBarWidth = 40;
+        int bar = static_cast<int>(
+            static_cast<double>(buckets_[i]) /
+            static_cast<double>(peak) * kBarWidth);
+        if (bar == 0) {
+            bar = 1;
+        }
+        char line[160];
+        std::snprintf(line, sizeof(line), "  [%8llu, %8llu) %10llu |",
+                      static_cast<unsigned long long>(bucketLow(i)),
+                      static_cast<unsigned long long>(bucketHigh(i)),
+                      static_cast<unsigned long long>(buckets_[i]));
+        out += line;
+        out.append(static_cast<std::size_t>(bar), '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace dbsim::telemetry

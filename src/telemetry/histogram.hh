@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Distribution-tracking primitive for the telemetry layer. A Histogram
+ * keeps (1) power-of-two ("log2") bucket counts, cheap enough to update
+ * on every event and compact to print, and (2) the raw sample values,
+ * so percentiles (p50/p95/p99) are exact rather than bucket-resolution
+ * estimates. Recording is purely observational: it touches no Counter,
+ * no simulation state, and costs no simulated cycles.
+ */
+
+#ifndef DBSIM_TELEMETRY_HISTOGRAM_HH
+#define DBSIM_TELEMETRY_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dbsim::telemetry {
+
+/**
+ * Log2-bucketed histogram with exact on-demand percentiles.
+ *
+ * Bucket i counts samples v with bucketIndex(v) == i:
+ *   bucket 0   <- v == 0
+ *   bucket i   <- 2^(i-1) <= v < 2^i   (i >= 1)
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::string hist_name = "")
+        : name_(std::move(hist_name))
+    {
+    }
+
+    /** Bucket a value falls into (see class comment). */
+    static std::uint32_t
+    bucketIndex(std::uint64_t v)
+    {
+        return v == 0 ? 0 : floorLog2(v) + 1;
+    }
+
+    /** Inclusive lower bound of bucket i. */
+    static std::uint64_t
+    bucketLow(std::uint32_t i)
+    {
+        return i == 0 ? 0 : 1ull << (i - 1);
+    }
+
+    /** Exclusive upper bound of bucket i (0 -> [0,0]). */
+    static std::uint64_t
+    bucketHigh(std::uint32_t i)
+    {
+        return i == 0 ? 1 : 1ull << i;
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        std::uint32_t b = bucketIndex(v);
+        if (b >= buckets_.size()) {
+            buckets_.resize(b + 1, 0);
+        }
+        ++buckets_[b];
+        sum_ += v;
+        if (samples_.empty() || v < min_) {
+            min_ = v;
+        }
+        if (samples_.empty() || v > max_) {
+            max_ = v;
+        }
+        samples_.push_back(v);
+        sorted_ = false;
+    }
+
+    const std::string &name() const { return name_; }
+    std::uint64_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    std::uint64_t min() const { return empty() ? 0 : min_; }
+    std::uint64_t max() const { return empty() ? 0 : max_; }
+    std::uint64_t sum() const { return sum_; }
+
+    double
+    mean() const
+    {
+        return empty() ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(samples_.size());
+    }
+
+    /**
+     * Exact percentile by the nearest-rank method: the smallest sample
+     * v such that at least p% of samples are <= v. p in [0, 100];
+     * returns 0 on an empty histogram.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Per-bucket counts; index is the log2 bucket. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * Human-readable multi-line report: count/mean/percentiles plus one
+     * row per non-empty bucket with a proportional bar.
+     */
+    std::string report() const;
+
+    /** One-line "count=N mean=M p50=... p95=... p99=... max=..." form. */
+    std::string summaryLine() const;
+
+  private:
+    std::string name_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+
+    /** Raw samples, lazily sorted for exact percentile queries. */
+    mutable std::vector<std::uint64_t> samples_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace dbsim::telemetry
+
+#endif // DBSIM_TELEMETRY_HISTOGRAM_HH

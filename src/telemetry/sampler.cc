@@ -1,0 +1,149 @@
+#include "sampler.hh"
+
+#include <cinttypes>
+
+#include "common/logging.hh"
+
+namespace dbsim::telemetry {
+
+StatSampler::StatSampler(Cycle sample_every, std::size_t ring_capacity)
+    : every(sample_every), capacity(ring_capacity), nextBoundary(sample_every)
+{
+    fatal_if(every == 0, "sampler epoch length must be > 0");
+    fatal_if(capacity == 0, "sampler ring needs capacity");
+}
+
+StatSampler::~StatSampler()
+{
+    if (jsonl) {
+        std::fclose(jsonl);
+    }
+}
+
+void
+StatSampler::addGauge(std::string name, std::function<double()> fn)
+{
+    Channel c;
+    c.name = std::move(name);
+    c.gauge = std::move(fn);
+    channels.push_back(std::move(c));
+}
+
+void
+StatSampler::addCounter(std::string name, const Counter &counter)
+{
+    Channel c;
+    c.name = std::move(name);
+    c.num = &counter;
+    c.lastNum = counter.value();
+    channels.push_back(std::move(c));
+}
+
+void
+StatSampler::addRate(std::string name, const Counter &num,
+                     const Counter &den)
+{
+    Channel c;
+    c.name = std::move(name);
+    c.num = &num;
+    c.den = &den;
+    c.lastNum = num.value();
+    c.lastDen = den.value();
+    channels.push_back(std::move(c));
+}
+
+void
+StatSampler::openJsonl(const std::string &path)
+{
+    panic_if(jsonl != nullptr, "sampler JSONL already open");
+    jsonl = std::fopen(path.c_str(), "w");
+    fatal_if(!jsonl, "cannot open time-series output '%s'", path.c_str());
+    jsonlPath = path;
+}
+
+std::vector<std::string>
+StatSampler::channelNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(channels.size());
+    for (const auto &c : channels) {
+        names.push_back(c.name);
+    }
+    return names;
+}
+
+double
+StatSampler::channelValue(Channel &c)
+{
+    if (c.gauge) {
+        return c.gauge();
+    }
+    std::uint64_t num_now = c.num->value();
+    std::uint64_t dnum = num_now - c.lastNum;
+    c.lastNum = num_now;
+    if (!c.den) {
+        return static_cast<double>(dnum);
+    }
+    std::uint64_t den_now = c.den->value();
+    std::uint64_t dden = den_now - c.lastDen;
+    c.lastDen = den_now;
+    return dden ? static_cast<double>(dnum) / static_cast<double>(dden)
+                : 0.0;
+}
+
+void
+StatSampler::closeEpoch(Cycle now)
+{
+    EpochSample s;
+    s.epoch = nextEpochIdx++;
+    s.start = epochStart;
+    s.end = now;
+    s.values.reserve(channels.size());
+    for (auto &c : channels) {
+        s.values.push_back(channelValue(c));
+    }
+
+    if (jsonl) {
+        std::fprintf(jsonl,
+                     "{\"epoch\":%" PRIu64 ",\"start\":%" PRIu64
+                     ",\"end\":%" PRIu64 ",\"values\":{",
+                     s.epoch, s.start, s.end);
+        for (std::size_t i = 0; i < channels.size(); ++i) {
+            std::fprintf(jsonl, "%s\"%s\":%s", i ? "," : "",
+                         channels[i].name.c_str(),
+                         traceArgNumber(s.values[i]).c_str());
+        }
+        std::fputs("}}\n", jsonl);
+    }
+
+    if (trace) {
+        // One counter track per channel keeps Perfetto lanes separate.
+        for (std::size_t i = 0; i < channels.size(); ++i) {
+            trace->counter(channels[i].name, now,
+                           {{channels[i].name,
+                             traceArgNumber(s.values[i])}});
+        }
+    }
+
+    samples.push_back(std::move(s));
+    if (samples.size() > capacity) {
+        samples.pop_front();
+    }
+
+    epochStart = now;
+    nextBoundary = (now / every + 1) * every;
+}
+
+void
+StatSampler::finish(Cycle now)
+{
+    if (now > epochStart || nextEpochIdx == 0) {
+        closeEpoch(now);
+    }
+    if (jsonl) {
+        std::fclose(jsonl);
+        jsonl = nullptr;
+    }
+}
+
+} // namespace dbsim::telemetry

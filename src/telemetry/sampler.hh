@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Epoch-based statistics sampler. The owning System polls the sampler
+ * after every dispatched event; when simulated time crosses the next
+ * epoch boundary (a multiple of `sampleEvery` cycles), the sampler
+ * snapshots every registered channel into an in-memory ring and
+ * optionally emits the epoch as one JSON Lines row and as Chrome-trace
+ * counter tracks.
+ *
+ * Sampling is strictly passive: channels read component state through
+ * const accessors and the sampler keeps its own last-value bookkeeping
+ * for counter deltas — it never calls Counter::snapshot(), so the
+ * measurement-window math of StatSet is untouched and a sampled run is
+ * stat-identical to an unsampled one.
+ *
+ * Because the simulation is event-driven, an epoch closes at the first
+ * event at-or-after its grid boundary; if no event lands inside a grid
+ * epoch, that epoch is subsumed by the next sample (`start`/`end`
+ * record the actual span covered).
+ */
+
+#ifndef DBSIM_TELEMETRY_SAMPLER_HH
+#define DBSIM_TELEMETRY_SAMPLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "telemetry/trace_writer.hh"
+
+namespace dbsim::telemetry {
+
+/** One closed epoch: the channel values over [start, end]. */
+struct EpochSample
+{
+    std::uint64_t epoch = 0;  ///< running index
+    Cycle start = 0;          ///< first cycle covered
+    Cycle end = 0;            ///< cycle the epoch closed at
+    std::vector<double> values;  ///< parallel to channelNames()
+};
+
+class StatSampler
+{
+  public:
+    /**
+     * @param sample_every epoch length in simulated cycles (> 0).
+     * @param ring_capacity epochs retained in memory (oldest dropped).
+     */
+    StatSampler(Cycle sample_every, std::size_t ring_capacity = 4096);
+    ~StatSampler();
+
+    StatSampler(const StatSampler &) = delete;
+    StatSampler &operator=(const StatSampler &) = delete;
+
+    /** Sampled instantaneous value (queue depth, occupancy, flag). */
+    void addGauge(std::string name, std::function<double()> fn);
+
+    /** Per-epoch delta of a monotonically increasing counter. */
+    void addCounter(std::string name, const Counter &c);
+
+    /**
+     * Per-epoch delta ratio num/den (e.g. row hits / accesses); 0 when
+     * the denominator did not move this epoch.
+     */
+    void addRate(std::string name, const Counter &num, const Counter &den);
+
+    /** Stream each closed epoch as one JSONL row; fatal() on failure. */
+    void openJsonl(const std::string &path);
+
+    /** Also emit each epoch as Chrome-trace counter tracks. */
+    void attachTrace(TraceWriter *writer) { trace = writer; }
+
+    /**
+     * Called after every dispatched event; closes epochs as boundaries
+     * are crossed. The fast path is one comparison.
+     */
+    void
+    poll(Cycle now)
+    {
+        if (now < nextBoundary) {
+            return;
+        }
+        closeEpoch(now);
+    }
+
+    /** Close the final (partial) epoch, if it saw any cycles. */
+    void finish(Cycle now);
+
+    Cycle sampleEvery() const { return every; }
+    const std::deque<EpochSample> &ring() const { return samples; }
+    std::uint64_t epochsClosed() const { return nextEpochIdx; }
+    std::vector<std::string> channelNames() const;
+
+  private:
+    struct Channel
+    {
+        std::string name;
+        std::function<double()> gauge;   ///< set for gauge channels
+        const Counter *num = nullptr;    ///< set for counter/rate
+        const Counter *den = nullptr;    ///< set for rate
+        std::uint64_t lastNum = 0;       ///< sampler-private bookkeeping
+        std::uint64_t lastDen = 0;
+    };
+
+    void closeEpoch(Cycle now);
+    double channelValue(Channel &c);
+
+    Cycle every;
+    std::size_t capacity;
+    Cycle epochStart = 0;
+    Cycle nextBoundary;
+    std::uint64_t nextEpochIdx = 0;
+    std::vector<Channel> channels;
+    std::deque<EpochSample> samples;
+    std::FILE *jsonl = nullptr;
+    std::string jsonlPath;
+    TraceWriter *trace = nullptr;
+};
+
+} // namespace dbsim::telemetry
+
+#endif // DBSIM_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,196 @@
+#include "telemetry.hh"
+
+#include "common/logging.hh"
+
+namespace dbsim::telemetry {
+
+namespace {
+
+/** "dir/base.ext" -> "dir/base.pt<i>.ext"; no-ext names get appended. */
+std::string
+suffixPath(const std::string &path, std::size_t index)
+{
+    if (path.empty()) {
+        return path;
+    }
+    std::string tag = ".pt" + std::to_string(index);
+    std::size_t slash = path.find_last_of('/');
+    std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + tag;
+    }
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+void
+addHistMetrics(std::map<std::string, double> &out, const Histogram &h)
+{
+    if (h.empty()) {
+        return;
+    }
+    const std::string p = "hist." + h.name() + ".";
+    out[p + "count"] = static_cast<double>(h.count());
+    out[p + "mean"] = h.mean();
+    out[p + "p50"] = static_cast<double>(h.percentile(50));
+    out[p + "p95"] = static_cast<double>(h.percentile(95));
+    out[p + "p99"] = static_cast<double>(h.percentile(99));
+    out[p + "max"] = static_cast<double>(h.max());
+}
+
+} // namespace
+
+TelemetryConfig
+TelemetryConfig::withPointSuffix(std::size_t index) const
+{
+    TelemetryConfig c = *this;
+    c.timeseriesPath = suffixPath(timeseriesPath, index);
+    c.tracePath = suffixPath(tracePath, index);
+    return c;
+}
+
+SimTelemetry::SimTelemetry(const TelemetryConfig &config) : cfg(config)
+{
+    if (!cfg.tracePath.empty()) {
+        trace_ = std::make_unique<TraceWriter>(cfg.tracePath);
+    }
+    if (cfg.sampleEvery > 0) {
+        sampler_ =
+            std::make_unique<StatSampler>(cfg.sampleEvery,
+                                          cfg.ringCapacity);
+        if (!cfg.timeseriesPath.empty()) {
+            sampler_->openJsonl(cfg.timeseriesPath);
+        }
+        if (trace_) {
+            sampler_->attachTrace(trace_.get());
+        }
+    }
+}
+
+SimTelemetry::~SimTelemetry() = default;
+
+void
+SimTelemetry::readLatency(ReadClass cls, Cycle cycles)
+{
+    if (!cfg.histograms) {
+        return;
+    }
+    switch (cls) {
+      case ReadClass::Hit:
+        histReadHit.record(cycles);
+        break;
+      case ReadClass::Miss:
+        histReadMiss.record(cycles);
+        break;
+      case ReadClass::Bypass:
+        histBypass.record(cycles);
+        break;
+    }
+}
+
+void
+SimTelemetry::dirtyRowWriteback(std::uint64_t dirty_in_row)
+{
+    if (cfg.histograms) {
+        histDirtyPerRow.record(dirty_in_row);
+    }
+}
+
+void
+SimTelemetry::dbiEvictionDrain(Cycle start, Cycle end,
+                               std::uint64_t blocks)
+{
+    if (cfg.histograms) {
+        histDbiDrain.record(blocks);
+    }
+    if (trace_) {
+        trace_->complete("dbi", "dbiEvictionDrain", TraceWriter::kTidDbi,
+                         start, end,
+                         {{"blocks", traceArgNumber(blocks)}});
+    }
+}
+
+void
+SimTelemetry::awbBurst(Cycle start, Cycle end, std::uint64_t blocks)
+{
+    if (trace_) {
+        trace_->complete("dbi", "awbBurst", TraceWriter::kTidDbi, start,
+                         end, {{"blocks", traceArgNumber(blocks)}});
+    }
+}
+
+void
+SimTelemetry::clbDecision(Addr block_addr, Cycle when, bool dbi_dirty)
+{
+    if (trace_) {
+        trace_->instant("clb", dbi_dirty ? "clbDirty" : "clbBypass",
+                        TraceWriter::kTidClb, when,
+                        {{"block", traceArgHex(block_addr)}});
+    }
+}
+
+void
+SimTelemetry::onDrainStart(Cycle)
+{
+    // The window is recorded on close, when its extent is known.
+}
+
+void
+SimTelemetry::onDrainEnd(Cycle start, Cycle end, std::uint64_t writes)
+{
+    Cycle dur = end > start ? end - start : 0;
+    drainCycleSum += dur;
+    ++drainWindows;
+    if (cfg.histograms) {
+        histDrainWrites.record(writes);
+        histDrainCycles.record(dur);
+    }
+    if (trace_) {
+        trace_->complete("dram", "drain", TraceWriter::kTidDram, start,
+                         end, {{"writes", traceArgNumber(writes)}});
+    }
+}
+
+void
+SimTelemetry::setTotal(const std::string &key, std::uint64_t value)
+{
+    if (trace_) {
+        trace_->setTotal(key, value);
+    }
+}
+
+void
+SimTelemetry::finish(Cycle now)
+{
+    if (finished) {
+        return;
+    }
+    finished = true;
+    if (sampler_) {
+        sampler_->finish(now);
+    }
+    if (trace_) {
+        trace_->setTotal("telemetry.drainWindows", drainWindows);
+        trace_->setTotal("telemetry.drainCyclesTraced", drainCycleSum);
+        trace_->finish();
+    }
+}
+
+std::map<std::string, double>
+SimTelemetry::summaryMetrics() const
+{
+    std::map<std::string, double> out;
+    if (!cfg.histograms) {
+        return out;
+    }
+    addHistMetrics(out, histReadHit);
+    addHistMetrics(out, histReadMiss);
+    addHistMetrics(out, histBypass);
+    addHistMetrics(out, histDrainWrites);
+    addHistMetrics(out, histDrainCycles);
+    addHistMetrics(out, histDirtyPerRow);
+    addHistMetrics(out, histDbiDrain);
+    return out;
+}
+
+} // namespace dbsim::telemetry

@@ -1,0 +1,203 @@
+#include "trace_writer.hh"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dbsim::telemetry {
+
+namespace {
+
+/** JSON string escaping (telemetry carries no exp dependency). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+argsJson(const TraceArgs &args)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : args) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += "\"" + escape(k) + "\":" + v;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+traceArgNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+traceArgNumber(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+traceArgString(const std::string &s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+std::string
+traceArgHex(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\"0x%" PRIx64 "\"", addr);
+    return buf;
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    out = std::fopen(path.c_str(), "w");
+    fatal_if(!out, "cannot open trace output '%s'", path.c_str());
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+    threadName(kTidDram, "dram");
+    threadName(kTidLlc, "llc");
+    threadName(kTidDbi, "dbi");
+    threadName(kTidClb, "clb");
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+void
+TraceWriter::emit(const std::string &event_json)
+{
+    panic_if(finished, "trace event emitted after finish()");
+    if (!firstEvent) {
+        std::fputs(",\n", out);
+    }
+    firstEvent = false;
+    std::fputs(event_json.c_str(), out);
+    ++events;
+}
+
+void
+TraceWriter::threadName(int tid, const std::string &name)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  kPid, tid, escape(name).c_str());
+    emit(buf);
+}
+
+void
+TraceWriter::complete(const std::string &cat, const std::string &name,
+                      int tid, Cycle start, Cycle end,
+                      const TraceArgs &args)
+{
+    Cycle dur = end > start ? end - start : 0;
+    std::string ev = "{\"ph\":\"X\",\"cat\":\"" + escape(cat) +
+                     "\",\"name\":\"" + escape(name) +
+                     "\",\"pid\":" + std::to_string(kPid) +
+                     ",\"tid\":" + std::to_string(tid) +
+                     ",\"ts\":" + std::to_string(start) +
+                     ",\"dur\":" + std::to_string(dur) +
+                     ",\"args\":" + argsJson(args) + "}";
+    emit(ev);
+}
+
+void
+TraceWriter::instant(const std::string &cat, const std::string &name,
+                     int tid, Cycle ts, const TraceArgs &args)
+{
+    std::string ev = "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"" +
+                     escape(cat) + "\",\"name\":\"" + escape(name) +
+                     "\",\"pid\":" + std::to_string(kPid) +
+                     ",\"tid\":" + std::to_string(tid) +
+                     ",\"ts\":" + std::to_string(ts) +
+                     ",\"args\":" + argsJson(args) + "}";
+    emit(ev);
+}
+
+void
+TraceWriter::counter(const std::string &name, Cycle ts,
+                     const TraceArgs &series)
+{
+    std::string ev = "{\"ph\":\"C\",\"name\":\"" + escape(name) +
+                     "\",\"pid\":" + std::to_string(kPid) +
+                     ",\"ts\":" + std::to_string(ts) +
+                     ",\"args\":" + argsJson(series) + "}";
+    emit(ev);
+}
+
+void
+TraceWriter::setTotal(const std::string &key, std::uint64_t value)
+{
+    totals[key] = value;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished || !out) {
+        return;
+    }
+    finished = true;
+    std::fputs("\n],\"otherData\":{", out);
+    bool first = true;
+    for (const auto &[k, v] : totals) {
+        if (!first) {
+            std::fputs(",", out);
+        }
+        first = false;
+        std::fprintf(out, "\"%s\":%" PRIu64, escape(k).c_str(), v);
+    }
+    std::fputs("}}\n", out);
+    std::fclose(out);
+    out = nullptr;
+}
+
+} // namespace dbsim::telemetry

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Streaming writer for the Chrome trace-event JSON format (the "JSON
+ * object format" with a `traceEvents` array), viewable in Perfetto
+ * (ui.perfetto.dev) or chrome://tracing. Simulated cycles are emitted
+ * directly as the `ts`/`dur` microsecond fields, so 1 displayed "us"
+ * == 1 CPU cycle.
+ *
+ * Events are streamed to disk as they are emitted (no in-memory event
+ * list), so arbitrarily long runs trace in O(1) memory. finish() —
+ * called automatically from the destructor — closes the traceEvents
+ * array and appends an `otherData` object carrying whole-run totals
+ * that checkers (tools/check_trace.py) validate the event stream
+ * against.
+ */
+
+#ifndef DBSIM_TELEMETRY_TRACE_WRITER_HH
+#define DBSIM_TELEMETRY_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dbsim::telemetry {
+
+/** Argument list attached to one trace event ("args" object). */
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+/** Format helpers for TraceArgs values. */
+std::string traceArgNumber(double v);
+std::string traceArgNumber(std::uint64_t v);
+std::string traceArgString(const std::string &s);
+std::string traceArgHex(Addr addr);
+
+class TraceWriter
+{
+  public:
+    /** Opens `path` and writes the stream prefix; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Track identifiers: one fake pid, one tid per subsystem lane. */
+    static constexpr int kPid = 1;
+    static constexpr int kTidDram = 1;
+    static constexpr int kTidLlc = 2;
+    static constexpr int kTidDbi = 3;
+    static constexpr int kTidClb = 4;
+
+    /** Name a thread lane (ph "M" thread_name metadata). */
+    void threadName(int tid, const std::string &name);
+
+    /** Complete ("X") duration event spanning [start, end]. */
+    void complete(const std::string &cat, const std::string &name,
+                  int tid, Cycle start, Cycle end,
+                  const TraceArgs &args = {});
+
+    /** Instant ("i") event at `ts`, thread scope. */
+    void instant(const std::string &cat, const std::string &name,
+                 int tid, Cycle ts, const TraceArgs &args = {});
+
+    /**
+     * Counter ("C") event: one track per `name`, one series per args
+     * key. Values must be numbers (use traceArgNumber).
+     */
+    void counter(const std::string &name, Cycle ts,
+                 const TraceArgs &series);
+
+    /** Whole-run total surfaced in the trailing otherData object. */
+    void setTotal(const std::string &key, std::uint64_t value);
+
+    /** Close the JSON document; idempotent. */
+    void finish();
+
+    std::uint64_t eventsWritten() const { return events; }
+
+  private:
+    void emit(const std::string &event_json);
+
+    std::FILE *out = nullptr;
+    bool firstEvent = true;
+    bool finished = false;
+    std::uint64_t events = 0;
+    std::map<std::string, std::uint64_t> totals;
+};
+
+} // namespace dbsim::telemetry
+
+#endif // DBSIM_TELEMETRY_TRACE_WRITER_HH

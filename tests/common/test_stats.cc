@@ -44,5 +44,69 @@ TEST(StatSet, CollectsSinceSnapshot)
     EXPECT_EQ(set.ownerName(), "test");
 }
 
+TEST(StatSet, DuplicateNamesSumAcrossRegistrants)
+{
+    // One counter per core registered under one name: collect() must
+    // report the system-wide aggregate, not the last registrant.
+    StatSet set("test");
+    Counter core0, core1, core2;
+    set.add("mem.loads", core0);
+    set.add("mem.loads", core1);
+    set.add("mem.loads", core2);
+    core0 += 3;
+    core1 += 5;
+    core2 += 11;
+    auto m = set.collect();
+    EXPECT_EQ(m["mem.loads"], 19u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(StatSet, DuplicateNamesSumWindowDeltasOnly)
+{
+    // The measurement-window math must hold per registrant even when
+    // names collide: each counter contributes its own since-snapshot
+    // delta to the shared name.
+    StatSet set("test");
+    Counter a, b;
+    set.add("x", a);
+    set.add("x", b);
+    a += 100;  // warmup activity, later snapshot away
+    b += 7;
+    set.snapshotAll();
+    a += 2;
+    b += 3;
+    EXPECT_EQ(set.collect()["x"], 5u);
+}
+
+TEST(StatSet, SnapshotThenCollectIsZero)
+{
+    // A snapshot directly followed by collect must report an empty
+    // window regardless of prior totals.
+    StatSet set("test");
+    Counter a;
+    set.add("a", a);
+    a += 42;
+    set.snapshotAll();
+    auto m = set.collect();
+    EXPECT_EQ(m["a"], 0u);
+    EXPECT_EQ(a.value(), 42u);
+    EXPECT_EQ(a.sinceSnapshot(), 0u);
+}
+
+TEST(StatSet, ResnapshotMovesTheWindow)
+{
+    // Snapshotting again re-opens the window at the current totals;
+    // collect() must never see activity before the newest snapshot.
+    StatSet set("test");
+    Counter a;
+    set.add("a", a);
+    a += 10;
+    set.snapshotAll();
+    a += 4;
+    set.snapshotAll();
+    a += 1;
+    EXPECT_EQ(set.collect()["a"], 1u);
+}
+
 } // namespace
 } // namespace dbsim

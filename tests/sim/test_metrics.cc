@@ -1,0 +1,85 @@
+/** @file Unit tests for the multi-core performance/fairness metrics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/metrics.hh"
+
+namespace dbsim {
+namespace {
+
+TEST(Metrics, WeightedSpeedupSumsRatios)
+{
+    // 1.0/2.0 + 1.5/1.5 = 1.5
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 1.5}, {2.0, 1.5}), 1.5);
+}
+
+TEST(Metrics, InstructionThroughputSums)
+{
+    EXPECT_DOUBLE_EQ(instructionThroughput({0.5, 1.25, 0.25}), 2.0);
+}
+
+TEST(Metrics, HarmonicSpeedupMatchesDefinition)
+{
+    // N / sum(alone/shared) = 2 / (2 + 1) = 2/3
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({1.0, 1.5}, {2.0, 1.5}), 2.0 / 3.0);
+}
+
+TEST(Metrics, MaxSlowdownPicksWorstCore)
+{
+    EXPECT_DOUBLE_EQ(maxSlowdown({1.0, 0.5}, {2.0, 2.0}), 4.0);
+}
+
+TEST(Metrics, GeomeanOfEqualValuesIsTheValue)
+{
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Metrics, GeomeanMatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(MetricsDeath, ZeroSharedIpcPanicsInsteadOfInf)
+{
+    // alone/shared with shared == 0 used to return inf (maxSlowdown)
+    // or a silently wrong 0 (harmonicSpeedup's inf denominator).
+    EXPECT_DEATH(harmonicSpeedup({0.0, 1.0}, {1.0, 1.0}),
+                 "positive finite");
+    EXPECT_DEATH(maxSlowdown({0.0, 1.0}, {1.0, 1.0}), "positive finite");
+}
+
+TEST(MetricsDeath, ZeroAloneIpcPanicsInsteadOfInf)
+{
+    // shared/alone with alone == 0 used to make weightedSpeedup inf.
+    EXPECT_DEATH(weightedSpeedup({1.0, 1.0}, {1.0, 0.0}),
+                 "positive finite");
+}
+
+TEST(MetricsDeath, NanInputPanics)
+{
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DEATH(weightedSpeedup({nan, 1.0}, {1.0, 1.0}),
+                 "positive finite");
+    EXPECT_DEATH(maxSlowdown({1.0, 1.0}, {nan, 1.0}), "positive finite");
+}
+
+TEST(MetricsDeath, GeomeanRejectsNonPositiveAndNonFinite)
+{
+    double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(geomean({}), "empty");
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive finite");
+    EXPECT_DEATH(geomean({1.0, -2.0}), "positive finite");
+    EXPECT_DEATH(geomean({1.0, inf}), "positive finite");
+}
+
+TEST(MetricsDeath, MismatchedSizesPanic)
+{
+    EXPECT_DEATH(weightedSpeedup({1.0}, {1.0, 1.0}), "equal-sized");
+    EXPECT_DEATH(harmonicSpeedup({}, {}), "non-empty");
+}
+
+} // namespace
+} // namespace dbsim

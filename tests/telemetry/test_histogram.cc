@@ -1,0 +1,126 @@
+/** @file Unit tests for the telemetry Histogram primitive. */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/histogram.hh"
+
+namespace dbsim::telemetry {
+namespace {
+
+TEST(Histogram, BucketIndexBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+    EXPECT_EQ(Histogram::bucketIndex(1023), 10u);
+    EXPECT_EQ(Histogram::bucketIndex(1024), 11u);
+}
+
+TEST(Histogram, BucketBoundsRoundTrip)
+{
+    // Every value must fall inside [bucketLow, bucketHigh) of its
+    // bucket.
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 5ull, 64ull, 1000ull,
+                            (1ull << 40) + 7}) {
+        std::uint32_t b = Histogram::bucketIndex(v);
+        EXPECT_GE(v, Histogram::bucketLow(b)) << v;
+        EXPECT_LT(v, Histogram::bucketHigh(b)) << v;
+    }
+}
+
+TEST(Histogram, EmptyHistogramIsInert)
+{
+    Histogram h{"empty"};
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(Histogram, RecordTracksMoments)
+{
+    Histogram h{"lat"};
+    for (std::uint64_t v : {10ull, 20ull, 30ull, 40ull}) {
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 40u);
+    EXPECT_EQ(h.sum(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(Histogram, BucketCountsMatchRecords)
+{
+    Histogram h;
+    h.record(0);   // bucket 0
+    h.record(1);   // bucket 1
+    h.record(2);   // bucket 2
+    h.record(3);   // bucket 2
+    h.record(8);   // bucket 4
+    const auto &b = h.buckets();
+    ASSERT_GE(b.size(), 5u);
+    EXPECT_EQ(b[0], 1u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[2], 2u);
+    EXPECT_EQ(b[3], 0u);
+    EXPECT_EQ(b[4], 1u);
+}
+
+TEST(Histogram, PercentilesAreExactNearestRank)
+{
+    Histogram h;
+    // 1..100: nearest-rank p is exactly p for 100 samples.
+    for (std::uint64_t v = 1; v <= 100; ++v) {
+        h.record(v);
+    }
+    EXPECT_EQ(h.percentile(50), 50u);
+    EXPECT_EQ(h.percentile(95), 95u);
+    EXPECT_EQ(h.percentile(99), 99u);
+    EXPECT_EQ(h.percentile(100), 100u);
+    EXPECT_EQ(h.percentile(0), 1u);
+}
+
+TEST(Histogram, PercentileAfterInterleavedRecords)
+{
+    // Lazy sorting must survive query-record-query interleavings.
+    Histogram h;
+    h.record(30);
+    h.record(10);
+    EXPECT_EQ(h.percentile(100), 30u);
+    h.record(20);
+    EXPECT_EQ(h.percentile(50), 20u);
+    EXPECT_EQ(h.percentile(100), 30u);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile)
+{
+    Histogram h;
+    h.record(7);
+    EXPECT_EQ(h.percentile(1), 7u);
+    EXPECT_EQ(h.percentile(50), 7u);
+    EXPECT_EQ(h.percentile(99), 7u);
+}
+
+TEST(Histogram, SummaryLineAndReportMentionTheStats)
+{
+    Histogram h{"lat.readHit"};
+    for (std::uint64_t v = 1; v <= 10; ++v) {
+        h.record(v);
+    }
+    std::string s = h.summaryLine();
+    EXPECT_NE(s.find("count=10"), std::string::npos) << s;
+    EXPECT_NE(s.find("p50="), std::string::npos) << s;
+    EXPECT_NE(s.find("p99="), std::string::npos) << s;
+    std::string r = h.report();
+    EXPECT_NE(r.find("lat.readHit"), std::string::npos) << r;
+    EXPECT_FALSE(r.empty());
+}
+
+} // namespace
+} // namespace dbsim::telemetry

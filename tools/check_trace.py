@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts of a short traced simulation.
+
+Runs `diag_run` (path given as argv[1]) on a configuration that is known
+to trigger DRAM write-queue drains (TA-DIP, one core, lbm), with the
+epoch sampler, histograms, and the Chrome-trace writer all enabled, then
+checks the three artifacts against their schemas:
+
+  1. the experiment JSONL record (drain totals from both sides of the
+     DramObserver seam must agree exactly, histogram summaries present),
+  2. the Chrome trace-event JSON (well-formed events; the sum of traced
+     drain-window durations must equal the controller's own
+     dram.drainCycles counter, event-by-event and in the footer),
+  3. the epoch time-series JSONL (one parseable row per epoch, epochs
+     contiguous and strictly ordered, all registered channels present).
+
+Exit code 0 means every check passed. Used as a ctest target
+(telemetry_trace_check); runnable standalone:
+
+    python3 tools/check_trace.py build/bench/diag_run [workdir]
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+WARMUP = 400_000
+MEASURE = 400_000
+SAMPLE_EVERY = 50_000
+
+_failures = []
+
+
+def check(cond, msg):
+    if not cond:
+        _failures.append(msg)
+        print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def run_diag(binary, workdir):
+    workdir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "record": workdir / "check_trace.jsonl",
+        "trace": workdir / "check_trace.trace.json",
+        "timeseries": workdir / "check_trace_timeseries.jsonl",
+    }
+    cmd = [
+        str(binary), "TA-DIP", "1", "lbm",
+        "--warmup", str(WARMUP), "--measure", str(MEASURE),
+        "--sample", str(SAMPLE_EVERY),
+        "--timeseries", str(paths["timeseries"]),
+        "--trace", str(paths["trace"]),
+        "--hist",
+        "--json", str(paths["record"]),
+        "--no-progress",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"diag_run exited {proc.returncode}")
+    return paths
+
+
+def check_record(path):
+    lines = path.read_text().splitlines()
+    check(len(lines) == 1, f"expected 1 JSONL record, got {len(lines)}")
+    rec = json.loads(lines[0])
+    m = rec["metrics"]
+    stats = rec["stats"]
+
+    traced = m.get("drainCyclesTraced")
+    total = m.get("dramDrainCyclesTotal")
+    windows = m.get("drainWindowsTraced")
+    check(traced is not None, "record missing drainCyclesTraced")
+    check(total is not None, "record missing dramDrainCyclesTotal")
+    check(traced == total,
+          f"drain-sum invariant: traced {traced} != dram.drainCycles "
+          f"{total}")
+    check(windows == stats.get("dram.drains"),
+          f"drain windows {windows} != dram.drains stat "
+          f"{stats.get('dram.drains')}")
+    check(windows and windows > 0,
+          "config did not drain; invariant checked vacuously")
+
+    for h in ("hist.lat.readMiss.count", "hist.wb.dirtyBlocksPerRow.p50",
+              "hist.drain.burstWrites.count"):
+        check(h in m, f"record missing histogram summary {h}")
+    check(m.get("hist.drain.burstWrites.count") == windows,
+          "drain burst histogram count != traced windows")
+    # Fig. 2: the median dirty-eviction writeback finds more than one
+    # dirty block in its DRAM row.
+    check(m.get("hist.wb.dirtyBlocksPerRow.p50", 0) > 1,
+          "dirty-blocks-per-row median not > 1")
+    return rec
+
+
+def check_trace_file(path, rec):
+    doc = json.loads(path.read_text())
+    for key in ("traceEvents", "otherData", "displayTimeUnit"):
+        check(key in doc, f"trace missing top-level {key}")
+    events = doc["traceEvents"]
+    check(len(events) > 0, "trace has no events")
+
+    drain_dur = 0
+    drain_events = 0
+    thread_names = set()
+    for e in events:
+        ph = e.get("ph")
+        check(ph in ("M", "X", "i", "C"), f"unknown event phase {ph!r}")
+        check("name" in e and "pid" in e, f"event missing name/pid: {e}")
+        if ph == "M":
+            check(e["name"] == "thread_name", "unexpected metadata event")
+            thread_names.add(e["args"]["name"])
+        if ph in ("X", "i", "C"):
+            check(e.get("ts", -1) >= 0, f"event missing/negative ts: {e}")
+        if ph == "X":
+            check(e.get("dur", -1) >= 0, f"X event bad dur: {e}")
+            if e.get("cat") == "dram" and e["name"] == "drain":
+                drain_dur += e["dur"]
+                drain_events += 1
+                check(e["args"]["writes"] > 0, "drain window with 0 writes")
+
+    check("dram" in thread_names, "no dram thread_name metadata")
+    other = doc["otherData"]
+    check(other.get("telemetry.drainCyclesTraced") ==
+          other.get("dram.drainCycles"),
+          f"footer drain-sum invariant: "
+          f"{other.get('telemetry.drainCyclesTraced')} != "
+          f"{other.get('dram.drainCycles')}")
+    check(drain_dur == other.get("dram.drainCycles"),
+          f"sum of drain X-event durations {drain_dur} != "
+          f"dram.drainCycles {other.get('dram.drainCycles')}")
+    check(drain_events == other.get("dram.drains"),
+          f"{drain_events} drain events != dram.drains "
+          f"{other.get('dram.drains')}")
+    check(drain_dur == rec["metrics"]["drainCyclesTraced"],
+          "trace drain durations disagree with the JSONL record")
+
+
+def check_timeseries(path):
+    rows = [json.loads(l) for l in path.read_text().splitlines()]
+    check(len(rows) >= 2, f"expected several epochs, got {len(rows)}")
+    channels = {"dirtyBlocks", "writeQueueDepth", "readQueueDepth",
+                "drainMode", "dramReads", "dramWrites",
+                "llcDemandMisses", "llcWbToDram", "readRowHitRate",
+                "writeRowHitRate"}
+    prev = None
+    for row in rows:
+        for key in ("epoch", "start", "end", "values"):
+            check(key in row, f"epoch row missing {key}: {row}")
+        missing = channels - row["values"].keys()
+        check(not missing, f"epoch row missing channels {sorted(missing)}")
+        check(row["end"] > row["start"], f"empty epoch span: {row}")
+        if prev is not None:
+            check(row["epoch"] == prev["epoch"] + 1,
+                  f"epoch indices not consecutive: {prev['epoch']} -> "
+                  f"{row['epoch']}")
+            check(row["start"] == prev["end"],
+                  f"epochs not contiguous: {prev['end']} -> "
+                  f"{row['start']}")
+        prev = row
+    total_writes = sum(r["values"]["dramWrites"] for r in rows)
+    check(total_writes > 0, "no DRAM writes sampled over the whole run")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    binary = pathlib.Path(sys.argv[1])
+    if not binary.exists():
+        sys.exit(f"no such binary: {binary}")
+    workdir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2
+                           else "trace_check")
+
+    paths = run_diag(binary, workdir)
+    for name, p in paths.items():
+        check(p.exists(), f"diag_run produced no {name} file at {p}")
+    if _failures:
+        sys.exit(f"{len(_failures)} check(s) failed")
+
+    rec = check_record(paths["record"])
+    check_trace_file(paths["trace"], rec)
+    check_timeseries(paths["timeseries"])
+
+    if _failures:
+        sys.exit(f"{len(_failures)} check(s) failed")
+    print(f"check_trace: all checks passed "
+          f"({rec['metrics']['drainWindowsTraced']:.0f} drain windows, "
+          f"{rec['metrics']['drainCyclesTraced']:.0f} drain cycles)")
+
+
+if __name__ == "__main__":
+    main()
