@@ -13,7 +13,6 @@
 #include <string>
 
 #include "harness.hh"
-#include "llc/llc_variants.hh"
 #include "sim/system.hh"
 
 using namespace dbsim;

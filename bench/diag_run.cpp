@@ -6,6 +6,10 @@
  *
  * Usage: diag_run <mechanism> <cores> <bench1> [bench2 ...]
  *        [--warmup N] [--measure N] [harness flags]
+ *
+ * The mechanism is any mechanismByName() spelling: a Table 2 preset
+ * ("DBI+AWB") or a composed policy spec ("dbi+dawb", "dbi+awb+ecc");
+ * --mech SPEC overrides the positional mechanism either way.
  */
 
 #include <cstdio>
@@ -41,6 +45,7 @@ buildSpec(const bench::HarnessOptions &o)
             mix.push_back(o.positional[i]);
         }
     }
+    cfg.mech = o.mechOr(cfg.mech);
     while (mix.size() < cfg.numCores) {
         mix.push_back(mix.back());
     }
@@ -54,7 +59,7 @@ buildSpec(const bench::HarnessOptions &o)
         System sys(cfg, mix);
         SimResult r = sys.run();
 
-        rec.mechanism = mechanismName(cfg.mech);
+        rec.mechanism = cfg.mech.label;
         rec.mix = mixLabel(mix);
         rec.tags["cores"] = std::to_string(cfg.numCores);
         for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
@@ -74,6 +79,9 @@ buildSpec(const bench::HarnessOptions &o)
         rec.metrics["wpki"] = r.wpki;
         rec.metrics["mpki"] = r.mpki;
         for (const auto &[k, v] : r.telemetry) {
+            rec.metrics[k] = v;
+        }
+        for (const auto &[k, v] : r.metadata) {
             rec.metrics[k] = v;
         }
         if (telemetry::SimTelemetry *t = sys.telemetry()) {
@@ -148,6 +156,18 @@ format(const std::vector<exp::PointRecord> &records,
         if (!any_hist) {
             std::printf("telemetry histograms:\n");
             any_hist = true;
+        }
+        std::printf("  %-32s %.3f\n", name.c_str(), value);
+    }
+
+    bool any_meta = false;
+    for (const auto &[name, value] : rec.metrics) {
+        if (name.rfind("ecc.", 0) != 0 && name.rfind("dir.", 0) != 0) {
+            continue;
+        }
+        if (!any_meta) {
+            std::printf("metadata subsystems:\n");
+            any_meta = true;
         }
         std::printf("  %-32s %.3f\n", name.c_str(), value);
     }

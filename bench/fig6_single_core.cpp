@@ -116,7 +116,7 @@ format(const std::vector<exp::PointRecord> &records,
             row_of[bench] = rows.size();
             rows.push_back(Row{bench, {}, 0.0});
         }
-        rows[row_of[bench]].results[mechanismByName(rec.mechanism)] =
+        rows[row_of[bench]].results[mechanismPresetByName(rec.mechanism)] =
             &rec;
     }
     for (auto &row : rows) {

@@ -88,7 +88,7 @@ format(const std::vector<exp::PointRecord> &records,
     // Sum weighted speedups per (mechanism, core count).
     std::map<Mechanism, std::map<std::uint32_t, double>> totals;
     for (const auto &rec : records) {
-        totals[mechanismByName(rec.mechanism)]
+        totals[mechanismPresetByName(rec.mechanism)]
               [std::stoul(rec.tags.at("cores"))] +=
             rec.metric("weightedSpeedup");
     }

@@ -82,7 +82,7 @@ format(const std::vector<exp::PointRecord> &records,
         }
         points[i].label = rec.mix;
         double ws = rec.metric("weightedSpeedup");
-        switch (mechanismByName(rec.mechanism)) {
+        switch (mechanismPresetByName(rec.mechanism)) {
           case Mechanism::Baseline:
             points[i].baseline = ws;
             break;

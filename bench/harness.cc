@@ -31,9 +31,9 @@ parseUint(const char *flag, const std::string &text)
 void
 printUsage(const char *argv0)
 {
-    std::printf("usage: %s [positional args...] [--jobs N] [--json FILE]\n"
-                "        [--seed S] [--warmup N] [--measure N] "
-                "[--instrs K]\n"
+    std::printf("usage: %s [positional args...] [--mech SPEC] [--jobs N]\n"
+                "        [--json FILE] [--seed S] [--warmup N] "
+                "[--measure N] [--instrs K]\n"
                 "        [--audit N] [--sample N] [--timeseries FILE]\n"
                 "        [--trace FILE] [--hist] [--host-timers]\n"
                 "        [--no-progress] [--list] [--help]\n\n"
@@ -60,6 +60,12 @@ std::string
 HarnessOptions::posOr(std::size_t i, const std::string &def) const
 {
     return i < positional.size() ? positional[i] : def;
+}
+
+MechanismSpec
+HarnessOptions::mechOr(const MechanismSpec &def) const
+{
+    return mechSpec ? mechanismByName(*mechSpec) : def;
 }
 
 telemetry::TelemetryConfig
@@ -114,6 +120,9 @@ harnessMain(int argc, char **argv)
             std::uint64_t k = parseUint(arg, needValue(i));
             opts.warmup = k;
             opts.measure = k;
+            ++i;
+        } else if (std::strcmp(arg, "--mech") == 0) {
+            opts.mechSpec = needValue(i);
             ++i;
         } else if (std::strcmp(arg, "--audit") == 0) {
             opts.auditEvery = parseUint(arg, needValue(i));

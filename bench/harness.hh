@@ -7,6 +7,11 @@
  * the common CLI:
  *
  *   <bench> [positional args...]      historical per-bench arguments
+ *           [--mech SPEC]             mechanism override: a Table 2
+ *                                     preset name ("DBI+AWB") or a
+ *                                     composed '+'-spec ("dbi+dawb",
+ *                                     "dbi+awb+ecc"); experiments that
+ *                                     take a mechanism honor it
  *           [--jobs N]                parallel runs on N threads
  *           [--json FILE]             one JSONL record per sweep point
  *           [--seed S]                base RNG seed (default 1)
@@ -76,6 +81,9 @@ struct HarnessOptions
     /** --host-timers: wall-clock phase timings in the JSONL records. */
     bool hostTimers = false;
 
+    /** --mech override (raw spelling; resolve with mechOr()). */
+    std::optional<std::string> mechSpec;
+
     bool progress = true;
     std::vector<std::string> positional;
 
@@ -98,6 +106,12 @@ struct HarnessOptions
     {
         return measure ? *measure : def;
     }
+
+    /**
+     * --mech resolved through mechanismByName() (preset or composed
+     * spec), else `def`.
+     */
+    MechanismSpec mechOr(const MechanismSpec &def) const;
 
     /** Numeric positional argument i, else `def`. */
     std::uint64_t posIntOr(std::size_t i, std::uint64_t def) const;

@@ -3,7 +3,8 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
-#include "llc/llc_variants.hh"
+#include "dbi/dbi.hh"
+#include "llc/llc.hh"
 
 namespace dbsim::audit {
 
@@ -74,9 +75,8 @@ std::vector<Addr>
 InvariantAuditor::mechanismDirtyBlocks() const
 {
     std::vector<Addr> blocks;
-    if (const auto *d = dynamic_cast<const DbiLlc *>(&subject)) {
-        d->dbi().forEachDirtyBlock(
-            [&](Addr a) { blocks.push_back(a); });
+    if (const Dbi *d = subject.dbiIndex()) {
+        d->forEachDirtyBlock([&](Addr a) { blocks.push_back(a); });
         return blocks;
     }
     const TagStore &tags = subject.tags();
@@ -120,13 +120,13 @@ InvariantAuditor::checkNow()
         }
     }
 
-    if (const auto *d = dynamic_cast<const DbiLlc *>(&subject)) {
+    if (const Dbi *d = subject.dbiIndex()) {
         // I3: the DBI is the only dirty-state source, and its own
         // aggregate count agrees with ground truth.
         if (tags.countDirty() != 0) {
             fail("tag store of a DBI cache carries dirty bits", 0);
         }
-        if (d->dbi().countDirtyBlocks() != model.countDirty()) {
+        if (d->countDirtyBlocks() != model.countDirty()) {
             fail("DBI dirty-block count diverges from ground truth", 0);
         }
     }

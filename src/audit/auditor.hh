@@ -62,7 +62,8 @@ class InvariantAuditor : public LlcAuditObserver
 
     /**
      * The dirty blocks as the audited mechanism reports them: the DBI's
-     * vectors for a DbiLlc, the tag-store dirty bits otherwise.
+     * vectors when the cache has a DBI dirty store, the tag-store
+     * dirty bits otherwise.
      */
     std::vector<Addr> mechanismDirtyBlocks() const;
 

@@ -1,0 +1,105 @@
+#include "coherence/directory_index.hh"
+
+namespace dbsim {
+
+SplitDirectoryIndex::SplitDirectoryIndex(const DbiConfig &dbi_config,
+                                         std::uint64_t capacity_blocks)
+    : dir(dbi_config, capacity_blocks,
+          [this](Addr) { ++statDrainWbs; })
+{
+}
+
+void
+SplitDirectoryIndex::onFill(Addr block_addr, std::uint32_t core,
+                            bool dirty, Cycle when)
+{
+    (void)dirty;
+    (void)when;
+    if (dir.state(block_addr) == MoesiState::I) {
+        // First copy in the shared level: exclusive unless another core
+        // held it recently (its record would not be invalid then).
+        dir.fetchExclusive(block_addr);
+        ++statFetches;
+    } else if (auto it = owner.find(block_addr);
+               it != owner.end() && it->second != core) {
+        // A different core pulls in a block someone else owns.
+        dir.snoopShared(block_addr);
+        ++statSnoops;
+    }
+    owner[block_addr] = core;
+}
+
+void
+SplitDirectoryIndex::onRead(Addr block_addr, std::uint32_t core, bool hit,
+                            Cycle when)
+{
+    (void)when;
+    if (!hit) {
+        return;  // the fill completing this miss reports separately
+    }
+    auto it = owner.find(block_addr);
+    if (it != owner.end() && it->second != core &&
+        dir.state(block_addr) != MoesiState::I) {
+        dir.snoopShared(block_addr);
+        ++statSnoops;
+    }
+}
+
+void
+SplitDirectoryIndex::onDirty(Addr block_addr, std::uint32_t core,
+                             Cycle when)
+{
+    (void)when;
+    if (dir.state(block_addr) == MoesiState::I) {
+        dir.fetchExclusive(block_addr);
+        ++statFetches;
+    }
+    dir.write(block_addr);
+    ++statWrites;
+    owner[block_addr] = core;
+}
+
+void
+SplitDirectoryIndex::onCleaned(Addr block_addr, Cycle when)
+{
+    // The LLC wrote the block back on its own schedule; the directory's
+    // DBI cleans (and demotes) on its own capacity pressure instead —
+    // that independence is the Section 2.3 point. Nothing to do.
+    (void)block_addr;
+    (void)when;
+}
+
+void
+SplitDirectoryIndex::onEviction(Addr block_addr, Cycle when)
+{
+    (void)when;
+    if (dir.state(block_addr) != MoesiState::I) {
+        dir.invalidate(block_addr);
+    }
+    owner.erase(block_addr);
+}
+
+void
+SplitDirectoryIndex::registerStats(StatSet &set)
+{
+    set.add("dir.fetches", statFetches);
+    set.add("dir.snoops", statSnoops);
+    set.add("dir.writes", statWrites);
+    set.add("dir.drainWritebacks", statDrainWbs);
+    set.add("dir.writebacks", dir.statWritebacks);
+    set.add("dir.demotions", dir.statDemotions);
+}
+
+void
+SplitDirectoryIndex::reportMetrics(std::map<std::string, double> &out) const
+{
+    out["dir.fetches"] = double(statFetches.value());
+    out["dir.snoops"] = double(statSnoops.value());
+    out["dir.writes"] = double(statWrites.value());
+    out["dir.writebacks"] = double(dir.statWritebacks.value());
+    out["dir.demotions"] = double(dir.statDemotions.value());
+    out["dir.dbiLookups"] = double(dir.dbi().statLookups.value());
+    out["dir.dbiEvictions"] = double(dir.dbi().statEvictions.value());
+}
+
+} // namespace dbsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MetadataIndex adapter driving the split-state MOESI directory
+ * (Section 2.3) from a real simulation. The directory keeps only the
+ * SplitPair per block; dirtiness lives in its own DBI, so a MOESI
+ * protocol runs unmodified on top of the DBI organization — including
+ * DBI evictions silently demoting M -> E and O -> S.
+ *
+ * The adapter maps the shared LLC's block lifecycle onto protocol
+ * events: a fill is the requesting core's fetch (exclusive if the
+ * block is new, shared if another core brought it in), a demand hit
+ * from a non-owning core is a snoop, a writeback into the LLC is the
+ * owning core's write, and an LLC eviction invalidates the record.
+ * Strictly passive with respect to the LLC's timing and statistics.
+ */
+
+#ifndef DBSIM_COHERENCE_DIRECTORY_INDEX_HH
+#define DBSIM_COHERENCE_DIRECTORY_INDEX_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "coherence/split_directory.hh"
+#include "llc/metadata_index.hh"
+
+namespace dbsim {
+
+class SplitDirectoryIndex final : public MetadataIndex
+{
+  public:
+    /**
+     * @param dbi_config sizing of the directory's embedded DBI.
+     * @param capacity_blocks blocks the observed cache can hold.
+     */
+    SplitDirectoryIndex(const DbiConfig &dbi_config,
+                        std::uint64_t capacity_blocks);
+
+    const char *name() const override { return "dir"; }
+    void onFill(Addr block_addr, std::uint32_t core, bool dirty,
+                Cycle when) override;
+    void onRead(Addr block_addr, std::uint32_t core, bool hit,
+                Cycle when) override;
+    void onDirty(Addr block_addr, std::uint32_t core,
+                 Cycle when) override;
+    void onCleaned(Addr block_addr, Cycle when) override;
+    void onEviction(Addr block_addr, Cycle when) override;
+    void reportMetrics(std::map<std::string, double> &out) const override;
+    void registerStats(StatSet &set) override;
+
+    const SplitMoesiDirectory &directory() const { return dir; }
+
+  private:
+    SplitMoesiDirectory dir;
+    std::unordered_map<Addr, std::uint32_t> owner;  ///< last writer/filler
+
+    Counter statFetches;   ///< I -> E/S transitions from LLC fills
+    Counter statSnoops;    ///< cross-core reads of a held block
+    Counter statWrites;    ///< writebacks mapped to protocol writes
+    Counter statDrainWbs;  ///< writebacks the directory's DBI issued
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_COHERENCE_DIRECTORY_INDEX_HH

@@ -88,6 +88,13 @@ Dbi::isDirty(Addr block_addr) const
 }
 
 bool
+Dbi::probeDirty(Addr block_addr) const
+{
+    const Entry *e = findEntry(regionMap.regionTag(block_addr));
+    return e && e->dirty.test(regionMap.blockIndex(block_addr));
+}
+
+bool
 Dbi::hasEntryFor(Addr block_addr) const
 {
     return findEntry(regionMap.regionTag(block_addr)) != nullptr;

@@ -90,6 +90,13 @@ class Dbi
     bool isDirty(Addr block_addr) const;
 
     /**
+     * Same answer as isDirty() but bumps no counters — for policy
+     * filters and passive observers that must leave the DBI's stats
+     * exactly as a run without them would (cf. countDirtyInRange()).
+     */
+    bool probeDirty(Addr block_addr) const;
+
+    /**
      * Mark a block dirty (on a writeback request into the cache,
      * Section 2.2.2). May trigger a DBI eviction.
      * @return block addresses the caller must write back to memory

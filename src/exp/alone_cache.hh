@@ -6,8 +6,6 @@
  * every concurrent mix evaluation, so each benchmark is simulated
  * exactly once no matter how many worker threads ask for it (latecomers
  * block on the first requester's result).
- *
- * Supersedes the single-threaded dbsim::AloneIpcCache in sim/runner.hh.
  */
 
 #ifndef DBSIM_EXP_ALONE_CACHE_HH

@@ -61,7 +61,7 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
       }
       case PointKind::Sim:
       case PointKind::MixSim: {
-        rec.mechanism = mechanismName(p.cfg.mech);
+        rec.mechanism = p.cfg.mech.label;
         rec.mix = mixLabel(p.mix);
         SystemConfig cfg = p.cfg;
         if (opts.auditEvery) {
@@ -79,6 +79,9 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
         auto t_ran = HostClock::now();
         fillSimMetrics(rec, r);
         for (const auto &[k, v] : r.telemetry) {
+            rec.metrics[k] = v;
+        }
+        for (const auto &[k, v] : r.metadata) {
             rec.metrics[k] = v;
         }
         if (p.kind == PointKind::MixSim) {

@@ -11,7 +11,7 @@ SweepSpec::append(SweepPoint p)
 }
 
 SweepPoint &
-SweepSpec::addSim(Mechanism mech, WorkloadMix mix)
+SweepSpec::addSim(const MechanismSpec &mech, WorkloadMix mix)
 {
     SweepPoint p;
     p.kind = PointKind::Sim;
@@ -22,7 +22,7 @@ SweepSpec::addSim(Mechanism mech, WorkloadMix mix)
 }
 
 SweepPoint &
-SweepSpec::addMixSim(Mechanism mech, WorkloadMix mix)
+SweepSpec::addMixSim(const MechanismSpec &mech, WorkloadMix mix)
 {
     SweepPoint &p = addSim(mech, std::move(mix));
     p.kind = PointKind::MixSim;
@@ -39,7 +39,7 @@ SweepSpec::addCustom(std::function<void(PointRecord &)> fn)
 }
 
 void
-SweepSpec::addGrid(const std::vector<Mechanism> &mechs,
+SweepSpec::addGrid(const std::vector<MechanismSpec> &mechs,
                    const std::vector<WorkloadMix> &mixes, PointKind kind,
                    const std::vector<std::vector<ConfigOverride>> &axes)
 {
@@ -56,7 +56,7 @@ SweepSpec::addGrid(const std::vector<Mechanism> &mechs,
                 o.apply(cfg);
             }
         }
-        for (Mechanism m : mechs) {
+        for (const MechanismSpec &m : mechs) {
             for (const auto &mix : mixes) {
                 SweepPoint p;
                 p.kind = kind;

@@ -80,10 +80,10 @@ class SweepSpec
     const SystemConfig &aloneBase() const { return aloneCfg; }
 
     /** Add one single-run point; returns it for cfg/tag edits. */
-    SweepPoint &addSim(Mechanism mech, WorkloadMix mix);
+    SweepPoint &addSim(const MechanismSpec &mech, WorkloadMix mix);
 
     /** Add one multi-core-metrics point; returns it for edits. */
-    SweepPoint &addMixSim(Mechanism mech, WorkloadMix mix);
+    SweepPoint &addMixSim(const MechanismSpec &mech, WorkloadMix mix);
 
     /** Add a point evaluated by `fn`; returns it for tag edits. */
     SweepPoint &addCustom(std::function<void(PointRecord &)> fn);
@@ -93,7 +93,7 @@ class SweepSpec
      * x mix, in that nesting order (axes outermost, mixes innermost).
      * Each point's tags carry the axis coordinates.
      */
-    void addGrid(const std::vector<Mechanism> &mechs,
+    void addGrid(const std::vector<MechanismSpec> &mechs,
                  const std::vector<WorkloadMix> &mixes,
                  PointKind kind = PointKind::Sim,
                  const std::vector<std::vector<ConfigOverride>> &axes = {});

@@ -7,11 +7,24 @@
 namespace dbsim {
 
 Llc::Llc(const LlcConfig &config, DramController &dram_ctrl,
-         EventQueue &event_queue)
+         EventQueue &event_queue, std::unique_ptr<DirtyStore> dirty_store,
+         std::unique_ptr<WritebackPolicy> writeback_policy,
+         std::unique_ptr<LookupPolicy> lookup_policy)
     : cfg(config), dram(dram_ctrl), eq(event_queue),
       store(CacheGeometry{config.sizeBytes, config.assoc, config.repl,
-                          config.numCores, config.seed})
+                          config.numCores, config.seed}),
+      dirtyStorePtr(dirty_store ? std::move(dirty_store)
+                                : std::make_unique<TagDirtyStore>()),
+      wbPolicy(writeback_policy ? std::move(writeback_policy)
+                                : std::make_unique<EvictOrderPolicy>()),
+      lookupPol(lookup_policy ? std::move(lookup_policy)
+                              : std::make_unique<AlwaysLookup>())
 {
+    // Bind order matters: the DirtyStore first (it may build the DBI the
+    // other components look up during their own bind).
+    dirtyStorePtr->bind(*this);
+    wbPolicy->bind(*this);
+    lookupPol->bind(*this);
 }
 
 void
@@ -25,6 +38,19 @@ Llc::registerStats(StatSet &set)
     set.add("llc.sweepLookups", statSweepLookups);
     set.add("llc.bypasses", statBypasses);
     set.add("llc.dbiChecks", statDbiChecks);
+    dirtyStorePtr->registerStats(set);
+    wbPolicy->registerStats(set);
+    lookupPol->registerStats(set);
+    for (MetadataIndex *m : metaIndexes) {
+        m->registerStats(set);
+    }
+}
+
+void
+Llc::attachMetadata(MetadataIndex *index)
+{
+    fatal_if(!index, "attachMetadata: null metadata index");
+    metaIndexes.push_back(index);
 }
 
 Cycle
@@ -44,7 +70,15 @@ Llc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
     if (auditor) {
         auditor->onWritebackIn(a, when);
     }
-    doWriteback(a, core, when);
+    dirtyStorePtr->writebackIn(a, core, when);
+    if (!metaIndexes.empty() &&
+        dirtyStorePtr->kind() != DirtyStoreKind::WriteThrough) {
+        // The block is now dirty under the store's bookkeeping (a
+        // write-through store never dirties anything, so skip it there).
+        for (MetadataIndex *m : metaIndexes) {
+            m->onDirty(a, core, when);
+        }
+    }
     endAuditOp();
 }
 
@@ -59,11 +93,19 @@ Llc::writebackToDram(Addr block_addr, Cycle when)
 }
 
 void
+Llc::notifyMetaCleaned(Addr block_addr, Cycle when)
+{
+    for (MetadataIndex *m : metaIndexes) {
+        m->onCleaned(block_addr, when);
+    }
+}
+
+void
 Llc::read(Addr block_addr, std::uint32_t core, Cycle when, Callback cb)
 {
     Addr a = blockAlign(block_addr);
 
-    if (tryBypass(a, core, when, cb)) {
+    if (lookupPol->tryBypass(a, core, when, cb)) {
         return;
     }
     normalRead(a, core, when, std::move(cb));
@@ -79,7 +121,10 @@ Llc::normalRead(Addr block_addr, std::uint32_t core, Cycle when,
 
     TagStore::Entry *e = store.find(a);
     bool hit = e != nullptr;
-    recordLookupOutcome(a, core, hit, when);
+    lookupPol->recordOutcome(a, core, hit, when);
+    for (MetadataIndex *m : metaIndexes) {
+        m->onRead(a, core, hit, when);
+    }
 
     if (hit) {
         ++statDemandHits;
@@ -164,20 +209,49 @@ Llc::missToDram(Addr block_addr, std::uint32_t core, Cycle when,
 Llc::RegionOpResult
 Llc::flushRegion(Addr base, std::uint64_t bytes, Cycle when)
 {
+    RegionOpResult res;
+    Cycle cursor = when;
+    if (Dbi *index = dbiIndex()) {
+        // One DBI query per granularity-sized region; tag lookups only
+        // for the blocks that are actually dirty (their data must be
+        // read out).
+        std::uint64_t region_bytes =
+            static_cast<std::uint64_t>(index->granularity()) * kBlockBytes;
+        Addr start = base - base % region_bytes;
+        for (Addr r = start; r < base + bytes; r += region_bytes) {
+            ++res.lookups;  // the DBI access
+            std::vector<Addr> dirty = index->dirtyBlocksInRegion(r);
+            for (Addr b : dirty) {
+                if (b < base || b >= base + bytes) {
+                    continue;  // outside the requested range
+                }
+                Cycle t = occupyPort(cursor);
+                cursor = t + 1;
+                ++res.lookups;
+                res.anyDirty = true;
+                ++res.writebacks;
+                writebackToDram(b, t + cfg.tagLatency);
+                index->clearDirty(b);
+                notifyMetaCleaned(b, t + cfg.tagLatency);
+            }
+        }
+        endAuditOp();
+        return res;
+    }
+
     // Conventional organization: brute force — one tag lookup per block
     // of the range to find the dirty ones.
-    RegionOpResult res;
     Addr start = blockAlign(base);
-    Cycle cursor = when;
     for (Addr a = start; a < base + bytes; a += kBlockBytes) {
         Cycle t = occupyPort(cursor);
         cursor = t + 1;
         ++res.lookups;
-        if (store.contains(a) && blockDirty(a)) {
+        if (store.contains(a) && dirtyStorePtr->probeDirty(a)) {
             res.anyDirty = true;
             ++res.writebacks;
             writebackToDram(a, t + cfg.tagLatency);
-            cleanBlock(a);
+            dirtyStorePtr->clean(a);
+            notifyMetaCleaned(a, t + cfg.tagLatency);
         }
     }
     endAuditOp();
@@ -188,15 +262,52 @@ Llc::RegionOpResult
 Llc::queryRegionDirty(Addr base, std::uint64_t bytes)
 {
     RegionOpResult res;
+    if (const Dbi *index = dbiIndex()) {
+        std::uint64_t region_bytes =
+            static_cast<std::uint64_t>(index->granularity()) * kBlockBytes;
+        Addr start = base - base % region_bytes;
+        for (Addr r = start; r < base + bytes; r += region_bytes) {
+            ++res.lookups;  // one DBI access answers the whole region
+            for (Addr b : index->dirtyBlocksInRegion(r)) {
+                if (b >= base && b < base + bytes) {
+                    res.anyDirty = true;
+                }
+            }
+        }
+        return res;
+    }
+
     Addr start = blockAlign(base);
     for (Addr a = start; a < base + bytes; a += kBlockBytes) {
         ++res.lookups;
         ++statTagLookups;
-        if (store.contains(a) && blockDirty(a)) {
+        if (store.contains(a) && dirtyStorePtr->probeDirty(a)) {
             res.anyDirty = true;
         }
     }
     return res;
+}
+
+void
+Llc::handleEviction(Addr block_addr, bool tag_dirty, Cycle when)
+{
+    if (!dirtyStorePtr->victimDirty(block_addr, tag_dirty)) {
+        return;  // clean eviction: nothing to write back
+    }
+    if constexpr (telemetry::kEnabled) {
+        // Fig. 2 sample: dirty blocks co-resident in the victim's DRAM
+        // row, including the victim itself (the store accounts for
+        // whether its metadata still covers the displaced entry).
+        if (telem && telem->histogramsEnabled()) {
+            telem->dirtyRowWriteback(
+                dirtyStorePtr->dirtyInVictimRow(block_addr));
+        }
+    }
+    // Dirty eviction: write the victim back, drop its dirty metadata,
+    // then let the writeback policy piggyback further writebacks.
+    writebackToDram(block_addr, when);
+    dirtyStorePtr->onVictimWrittenBack(block_addr);
+    wbPolicy->afterDirtyEviction(block_addr, when);
 }
 
 void
@@ -213,16 +324,25 @@ Llc::fillBlock(Addr block_addr, std::uint32_t core, bool dirty, Cycle when)
         if (auditor) {
             auditor->onFill(block_addr, dirty, when);
         }
+        for (MetadataIndex *m : metaIndexes) {
+            m->onFill(block_addr, core, dirty, when);
+        }
         return;
     }
     TagStore::Eviction ev = store.insert(block_addr, core, dirty);
     if (auditor) {
         auditor->onFill(block_addr, dirty, when);
     }
+    for (MetadataIndex *m : metaIndexes) {
+        m->onFill(block_addr, core, dirty, when);
+    }
     if (ev.valid) {
         handleEviction(ev.block, ev.dirty, when);
         if (auditor) {
             auditor->onEviction(ev.block, when);
+        }
+        for (MetadataIndex *m : metaIndexes) {
+            m->onEviction(ev.block, when);
         }
     }
 }

@@ -1,18 +1,19 @@
 /**
  * @file
- * Shared last-level cache base class. Models the structure the paper's
- * mechanisms all modify: a set-associative tag store with serial tag+data
- * access, a single tag port whose contention is first-class (every
- * lookup — demand, writeback, or sweep — occupies it), TA-DIP/LRU/DRRIP
+ * Shared last-level cache. Models the structure the paper's mechanisms
+ * all modify: a set-associative tag store with serial tag+data access,
+ * a single tag port whose contention is first-class (every lookup —
+ * demand, writeback, or sweep — occupies it), TA-DIP/LRU/DRRIP
  * insertion, and a connection to the DRAM controller.
  *
- * Subclasses implement the paper's mechanisms by overriding the dirty-
- * block bookkeeping and the eviction/writeback hooks:
- *   BaselineLlc  — dirty bits in the tag store, evict-order writebacks
- *   DawbLlc      — DRAM-aware writeback [27]: full row sweeps
- *   VwqLlc       — Virtual Write Queue [51]: SSV-filtered sweeps
- *   SkipLlc      — Skip Cache [44]: write-through + lookup bypass
- *   DbiLlc       — the Dirty-Block Index, with optional AWB and CLB
+ * The Llc is one concrete class composed from three policy components
+ * (llc/policies.hh): a DirtyStore (where dirty metadata lives), a
+ * WritebackPolicy (what a dirty eviction triggers), and a LookupPolicy
+ * (whether reads may bypass the tag lookup). Table 2's mechanisms are
+ * preset tuples over these axes (sim/mechanism.hh); arbitrary
+ * combinations compose the same way. Additional per-block metadata
+ * subsystems (hetero-ECC, the coherence directory) observe the block
+ * lifecycle through the MetadataIndex seam (llc/metadata_index.hh).
  */
 
 #ifndef DBSIM_LLC_LLC_HH
@@ -29,6 +30,8 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_controller.hh"
+#include "llc/metadata_index.hh"
+#include "llc/policies.hh"
 #include "telemetry/telemetry.hh"
 
 namespace dbsim {
@@ -48,8 +51,8 @@ struct LlcConfig
 /**
  * Observer of the LLC's dirty-state transitions (src/audit). The four
  * events below are the complete set of places a block's dirtiness or
- * residency can change; every LLC variant reports through them, which
- * is what lets a shadow model replay ground truth alongside any
+ * residency can change; every policy composition reports through them,
+ * which is what lets a shadow model replay ground truth alongside any
  * mechanism. Notifications are synchronous and must not re-enter the
  * LLC. operationEnd() fires when one externally-initiated operation
  * (writeback, fill completion, flush) has fully settled — the only
@@ -77,28 +80,40 @@ class LlcAuditObserver
 };
 
 /**
- * Abstract shared LLC. Reads complete through a callback with the
+ * The shared LLC. Reads complete through a callback with the
  * completion cycle; writebacks from the private levels are
- * fire-and-forget.
+ * fire-and-forget. Policy components act on the cache through the
+ * public surface below (occupyPort/fillBlock/writebackToDram/...), so
+ * every port-arbitration, stat, audit, and telemetry side effect flows
+ * through a single point regardless of composition.
  */
 class Llc
 {
   public:
     using Callback = std::function<void(Cycle)>;
 
+    /**
+     * Compose a cache from policy components. Defaults (nullptr) give
+     * the conventional writeback cache: in-tag dirty bits, evict-order
+     * writebacks, no bypassing. Policies are bound to this cache here
+     * and must be freshly constructed (not shared between caches).
+     */
     Llc(const LlcConfig &config, DramController &dram_ctrl,
-        EventQueue &event_queue);
+        EventQueue &event_queue,
+        std::unique_ptr<DirtyStore> dirty_store = nullptr,
+        std::unique_ptr<WritebackPolicy> writeback_policy = nullptr,
+        std::unique_ptr<LookupPolicy> lookup_policy = nullptr);
     virtual ~Llc() = default;
 
     /** Demand read from core `core` arriving at cycle `when`. */
-    virtual void read(Addr block_addr, std::uint32_t core, Cycle when,
-                      Callback cb);
+    void read(Addr block_addr, std::uint32_t core, Cycle when,
+              Callback cb);
 
     /**
-     * Writeback request from a private L2 (Section 2.2.2). Non-virtual
-     * entry point: aligns the address, accounts the request, and
-     * notifies the attached auditor before and after the mechanism's
-     * doWriteback() so every variant is observable the same way.
+     * Writeback request from a private L2 (Section 2.2.2). Accounts the
+     * request and notifies the attached auditor before and after the
+     * DirtyStore's writebackIn() so every composition is observable the
+     * same way.
      */
     void writeback(Addr block_addr, std::uint32_t core, Cycle when);
 
@@ -119,6 +134,14 @@ class Llc
      */
     void attachTelemetry(telemetry::SimTelemetry *sink) { telem = sink; }
 
+    /**
+     * Attach a metadata subsystem (hetero-ECC tracker, coherence
+     * directory). Indexes are passive observers of the block lifecycle
+     * — they must not perturb the cache's timing or statistics — and
+     * are notified in attachment order. The caller keeps ownership.
+     */
+    void attachMetadata(MetadataIndex *index);
+
     /** Outcome of a flush or DMA-coherence operation (Section 7). */
     struct RegionOpResult
     {
@@ -134,100 +157,58 @@ class Llc
      * from its compact per-row dirty vectors (Section 7, "Cache
      * Flushing"). Blocks stay resident.
      */
-    virtual RegionOpResult flushRegion(Addr base, std::uint64_t bytes,
-                                       Cycle when);
+    RegionOpResult flushRegion(Addr base, std::uint64_t bytes, Cycle when);
 
     /**
      * DMA coherence query (Section 7, "Direct Memory Access"): does the
      * byte range contain any dirty block? Read-only; reports the lookup
      * cost the query incurred.
      */
-    virtual RegionOpResult queryRegionDirty(Addr base,
-                                            std::uint64_t bytes);
+    RegionOpResult queryRegionDirty(Addr base, std::uint64_t bytes);
 
     const LlcConfig &config() const { return cfg; }
     TagStore &tags() { return store; }
     const TagStore &tags() const { return store; }
+    DramController &dramController() { return dram; }
+
+    DirtyStore &dirtyStore() { return *dirtyStorePtr; }
+    const DirtyStore &dirtyStore() const { return *dirtyStorePtr; }
+    WritebackPolicy &writebackPolicy() { return *wbPolicy; }
+    LookupPolicy &lookupPolicy() { return *lookupPol; }
+
+    /** The DBI, if the dirty store is DBI-backed (else nullptr). */
+    Dbi *dbiIndex() { return dirtyStorePtr->dbiIndex(); }
+    const Dbi *dbiIndex() const { return dirtyStorePtr->dbiIndex(); }
 
     /** Register counters for snapshotting. */
-    virtual void registerStats(StatSet &set);
+    void registerStats(StatSet &set);
 
     /** Sanity checks on internal invariants (debug/test aid). */
-    virtual void checkInvariants() const {}
+    void checkInvariants() const { dirtyStorePtr->checkInvariants(); }
 
-    Counter statTagLookups;   ///< all tag-store lookups (demand+wb+sweep)
-    Counter statDemandHits;
-    Counter statDemandMisses;
-    Counter statWritebacksIn; ///< writeback requests received from L2s
-    Counter statWbToDram;     ///< writebacks sent to memory
-    Counter statSweepLookups; ///< tag lookups made by writeback sweeps
-    Counter statBypasses;     ///< reads that skipped the tag lookup
-    Counter statDbiChecks;    ///< DBI consultations on the bypass path
+    // -- Surface used by policy components ----------------------------
 
-  protected:
     /**
      * Arbitrate for the tag port at cycle `when` and account one lookup.
      * @return the cycle the lookup begins.
      */
     Cycle occupyPort(Cycle when);
 
-    /** Mechanism-specific writeback handling (address pre-aligned). */
-    virtual void doWriteback(Addr block_addr, std::uint32_t core,
-                             Cycle when) = 0;
-
     /**
      * Send one block's data to memory: enqueue the DRAM write, account
      * it, and notify the auditor. Every writeback-to-memory in every
-     * variant must go through here — it is the single point where a
+     * composition must go through here — it is the single point where a
      * block's latest data reaches DRAM.
      */
     void writebackToDram(Addr block_addr, Cycle when);
 
-    /** Notify the auditor that one operation has settled. */
-    void
-    endAuditOp()
-    {
-        if (auditor) {
-            auditor->onOperationEnd();
-        }
-    }
-
-    /** Is this block dirty under the mechanism's bookkeeping? */
-    virtual bool blockDirty(Addr block_addr) const = 0;
-
-    /** Transition a resident block dirty -> clean (after writeback). */
-    virtual void cleanBlock(Addr block_addr) = 0;
-
-    /**
-     * A (possibly dirty) block was displaced from the cache at cycle
-     * `when`. Mechanisms generate writebacks (and sweeps) here.
-     */
-    virtual void handleEviction(Addr block_addr, bool tag_dirty,
-                                Cycle when) = 0;
-
-    /**
-     * Hook before the normal read path; return true if the access was
-     * fully handled (bypassed). Default: no bypassing.
-     */
-    virtual bool
-    tryBypass(Addr, std::uint32_t, Cycle, Callback &)
-    {
-        return false;
-    }
-
-    /** Outcome feed for miss predictors. Default: none. */
-    virtual void recordLookupOutcome(Addr, std::uint32_t, bool, Cycle) {}
-
     /**
      * Insert a block after a fill or writeback-allocate, routing any
-     * displaced victim through handleEviction().
+     * displaced victim through the eviction sequence (DirtyStore,
+     * WritebackPolicy, auditor, metadata indexes).
      */
     void fillBlock(Addr block_addr, std::uint32_t core, bool dirty,
                    Cycle when);
-
-    /** Issue the DRAM read for a demand miss, merging duplicates. */
-    void missToDram(Addr block_addr, std::uint32_t core, Cycle when,
-                    Callback cb);
 
     /** The non-bypassed read path (tag lookup onward). */
     void normalRead(Addr block_addr, std::uint32_t core, Cycle when,
@@ -249,6 +230,42 @@ class Llc
      */
     std::uint64_t countStoreDirtyInRow(Addr block_addr) const;
 
+    /** The attached telemetry sink (nullptr when none). */
+    telemetry::SimTelemetry *telemetrySink() { return telem; }
+
+    /** Notify metadata indexes that a resident block became clean. */
+    void notifyMetaCleaned(Addr block_addr, Cycle when);
+
+    Counter statTagLookups;   ///< all tag-store lookups (demand+wb+sweep)
+    Counter statDemandHits;
+    Counter statDemandMisses;
+    Counter statWritebacksIn; ///< writeback requests received from L2s
+    Counter statWbToDram;     ///< writebacks sent to memory
+    Counter statSweepLookups; ///< tag lookups made by writeback sweeps
+    Counter statBypasses;     ///< reads that skipped the tag lookup
+    Counter statDbiChecks;    ///< DBI consultations on the bypass path
+
+  protected:
+    /** Notify the auditor that one operation has settled. */
+    void
+    endAuditOp()
+    {
+        if (auditor) {
+            auditor->onOperationEnd();
+        }
+    }
+
+    /**
+     * A (possibly dirty) block was displaced from the cache at cycle
+     * `when`: consult the DirtyStore for the victim's dirtiness, write
+     * it back if dirty, then hand the WritebackPolicy its turn.
+     */
+    void handleEviction(Addr block_addr, bool tag_dirty, Cycle when);
+
+    /** Issue the DRAM read for a demand miss, merging duplicates. */
+    void missToDram(Addr block_addr, std::uint32_t core, Cycle when,
+                    Callback cb);
+
     LlcConfig cfg;
     DramController &dram;
     EventQueue &eq;
@@ -256,6 +273,11 @@ class Llc
     Cycle portFreeAt = 0;
     LlcAuditObserver *auditor = nullptr;
     telemetry::SimTelemetry *telem = nullptr;
+
+    std::unique_ptr<DirtyStore> dirtyStorePtr;
+    std::unique_ptr<WritebackPolicy> wbPolicy;
+    std::unique_ptr<LookupPolicy> lookupPol;
+    std::vector<MetadataIndex *> metaIndexes;
 
     /** Outstanding demand reads: block -> waiting callbacks + owner. */
     struct Pending

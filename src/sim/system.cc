@@ -1,7 +1,9 @@
 #include "system.hh"
 
+#include "coherence/directory_index.hh"
 #include "common/logging.hh"
-#include "llc/llc_variants.hh"
+#include "ecc/ecc_index.hh"
+#include "model/storage_model.hh"
 
 namespace dbsim {
 
@@ -44,7 +46,7 @@ SystemConfig::resolveLlc() const
     llc.dataLatency = llcDataLatency ? llcDataLatency : data_lat;
 
     ReplPolicy non_base = useDrrip ? ReplPolicy::Drrip : ReplPolicy::TaDip;
-    llc.repl = (mech == Mechanism::Baseline) ? ReplPolicy::Lru : non_base;
+    llc.repl = mech.baselineLru ? ReplPolicy::Lru : non_base;
     return llc;
 }
 
@@ -65,37 +67,38 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
     DbiConfig dbi_cfg = cfg.dbi;
     dbi_cfg.seed = cfg.seed + 1009;
 
-    switch (cfg.mech) {
-      case Mechanism::Baseline:
-      case Mechanism::TaDip:
-        sharedLlc = std::make_unique<BaselineLlc>(llc_cfg, *dramCtrl, eq);
-        break;
-      case Mechanism::Dawb:
-        sharedLlc = std::make_unique<DawbLlc>(llc_cfg, *dramCtrl, eq);
-        break;
-      case Mechanism::Vwq:
-        sharedLlc = std::make_unique<VwqLlc>(llc_cfg, *dramCtrl, eq);
-        break;
-      case Mechanism::SkipCache:
+    if (cfg.mech.needsPredictor()) {
         predictor = std::make_shared<SkipPredictor>(pc);
-        sharedLlc =
-            std::make_unique<SkipLlc>(llc_cfg, *dramCtrl, eq, predictor);
-        break;
-      case Mechanism::Dbi:
-      case Mechanism::DbiAwb:
-      case Mechanism::DbiClb:
-      case Mechanism::DbiAwbClb: {
-        bool awb = cfg.mech == Mechanism::DbiAwb ||
-                   cfg.mech == Mechanism::DbiAwbClb;
-        bool clb = cfg.mech == Mechanism::DbiClb ||
-                   cfg.mech == Mechanism::DbiAwbClb;
-        if (clb) {
-            predictor = std::make_shared<SkipPredictor>(pc);
-        }
-        sharedLlc = std::make_unique<DbiLlc>(llc_cfg, dbi_cfg, *dramCtrl,
-                                             eq, awb, clb, predictor);
-        break;
-      }
+    }
+    sharedLlc =
+        makeLlc(cfg.mech, llc_cfg, dbi_cfg, *dramCtrl, eq, predictor);
+
+    // Metadata subsystems the spec attaches (Sections 2.3 and 3.3): both
+    // hang off the DBI organization. They are passive observers, so the
+    // simulation's timing and stats are identical with or without them.
+    if (cfg.mech.attachEcc) {
+        const Dbi *d = sharedLlc->dbiIndex();
+        fatal_if(!d, "the hetero-ECC attachment requires a DBI store");
+        StorageParams sp;
+        sp.cacheBytes = llc_cfg.sizeBytes;
+        sp.assoc = llc_cfg.assoc;
+        sp.alpha = dbi_cfg.alpha;
+        sp.granularity = dbi_cfg.granularity;
+        sp.dbiAssoc = dbi_cfg.assoc;
+        metaIndexes.push_back(std::make_unique<HeteroEccIndex>(
+            d->trackableBlocks(), sp));
+    }
+    if (cfg.mech.attachDirectory) {
+        fatal_if(!sharedLlc->dbiIndex(),
+                 "the coherence-directory attachment requires a DBI "
+                 "store");
+        DbiConfig dir_cfg = dbi_cfg;
+        dir_cfg.seed = cfg.seed + 2017;
+        metaIndexes.push_back(std::make_unique<SplitDirectoryIndex>(
+            dir_cfg, sharedLlc->tags().numBlocks()));
+    }
+    for (auto &m : metaIndexes) {
+        sharedLlc->attachMetadata(m.get());
     }
 
     if (cfg.auditEvery > 0) {
@@ -185,8 +188,7 @@ System::setupTelemetry()
 Dbi *
 System::dbi()
 {
-    auto *d = dynamic_cast<DbiLlc *>(sharedLlc.get());
-    return d ? &d->dbi() : nullptr;
+    return sharedLlc->dbiIndex();
 }
 
 void
@@ -263,6 +265,10 @@ System::run()
             telem->finish(eq.now());
             res.telemetry = telem->summaryMetrics();
         }
+    }
+
+    for (auto &m : metaIndexes) {
+        m->reportMetrics(res.metadata);
     }
 
     sharedLlc->checkInvariants();

@@ -34,7 +34,11 @@ namespace dbsim {
 /** Whole-system configuration (Table 1 defaults). */
 struct SystemConfig
 {
-    Mechanism mech = Mechanism::TaDip;
+    /**
+     * The mechanism: a Table 2 preset (`Mechanism::Dbi`, implicitly
+     * converted) or any composed policy tuple (see mechanismByName()).
+     */
+    MechanismSpec mech = Mechanism::TaDip;
     std::uint32_t numCores = 1;
 
     /** Shared LLC capacity per core (Table 1: 2MB/core). */
@@ -120,6 +124,14 @@ struct SimResult
      * simulation.
      */
     std::map<std::string, double> telemetry;
+
+    /**
+     * Metrics reported by attached metadata subsystems ("ecc.*" /
+     * "dir.*" — hetero-ECC protection outcomes and storage/energy
+     * accounting, coherence-directory activity) when the mechanism spec
+     * attaches them; empty otherwise.
+     */
+    std::map<std::string, double> metadata;
 };
 
 /**
@@ -146,6 +158,13 @@ class System
     /** The DBI, if the mechanism has one (nullptr otherwise). */
     Dbi *dbi();
 
+    /** Attached metadata subsystems (for tests and examples). */
+    const std::vector<std::unique_ptr<MetadataIndex>> &
+    metadata() const
+    {
+        return metaIndexes;
+    }
+
     /** The DRAM controller. */
     DramController &dram() { return *dramCtrl; }
 
@@ -170,6 +189,7 @@ class System
     std::unique_ptr<DramController> dramCtrl;
     std::shared_ptr<MissPredictor> predictor;
     std::unique_ptr<Llc> sharedLlc;
+    std::vector<std::unique_ptr<MetadataIndex>> metaIndexes;
     std::unique_ptr<audit::InvariantAuditor> auditWatch;
     std::unique_ptr<dbsim::telemetry::SimTelemetry> telem;
     std::vector<std::unique_ptr<TraceSource>> traces;

@@ -14,7 +14,7 @@
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include "llc/llc.hh"
 
 namespace dbsim {
 namespace {
@@ -79,7 +79,7 @@ struct AuditTest : public ::testing::Test
 
 TEST_F(AuditTest, BaselineStressPassesContinuousAudit)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     audit::AuditConfig ac;
     ac.checkEvery = 256;
     audit::InvariantAuditor aud(llc, ac);
@@ -95,7 +95,9 @@ TEST_F(AuditTest, BaselineStressPassesContinuousAudit)
 
 TEST_F(AuditTest, DbiAwbStressPassesContinuousAudit)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, /*awb=*/true, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()),
+            std::make_unique<DbiAwbPolicy>());
     audit::AuditConfig ac;
     ac.checkEvery = 256;
     audit::InvariantAuditor aud(llc, ac);
@@ -107,7 +109,7 @@ TEST_F(AuditTest, DbiAwbStressPassesContinuousAudit)
     EXPECT_EQ(aud.finalImage(), aud.shadow().finalImage());
     // I3 held throughout: the DBI is the only dirty-state source.
     EXPECT_EQ(llc.tags().countDirty(), 0u);
-    EXPECT_EQ(llc.dbi().countDirtyBlocks(), aud.shadow().countDirty());
+    EXPECT_EQ(llc.dbiIndex()->countDirtyBlocks(), aud.shadow().countDirty());
 }
 
 TEST_F(AuditTest, SkipCacheStressPassesContinuousAudit)
@@ -115,7 +117,8 @@ TEST_F(AuditTest, SkipCacheStressPassesContinuousAudit)
     // Write-through: dirtiness is transient within one operation, which
     // is exactly what operation-boundary checking must tolerate.
     auto pred = std::make_shared<NeverMissPredictor>();
-    SkipLlc llc(smallLlc(), dram, eq, pred);
+    Llc llc(smallLlc(), dram, eq, std::make_unique<WriteThroughStore>(),
+            nullptr, std::make_unique<SkipBypassLookup>(pred));
     audit::AuditConfig ac;
     ac.checkEvery = 64;
     audit::InvariantAuditor aud(llc, ac);
@@ -128,7 +131,7 @@ TEST_F(AuditTest, SkipCacheStressPassesContinuousAudit)
 
 TEST_F(AuditTest, DetachesCleanlyOnDestruction)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     {
         audit::InvariantAuditor aud(llc);
         llc.writeback(0x1000, 0, 0);
@@ -148,10 +151,10 @@ TEST_F(AuditTest, DetachesCleanlyOnDestruction)
  * Re-introduces the pre-fix Llc::fillBlock bug: the resident case only
  * touch()es, silently dropping an incoming dirty flag.
  */
-class BuggyFillLlc : public BaselineLlc
+class BuggyFillLlc : public Llc
 {
   public:
-    using BaselineLlc::BaselineLlc;
+    using Llc::Llc;
 
     void
     fillOldBehavior(Addr a, std::uint32_t core, bool dirty, Cycle when)
@@ -190,14 +193,39 @@ TEST(AuditorDeathTest, CatchesReintroducedFillBlockBug)
         "dirty-state audit");
 }
 
-/** Drops eviction writebacks entirely: dirty victims lose their data. */
-class DropEvictionLlc : public BaselineLlc
+/**
+ * A dirty store that lies about victims: every displaced block claims to
+ * be clean, so dirty victims lose their data — the bug class the
+ * per-event I4 check exists for.
+ */
+class LossyDirtyStore : public DirtyStore
 {
   public:
-    using BaselineLlc::BaselineLlc;
+    void
+    bind(Llc &owner) override
+    {
+        DirtyStore::bind(owner);
+        inner.bind(owner);
+    }
+    DirtyStoreKind kind() const override { return inner.kind(); }
+    const char *name() const override { return "lossy-tag"; }
+    void
+    writebackIn(Addr a, std::uint32_t core, Cycle when) override
+    {
+        inner.writebackIn(a, core, when);
+    }
+    bool isDirty(Addr a) const override { return inner.isDirty(a); }
+    bool probeDirty(Addr a) const override { return inner.probeDirty(a); }
+    void clean(Addr a) override { inner.clean(a); }
+    bool victimDirty(Addr, bool) override { return false; }  // the bug
+    std::uint64_t
+    dirtyInVictimRow(Addr a) const override
+    {
+        return inner.dirtyInVictimRow(a);
+    }
 
-  protected:
-    void handleEviction(Addr, bool, Cycle) override {}
+  private:
+    TagDirtyStore inner;
 };
 
 TEST(AuditorDeathTest, CatchesDirtyBlockLostOnEviction)
@@ -207,7 +235,8 @@ TEST(AuditorDeathTest, CatchesDirtyBlockLostOnEviction)
         {
             EventQueue eq;
             DramController dram(DramConfig{}, eq);
-            DropEvictionLlc llc(smallLlc(), dram, eq);
+            Llc llc(smallLlc(), dram, eq,
+                    std::make_unique<LossyDirtyStore>());
             audit::InvariantAuditor aud(llc);
 
             llc.writeback(AuditTest::filler(9, 0), 0, 0);

@@ -1,12 +1,14 @@
 /**
  * @file
- * Randomized differential test: the conventional dirty-bit LLC and the
- * DBI variants (plain, +AWB, +CLB) are driven with an identical
- * randomized request sequence, each under its own invariant auditor.
- * Every variant must (a) satisfy the dirty-state invariants throughout,
- * and (b) produce the exact same final memory image — the paper's
- * correctness contract: mechanisms change writeback *timing*, never
- * writeback *content*.
+ * Randomized differential tests: mechanism compositions are driven with
+ * an identical randomized request sequence, each under its own
+ * invariant auditor. Every composition must (a) satisfy the dirty-state
+ * invariants throughout, and (b) produce the exact same final memory
+ * image — the paper's correctness contract: mechanisms change writeback
+ * *timing*, never writeback *content*. Covers the Table 2 presets and
+ * the previously-unreachable cross-product combinations the composed
+ * --mech grammar opens up (DAWB/VWQ sweeps over a DBI store, CLB next
+ * to a DAWB writeback policy).
  */
 
 #include <gtest/gtest.h>
@@ -18,7 +20,8 @@
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include "llc/llc.hh"
+#include "sim/mechanism.hh"
 
 namespace dbsim {
 namespace {
@@ -85,10 +88,21 @@ makeOps(std::uint64_t seed, int count)
     return ops;
 }
 
-/** Drive one LLC through the sequence under a tight auditor. */
+/** Build the composition `spec_name` names and replay `ops` into it. */
 audit::MemoryImage
-runVariant(Llc &llc, EventQueue &eq, const std::vector<Op> &ops)
+runComposition(const std::string &spec_name, const std::vector<Op> &ops)
 {
+    EventQueue eq;
+    DramController dram(DramConfig{}, eq);
+    MechanismSpec spec = mechanismByName(spec_name);
+    std::shared_ptr<MissPredictor> pred;
+    if (spec.needsPredictor()) {
+        pred = std::make_shared<AlwaysMissPredictor>();
+    }
+    std::unique_ptr<Llc> llc_owner =
+        makeLlc(spec, smallLlc(), smallDbi(), dram, eq, pred);
+    Llc &llc = *llc_owner;
+
     audit::AuditConfig ac;
     ac.checkEvery = 512;
     audit::InvariantAuditor aud(llc, ac);
@@ -109,8 +123,9 @@ runVariant(Llc &llc, EventQueue &eq, const std::vector<Op> &ops)
 
     // The mechanism's dirty set must reproduce ground truth exactly.
     audit::MemoryImage image = aud.finalImage();
-    EXPECT_EQ(image, aud.shadow().finalImage());
-    EXPECT_EQ(aud.mechanismDirtyBlocks().size(), aud.shadow().countDirty());
+    EXPECT_EQ(image, aud.shadow().finalImage()) << spec_name;
+    EXPECT_EQ(aud.mechanismDirtyBlocks().size(), aud.shadow().countDirty())
+        << spec_name;
     return image;
 }
 
@@ -118,58 +133,47 @@ TEST(Differential, AllVariantsProduceIdenticalFinalMemoryImages)
 {
     const std::vector<Op> ops = makeOps(1234, 30000);
 
-    audit::MemoryImage conventional, dbi, dbi_awb, dbi_clb;
-    {
-        EventQueue eq;
-        DramController dram(DramConfig{}, eq);
-        BaselineLlc llc(smallLlc(), dram, eq);
-        conventional = runVariant(llc, eq, ops);
-    }
-    {
-        EventQueue eq;
-        DramController dram(DramConfig{}, eq);
-        DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
-        dbi = runVariant(llc, eq, ops);
-    }
-    {
-        EventQueue eq;
-        DramController dram(DramConfig{}, eq);
-        DbiLlc llc(smallLlc(), smallDbi(), dram, eq, /*awb=*/true, false);
-        dbi_awb = runVariant(llc, eq, ops);
-    }
-    {
-        EventQueue eq;
-        DramController dram(DramConfig{}, eq);
-        auto pred = std::make_shared<AlwaysMissPredictor>();
-        DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, /*clb=*/true,
-                   pred);
-        dbi_clb = runVariant(llc, eq, ops);
-    }
-
+    audit::MemoryImage conventional = runComposition("TA-DIP", ops);
     ASSERT_FALSE(conventional.empty());
-    EXPECT_EQ(conventional, dbi);
-    EXPECT_EQ(conventional, dbi_awb);
-    EXPECT_EQ(conventional, dbi_clb);
+    for (const char *name : {"DBI", "DBI+AWB", "DBI+CLB"}) {
+        EXPECT_EQ(conventional, runComposition(name, ops)) << name;
+    }
 }
 
 TEST(Differential, SeedsVaryButAgreementHolds)
 {
     for (std::uint64_t seed : {7u, 99u, 2024u}) {
         const std::vector<Op> ops = makeOps(seed, 12000);
-        audit::MemoryImage conventional, dbi_awb;
-        {
-            EventQueue eq;
-            DramController dram(DramConfig{}, eq);
-            BaselineLlc llc(smallLlc(), dram, eq);
-            conventional = runVariant(llc, eq, ops);
+        audit::MemoryImage conventional = runComposition("TA-DIP", ops);
+        EXPECT_EQ(conventional, runComposition("DBI+AWB", ops))
+            << "seed " << seed;
+    }
+}
+
+TEST(Differential, ComposedCombinationsMatchConventionalImage)
+{
+    // Cross-product compositions no preset reaches: a DAWB full-row
+    // sweep over a DBI store, the same plus CLB (the spec's inference
+    // resolves "dawb+clb" to dbi+dawb+clb), and a VWQ SSV-filtered
+    // sweep over a DBI store.
+    const std::vector<Op> ops = makeOps(4321, 30000);
+
+    audit::MemoryImage conventional = runComposition("TA-DIP", ops);
+    ASSERT_FALSE(conventional.empty());
+    for (const char *name : {"dbi+dawb", "dawb+clb", "dbi+vwq"}) {
+        EXPECT_EQ(conventional, runComposition(name, ops)) << name;
+    }
+}
+
+TEST(Differential, ComposedCombinationsAcrossSeeds)
+{
+    for (std::uint64_t seed : {5u, 313u}) {
+        const std::vector<Op> ops = makeOps(seed, 10000);
+        audit::MemoryImage conventional = runComposition("TA-DIP", ops);
+        for (const char *name : {"dbi+dawb", "vwq+clb"}) {
+            EXPECT_EQ(conventional, runComposition(name, ops))
+                << name << " seed " << seed;
         }
-        {
-            EventQueue eq;
-            DramController dram(DramConfig{}, eq);
-            DbiLlc llc(smallLlc(), smallDbi(), dram, eq, true, false);
-            dbi_awb = runVariant(llc, eq, ops);
-        }
-        EXPECT_EQ(conventional, dbi_awb) << "seed " << seed;
     }
 }
 

@@ -12,7 +12,7 @@
 #include "common/event_queue.hh"
 #include "cpu/core.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include "llc/llc.hh"
 
 namespace dbsim {
 namespace {
@@ -63,7 +63,7 @@ struct CoreTest : public ::testing::Test
 
     EventQueue eq;
     DramController dram;
-    BaselineLlc llc;
+    Llc llc;
 };
 
 TEST_F(CoreTest, PureComputeRunsAtOneIpc)
@@ -110,7 +110,7 @@ TEST_F(CoreTest, IndependentMissesOverlap)
     EventQueue eq2;
     // Fresh memory system so cold misses repeat.
     DramController dram2(DramConfig{}, eq2);
-    BaselineLlc llc2(LlcConfig{2ull << 20, 16, ReplPolicy::Lru, 10, 24,
+    Llc llc2(LlcConfig{2ull << 20, 16, ReplPolicy::Lru, 10, 24,
                                1, 1},
                      dram2, eq2);
     CoreMemory mem2(CoreMemoryConfig{}, llc2, 0, 1);

@@ -11,7 +11,7 @@
 #include "common/event_queue.hh"
 #include "cpu/core_memory.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include "llc/llc.hh"
 
 namespace dbsim {
 namespace {
@@ -42,7 +42,7 @@ struct CoreMemoryTest : public ::testing::Test
 
     EventQueue eq;
     DramController dram;
-    BaselineLlc llc;
+    Llc llc;
     CoreMemory mem;
 };
 

@@ -1,10 +1,10 @@
 /**
  * @file
- * Tests for the shared LLC variants: the conventional writeback path,
- * DAWB's full-row sweeps, VWQ's SSV filtering, Skip Cache write-through
- * + bypass, and the DBI cache's semantics (dirtiness lives only in the
- * DBI; AWB and DBI evictions write back whole rows; CLB bypasses clean
- * predicted misses).
+ * Tests for the composed LLC policy behaviors: the conventional
+ * writeback path, DAWB's full-row sweeps, VWQ's SSV filtering, Skip
+ * Cache write-through + bypass, and the DBI organization's semantics
+ * (dirtiness lives only in the DBI; AWB and DBI evictions write back
+ * whole rows; CLB bypasses clean predicted misses).
  */
 
 #include <gtest/gtest.h>
@@ -14,7 +14,7 @@
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include "llc/llc.hh"
 
 namespace dbsim {
 namespace {
@@ -48,6 +48,13 @@ struct LlcTest : public ::testing::Test
 {
     LlcTest() : dram(DramConfig{}, eq) {}
 
+    /** The DBI-backed store's own counters (AWB / DBI-eviction wbs). */
+    static DbiDirtyStore &
+    dbiStore(Llc &llc)
+    {
+        return static_cast<DbiDirtyStore &>(llc.dirtyStore());
+    }
+
     /** Blocking read helper. */
     Cycle
     readDone(Llc &llc, Addr a, Cycle when, std::uint32_t core = 0)
@@ -73,7 +80,7 @@ struct LlcTest : public ::testing::Test
 
 TEST_F(LlcTest, ReadMissFillsAndHits)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     Cycle miss_done = readDone(llc, 0x1000, 0);
     EXPECT_GT(miss_done, 50u);  // went to DRAM
     EXPECT_EQ(llc.statDemandMisses.value(), 1u);
@@ -86,7 +93,7 @@ TEST_F(LlcTest, ReadMissFillsAndHits)
 
 TEST_F(LlcTest, DuplicateMissesMergeToOneDramRead)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     int completions = 0;
     llc.read(0x2000, 0, 0, [&](Cycle) { ++completions; });
     llc.read(0x2000, 0, 1, [&](Cycle) { ++completions; });
@@ -97,7 +104,7 @@ TEST_F(LlcTest, DuplicateMissesMergeToOneDramRead)
 
 TEST_F(LlcTest, WritebackMarksResidentBlockDirty)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     readDone(llc, 0x3000, 0);
     llc.writeback(0x3000, 0, eq.now());
     EXPECT_TRUE(llc.tags().isDirty(0x3000));
@@ -106,7 +113,7 @@ TEST_F(LlcTest, WritebackMarksResidentBlockDirty)
 
 TEST_F(LlcTest, WritebackAllocatesWhenAbsent)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     llc.writeback(0x4000, 0, 0);
     eq.runAll();
     EXPECT_TRUE(llc.tags().contains(0x4000));
@@ -115,7 +122,7 @@ TEST_F(LlcTest, WritebackAllocatesWhenAbsent)
 
 TEST_F(LlcTest, DirtyEvictionWritesToDram)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     llc.writeback(filler(9, 0), 0, 0);
     for (std::uint32_t i = 1; i <= 4; ++i) {
         readDone(llc, filler(9, i), eq.now() + 1);
@@ -126,7 +133,7 @@ TEST_F(LlcTest, DirtyEvictionWritesToDram)
 
 TEST_F(LlcTest, CleanEvictionIsSilent)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     for (std::uint32_t i = 0; i <= 4; ++i) {
         readDone(llc, filler(9, i), eq.now() + 1);
     }
@@ -137,7 +144,8 @@ TEST_F(LlcTest, CleanEvictionIsSilent)
 
 TEST_F(LlcTest, DawbSweepsWholeRowOnDirtyEviction)
 {
-    DawbLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq, nullptr,
+            std::make_unique<DawbSweepPolicy>());
     // Dirty the victim and two of its DRAM-row mates (other sets).
     Addr victim = filler(9, 0);
     std::uint32_t row_mate1 = dram.addrMap().blockInRow(victim) + 1;
@@ -167,7 +175,8 @@ TEST_F(LlcTest, DawbSweepsWholeRowOnDirtyEviction)
 
 TEST_F(LlcTest, VwqSweepsLessThanDawbWhenCleanButWritesBackLruDirty)
 {
-    VwqLlc llc(smallLlc(), dram, eq, /*lru_ways=*/2);
+    Llc llc(smallLlc(), dram, eq, nullptr,
+            std::make_unique<VwqSweepPolicy>(/*lru_ways=*/2));
     Addr victim = filler(9, 0);
     Addr mate = dram.addrMap().blockInRowAddr(
         victim, dram.addrMap().blockInRow(victim) + 1);
@@ -190,7 +199,8 @@ TEST_F(LlcTest, VwqSweepsLessThanDawbWhenCleanButWritesBackLruDirty)
 TEST_F(LlcTest, SkipCacheIsWriteThrough)
 {
     auto pred = std::make_shared<NeverMissPredictor>();
-    SkipLlc llc(smallLlc(), dram, eq, pred);
+    Llc llc(smallLlc(), dram, eq, std::make_unique<WriteThroughStore>(),
+            nullptr, std::make_unique<SkipBypassLookup>(pred));
     llc.writeback(0x5000, 0, 0);
     eq.runAll();
     // The write went straight to memory and did not allocate.
@@ -224,7 +234,8 @@ class AlwaysMissPredictor : public MissPredictor
 TEST_F(LlcTest, SkipCacheBypassesPredictedMisses)
 {
     auto pred = std::make_shared<AlwaysMissPredictor>();
-    SkipLlc llc(smallLlc(), dram, eq, pred);
+    Llc llc(smallLlc(), dram, eq, std::make_unique<WriteThroughStore>(),
+            nullptr, std::make_unique<SkipBypassLookup>(pred));
     readDone(llc, filler(9, 0), 0);
     EXPECT_EQ(llc.statBypasses.value(), 1u);
     EXPECT_EQ(llc.statTagLookups.value(), 0u);
@@ -240,30 +251,34 @@ TEST_F(LlcTest, SkipCacheBypassesPredictedMisses)
 
 TEST_F(LlcTest, DbiWritebackSetsDbiNotTagDirty)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     llc.writeback(0x6000, 0, 0);
     eq.runAll();
     EXPECT_TRUE(llc.tags().contains(0x6000));
     EXPECT_EQ(llc.tags().countDirty(), 0u);  // tag store has no dirty bits
-    EXPECT_TRUE(llc.dbi().isDirty(0x6000));
+    EXPECT_TRUE(llc.dbiIndex()->isDirty(0x6000));
     llc.checkInvariants();
 }
 
 TEST_F(LlcTest, DbiDirtyEvictionWritesBackAndClears)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     llc.writeback(filler(9, 0), 0, 0);
     for (std::uint32_t i = 1; i <= 4; ++i) {
         readDone(llc, filler(9, i), eq.now() + 1);
     }
     EXPECT_EQ(llc.statWbToDram.value(), 1u);
-    EXPECT_FALSE(llc.dbi().isDirty(filler(9, 0)));
+    EXPECT_FALSE(llc.dbiIndex()->isDirty(filler(9, 0)));
     llc.checkInvariants();
 }
 
 TEST_F(LlcTest, DbiAwbWritesBackRowMates)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, /*awb=*/true, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()),
+            std::make_unique<DbiAwbPolicy>());
     Addr victim = filler(9, 0);
     // Row mates within the same DBI region (granularity 16).
     Addr mate1 = victim + kBlockBytes;
@@ -278,9 +293,9 @@ TEST_F(LlcTest, DbiAwbWritesBackRowMates)
     }
     // AWB looked up ONLY the two actually-dirty mates (vs DAWB's 127).
     EXPECT_EQ(llc.statSweepLookups.value() - sweeps_before, 2u);
-    EXPECT_EQ(llc.statAwbWritebacks.value(), 2u);
+    EXPECT_EQ(dbiStore(llc).statAwbWritebacks.value(), 2u);
     EXPECT_EQ(llc.statWbToDram.value(), 3u);
-    EXPECT_FALSE(llc.dbi().isDirty(mate1));
+    EXPECT_FALSE(llc.dbiIndex()->isDirty(mate1));
     EXPECT_TRUE(llc.tags().contains(mate1));  // stays cached, clean
     llc.checkInvariants();
 }
@@ -289,26 +304,28 @@ TEST_F(LlcTest, DbiEvictionDrainsEntryButKeepsBlocksCached)
 {
     // Fill the DBI (16 entries of granularity 16) with distinct regions
     // so an extra region forces a DBI eviction.
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
-    std::uint64_t entries = llc.dbi().numEntries();
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
+    std::uint64_t entries = llc.dbiIndex()->numEntries();
     for (std::uint64_t r = 0; r <= entries; ++r) {
         // One dirty block per region; regions spaced by granularity.
         llc.writeback(r * 16 * kBlockBytes, 0, r);
     }
     eq.runAll();
-    EXPECT_EQ(llc.statDbiEvictionWbs.value(), 1u);
+    EXPECT_EQ(dbiStore(llc).statDbiEvictionWbs.value(), 1u);
     EXPECT_EQ(llc.statWbToDram.value(), 1u);
     // The drained block is still cached, now clean.
     EXPECT_TRUE(llc.tags().contains(0));
-    EXPECT_FALSE(llc.dbi().isDirty(0));
+    EXPECT_FALSE(llc.dbiIndex()->isDirty(0));
     llc.checkInvariants();
 }
 
 TEST_F(LlcTest, DbiClbBypassesCleanPredictedMiss)
 {
     auto pred = std::make_shared<AlwaysMissPredictor>();
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, /*clb=*/true,
-               pred);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()), nullptr,
+            std::make_unique<ClbBypassLookup>(pred));
     readDone(llc, filler(9, 0), 0);
     EXPECT_EQ(llc.statBypasses.value(), 1u);
     EXPECT_EQ(llc.statDbiChecks.value(), 1u);
@@ -319,7 +336,9 @@ TEST_F(LlcTest, DbiClbBypassesCleanPredictedMiss)
 TEST_F(LlcTest, DbiClbDirtyBlockTakesNormalPath)
 {
     auto pred = std::make_shared<AlwaysMissPredictor>();
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, true, pred);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()), nullptr,
+            std::make_unique<ClbBypassLookup>(pred));
     llc.writeback(filler(9, 0), 0, 0);
     eq.runAll();
     std::uint64_t dram_reads = dram.statReads.value();
@@ -333,20 +352,12 @@ TEST_F(LlcTest, DbiClbDirtyBlockTakesNormalPath)
 
 // ------------------------------------------------------ fill semantics
 
-/** Exposes the protected fill path to drive the writeback-fill race. */
-class FillProbeLlc : public BaselineLlc
-{
-  public:
-    using BaselineLlc::BaselineLlc;
-    using Llc::fillBlock;
-};
-
 TEST_F(LlcTest, FillMergesDirtyIntoResidentBlock)
 {
     // Racing writeback-allocate: a dirty fill can land after a demand
     // read already made the block resident (and clean). The dirty state
     // must merge — dropping it silently loses a memory update.
-    FillProbeLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     readDone(llc, 0x7000, 0);
     ASSERT_TRUE(llc.tags().contains(0x7000));
     ASSERT_FALSE(llc.tags().isDirty(0x7000));
@@ -361,7 +372,9 @@ TEST_F(LlcTest, FillMergesDirtyIntoResidentBlock)
 
 TEST_F(LlcTest, DbiStressInvariantsHold)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, true, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()),
+            std::make_unique<DbiAwbPolicy>());
     Rng rng(42);
     for (int op = 0; op < 20000; ++op) {
         Addr a = blockAlign(rng.below(1 << 20));
@@ -378,7 +391,7 @@ TEST_F(LlcTest, DbiStressInvariantsHold)
     eq.runAll();
     llc.checkInvariants();
     // The DBI bounds the number of dirty blocks (Section 2.1 property).
-    EXPECT_LE(llc.dbi().countDirtyBlocks(), llc.dbi().trackableBlocks());
+    EXPECT_LE(llc.dbiIndex()->countDirtyBlocks(), llc.dbiIndex()->trackableBlocks());
 }
 
 } // namespace

@@ -15,7 +15,7 @@
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include "llc/llc.hh"
 #include "sim/mechanism.hh"
 
 namespace dbsim {
@@ -44,32 +44,12 @@ class LlcMechanism : public ::testing::TestWithParam<Mechanism>
 
         SkipPredictorConfig pc;
         pc.epochCycles = 20'000;
-        auto pred = std::make_shared<SkipPredictor>(pc);
-
-        switch (GetParam()) {
-          case Mechanism::Baseline:
-          case Mechanism::TaDip:
-            return std::make_unique<BaselineLlc>(cfg, dram, eq);
-          case Mechanism::Dawb:
-            return std::make_unique<DawbLlc>(cfg, dram, eq);
-          case Mechanism::Vwq:
-            return std::make_unique<VwqLlc>(cfg, dram, eq);
-          case Mechanism::SkipCache:
-            return std::make_unique<SkipLlc>(cfg, dram, eq, pred);
-          case Mechanism::Dbi:
-            return std::make_unique<DbiLlc>(cfg, dbi, dram, eq, false,
-                                            false);
-          case Mechanism::DbiAwb:
-            return std::make_unique<DbiLlc>(cfg, dbi, dram, eq, true,
-                                            false);
-          case Mechanism::DbiClb:
-            return std::make_unique<DbiLlc>(cfg, dbi, dram, eq, false,
-                                            true, pred);
-          case Mechanism::DbiAwbClb:
-            return std::make_unique<DbiLlc>(cfg, dbi, dram, eq, true,
-                                            true, pred);
+        MechanismSpec spec(GetParam());
+        std::shared_ptr<MissPredictor> pred;
+        if (spec.needsPredictor()) {
+            pred = std::make_shared<SkipPredictor>(pc);
         }
-        return nullptr;
+        return makeLlc(spec, cfg, dbi, dram, eq, pred);
     }
 
     EventQueue eq;

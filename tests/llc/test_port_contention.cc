@@ -10,7 +10,9 @@
 
 #include "common/event_queue.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include <memory>
+
+#include "llc/llc.hh"
 
 namespace dbsim {
 namespace {
@@ -49,7 +51,8 @@ TEST(PortContention, DawbSweepDelaysDemandHits)
 {
     EventQueue eq;
     DramController dram(DramConfig{}, eq);
-    DawbLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq, nullptr,
+            std::make_unique<DawbSweepPolicy>());
 
     // Warm a hit target and a dirty victim.
     Cycle t = 0;
@@ -95,7 +98,8 @@ TEST(PortContention, DbiAwbSweepIsCheap)
     dbi.alpha = 0.25;
     dbi.granularity = 16;
     dbi.assoc = 4;
-    DbiLlc llc(smallLlc(), dbi, dram, eq, /*awb=*/true, false);
+    Llc llc(smallLlc(), dram, eq, std::make_unique<DbiDirtyStore>(dbi),
+            std::make_unique<DbiAwbPolicy>());
 
     llc.read(filler(100, 0), 0, 0, [](Cycle) {});
     eq.runAll();
@@ -116,7 +120,7 @@ TEST(PortContention, BackToBackLookupsPipelinedOnePerCycle)
 {
     EventQueue eq;
     DramController dram(DramConfig{}, eq);
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
 
     // Two hits issued at the same cycle: the second starts one cycle
     // later (single pipelined port).

@@ -9,7 +9,9 @@
 
 #include "common/event_queue.hh"
 #include "dram/dram_controller.hh"
-#include "llc/llc_variants.hh"
+#include <memory>
+
+#include "llc/llc.hh"
 
 namespace dbsim {
 namespace {
@@ -47,7 +49,7 @@ struct RegionOpsTest : public ::testing::Test
 
 TEST_F(RegionOpsTest, BaselineFlushSweepsEveryBlock)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     llc.writeback(0x0, 0, 0);
     llc.writeback(0x40, 0, 1);
     eq.runAll();
@@ -62,7 +64,8 @@ TEST_F(RegionOpsTest, BaselineFlushSweepsEveryBlock)
 
 TEST_F(RegionOpsTest, DbiFlushTouchesOnlyDirtyBlocks)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     llc.writeback(0x0, 0, 0);
     llc.writeback(0x40, 0, 1);
     eq.runAll();
@@ -70,14 +73,15 @@ TEST_F(RegionOpsTest, DbiFlushTouchesOnlyDirtyBlocks)
     // 4 regions of 16 blocks (one DBI access each) + 2 dirty lookups.
     EXPECT_EQ(res.lookups, 4u + 2u);
     EXPECT_EQ(res.writebacks, 2u);
-    EXPECT_EQ(llc.dbi().countDirtyBlocks(), 0u);
+    EXPECT_EQ(llc.dbiIndex()->countDirtyBlocks(), 0u);
     EXPECT_TRUE(llc.tags().contains(0x0));
     llc.checkInvariants();
 }
 
 TEST_F(RegionOpsTest, FlushIsIdempotent)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     llc.writeback(0x0, 0, 0);
     eq.runAll();
     auto first = llc.flushRegion(0, 16 * kBlockBytes, eq.now());
@@ -89,25 +93,27 @@ TEST_F(RegionOpsTest, FlushIsIdempotent)
 
 TEST_F(RegionOpsTest, FlushRespectsRangeBounds)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     llc.writeback(0x0, 0, 0);                 // inside the range
     llc.writeback(32 * kBlockBytes, 0, 1);    // outside
     eq.runAll();
     auto res = llc.flushRegion(0, 16 * kBlockBytes, eq.now());
     EXPECT_EQ(res.writebacks, 1u);
-    EXPECT_TRUE(llc.dbi().isDirty(32 * kBlockBytes));
+    EXPECT_TRUE(llc.dbiIndex()->isDirty(32 * kBlockBytes));
     llc.checkInvariants();
 }
 
 TEST_F(RegionOpsTest, DmaQueryDoesNotModifyState)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     llc.writeback(0x80, 0, 0);
     eq.runAll();
     auto res = llc.queryRegionDirty(0, 16 * kBlockBytes);
     EXPECT_TRUE(res.anyDirty);
     EXPECT_EQ(res.lookups, 1u);  // one DBI access for the region
-    EXPECT_TRUE(llc.dbi().isDirty(0x80));
+    EXPECT_TRUE(llc.dbiIndex()->isDirty(0x80));
 
     auto clean = llc.queryRegionDirty(16 * kBlockBytes,
                                       16 * kBlockBytes);
@@ -116,7 +122,7 @@ TEST_F(RegionOpsTest, DmaQueryDoesNotModifyState)
 
 TEST_F(RegionOpsTest, BaselineDmaQueryCostsOnePerBlock)
 {
-    BaselineLlc llc(smallLlc(), dram, eq);
+    Llc llc(smallLlc(), dram, eq);
     llc.writeback(0x80, 0, 0);
     eq.runAll();
     auto res = llc.queryRegionDirty(0, 16 * kBlockBytes);
@@ -127,7 +133,8 @@ TEST_F(RegionOpsTest, BaselineDmaQueryCostsOnePerBlock)
 TEST_F(RegionOpsTest, SkipCacheFlushFindsNothing)
 {
     auto pred = std::make_shared<NeverMissPredictor>();
-    SkipLlc llc(smallLlc(), dram, eq, pred);
+    Llc llc(smallLlc(), dram, eq, std::make_unique<WriteThroughStore>(),
+            nullptr, std::make_unique<SkipBypassLookup>(pred));
     llc.writeback(0x0, 0, 0);  // write-through: nothing stays dirty
     eq.runAll();
     auto res = llc.flushRegion(0, 64 * kBlockBytes, eq.now());
@@ -137,7 +144,8 @@ TEST_F(RegionOpsTest, SkipCacheFlushFindsNothing)
 
 TEST_F(RegionOpsTest, FlushedBlocksReachDram)
 {
-    DbiLlc llc(smallLlc(), smallDbi(), dram, eq, false, false);
+    Llc llc(smallLlc(), dram, eq,
+            std::make_unique<DbiDirtyStore>(smallDbi()));
     for (Addr a = 0; a < 8 * kBlockBytes; a += kBlockBytes) {
         llc.writeback(a, 0, a);
     }

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared definition of the mechanism-equivalence golden runs: the exact
+ * system configuration, workloads, and result serialization used both
+ * by tools/gen_mechanism_golden (which captures the snapshot) and by
+ * tests/sim/test_mechanism_golden (which asserts that every Table 2
+ * preset, run through the composed-policy LLC, reproduces the snapshot
+ * bit for bit). Keeping both sides on this one header is what makes the
+ * comparison meaningful: any drift in the run setup would be shared.
+ */
+
+#ifndef DBSIM_TESTS_SIM_GOLDEN_RUN_HH
+#define DBSIM_TESTS_SIM_GOLDEN_RUN_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace dbsim::golden {
+
+/** One golden point: a Table 2 preset label and a workload mix. */
+struct GoldenRun
+{
+    const char *preset;
+    WorkloadMix mix;
+};
+
+/** Preset x mix grid the snapshot covers (single- and dual-core). */
+inline const std::vector<GoldenRun> &
+goldenRuns()
+{
+    static const std::vector<GoldenRun> runs = [] {
+        const std::vector<const char *> presets = {
+            "Baseline", "TA-DIP",  "DAWB",    "VWQ",        "SkipCache",
+            "DBI",      "DBI+AWB", "DBI+CLB", "DBI+AWB+CLB",
+        };
+        std::vector<GoldenRun> out;
+        for (const char *p : presets) {
+            out.push_back({p, WorkloadMix{"lbm"}});
+            out.push_back({p, WorkloadMix{"mcf"}});
+            out.push_back({p, WorkloadMix{"mcf", "lbm"}});
+        }
+        return out;
+    }();
+    return runs;
+}
+
+/** The fixed configuration every golden run uses (mechanism set later). */
+inline SystemConfig
+goldenConfig(std::uint32_t num_cores)
+{
+    SystemConfig cfg;
+    cfg.numCores = num_cores;
+    // Small LLC so eviction/writeback paths are exercised heavily even
+    // at short instruction counts.
+    cfg.llcBytesPerCore = 512 * 1024;
+    cfg.core.warmupInstrs = 200'000;
+    cfg.core.measureInstrs = 200'000;
+    cfg.seed = 1;
+    cfg.auditEvery = 1024;  // audited throughout (passive, stat-free)
+    return cfg;
+}
+
+/** Serialize one result with round-trip-exact doubles. */
+inline std::string
+goldenSerialize(const std::string &label, const WorkloadMix &mix,
+                const SimResult &r)
+{
+    char buf[128];
+    std::string out = "run " + label + " | " + mixLabel(mix) + "\n";
+    auto emitD = [&](const char *key, double v) {
+        std::snprintf(buf, sizeof(buf), "%s=%.17g\n", key, v);
+        out += buf;
+    };
+    for (std::size_t c = 0; c < r.ipc.size(); ++c) {
+        std::snprintf(buf, sizeof(buf), "ipc%zu=%.17g\n", c, r.ipc[c]);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "windowCycles=%llu\ntotalInstrs=%llu\n",
+                  static_cast<unsigned long long>(r.windowCycles),
+                  static_cast<unsigned long long>(r.totalInstrs));
+    out += buf;
+    emitD("readRowHitRate", r.readRowHitRate);
+    emitD("writeRowHitRate", r.writeRowHitRate);
+    emitD("tagLookupsPki", r.tagLookupsPki);
+    emitD("wpki", r.wpki);
+    emitD("mpki", r.mpki);
+    emitD("dramEnergyPj", r.dramEnergyPj);
+    for (const auto &[k, v] : r.stats) {
+        std::snprintf(buf, sizeof(buf), "stat %s=%llu\n", k.c_str(),
+                      static_cast<unsigned long long>(v));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace dbsim::golden
+
+#endif // DBSIM_TESTS_SIM_GOLDEN_RUN_HH

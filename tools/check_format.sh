@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: run clang-format in dry-run mode over the
+# repo's C++ sources and fail on any diff. Never rewrites files.
+#
+# Usage: tools/check_format.sh [file ...]
+#   With no arguments, checks every tracked .cc/.cpp/.hh under
+#   src/ tests/ bench/ examples/ tools/.
+#
+# Honors $CLANG_FORMAT; exits 77 ("skipped" to ctest) when no
+# clang-format binary is available, so builds in minimal containers
+# don't report a false failure.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+fmt="${CLANG_FORMAT:-}"
+if [[ -z "$fmt" ]]; then
+    for cand in clang-format clang-format-18 clang-format-17 \
+                clang-format-16 clang-format-15 clang-format-14; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            fmt="$cand"
+            break
+        fi
+    done
+fi
+if [[ -z "$fmt" ]]; then
+    echo "check_format: no clang-format binary found; skipping" >&2
+    exit 77
+fi
+
+if [[ $# -gt 0 ]]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files \
+        'src/*.cc' 'src/*.hh' 'tests/*.cc' 'tests/*.hh' \
+        'bench/*.cc' 'bench/*.hh' 'bench/*.cpp' \
+        'examples/*.cpp' 'tools/*.cc')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "check_format: no files to check" >&2
+    exit 0
+fi
+
+echo "check_format: $fmt ($("$fmt" --version)) over ${#files[@]} files"
+if ! "$fmt" --dry-run --Werror "${files[@]}"; then
+    echo >&2
+    echo "check_format: style violations found (fix with" >&2
+    echo "  $fmt -i <file>... )" >&2
+    exit 1
+fi
+echo "check_format: OK"
