@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Host-performance gauge for the simulation kernel: how fast does the
+ * simulator itself run? Three representative mechanism x mix points are
+ * simulated end-to-end and timed on the host; each reports events/sec
+ * and ns/event over the kernel's dispatched-event count (which is
+ * deterministic, so only the wall-clock numerator varies run to run).
+ *
+ * This is not a paper experiment — it freezes the simulator's own speed
+ * so hot-path regressions fail CI. tools/check_perf.py runs this bench
+ * and compares the result against the committed baseline
+ * (BENCH_host_perf.json at the repo root, regenerated with:
+ * build/bench/host_perf --no-progress, run from the repo root).
+ *
+ * Each point is simulated `kRepeats` times and the fastest wall-clock
+ * time wins: the minimum is the observation least polluted by host
+ * scheduling noise, the same policy micro_dbi_ops' calibration and the
+ * gate's own repeat logic use.
+ *
+ * Usage: host_perf [out.json] [harness flags]
+ *        (out.json defaults to BENCH_host_perf.json in the cwd)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness.hh"
+#include "sim/system.hh"
+
+using namespace dbsim;
+
+namespace {
+
+constexpr int kRepeats = 3;
+
+/** One timed simulation point. */
+struct PerfPoint
+{
+    std::string name;       ///< stable key check_perf.py matches on
+    std::string mechSpec;   ///< mechanismByName() spelling
+    std::uint32_t cores;
+    WorkloadMix mix;
+};
+
+/**
+ * The three points cover the kernel's distinct hot-path profiles:
+ * a baseline run (tag-store + DRAM paths, no DBI), the diag_run seed
+ * configuration (DBI + AWB + CLB, two cores — the ISSUE's 1.5x target
+ * workload), and a composed '+'-spec on the write-heaviest profile
+ * (DBI insert/evict and write-drain paths dominate).
+ */
+const std::vector<PerfPoint> kPoints = {
+    {"baseline_mcf", "TA-DIP", 1, {"mcf"}},
+    {"dbi_awb_clb_lbm_libq", "DBI+AWB+CLB", 2, {"lbm", "libquantum"}},
+    {"dbi_dawb_stream", "dbi+dawb", 1, {"stream"}},
+};
+
+exp::SweepSpec
+buildSpec(const bench::HarnessOptions &o)
+{
+    exp::SweepSpec spec;
+    for (const auto &point : kPoints) {
+        SystemConfig cfg;
+        cfg.seed = o.seed;
+        cfg.core.warmupInstrs = o.warmupOr(1'000'000);
+        cfg.core.measureInstrs = o.measureOr(4'000'000);
+        cfg.auditEvery = o.auditEvery;
+        cfg.mech = o.mechOr(mechanismByName(point.mechSpec));
+        cfg.numCores = point.cores;
+        WorkloadMix mix = point.mix;
+
+        auto &pt = spec.addCustom([cfg, mix](exp::PointRecord &rec) {
+            using clock = std::chrono::steady_clock;
+            double best_sec = 0.0;
+            std::uint64_t events = 0;
+            for (int rep = 0; rep < kRepeats; ++rep) {
+                System sys(cfg, mix);
+                auto start = clock::now();
+                sys.run();
+                std::chrono::duration<double> dt = clock::now() - start;
+                if (rep == 0 || dt.count() < best_sec) {
+                    best_sec = dt.count();
+                }
+                events = sys.eventsDispatched();
+            }
+            rec.mechanism = cfg.mech.label;
+            rec.mix = mixLabel(mix);
+            rec.metrics["events"] = static_cast<double>(events);
+            rec.metrics["seconds"] = best_sec;
+            rec.metrics["eventsPerSec"] =
+                static_cast<double>(events) / best_sec;
+            rec.metrics["nsPerEvent"] =
+                best_sec * 1e9 / static_cast<double>(events);
+        });
+        pt.tags["point"] = point.name;
+    }
+    return spec;
+}
+
+void
+format(const std::vector<exp::PointRecord> &records,
+       const bench::HarnessOptions &o)
+{
+    std::printf("%-24s %-14s %12s %14s %12s\n", "point", "mechanism",
+                "events", "events/sec", "ns/event");
+    for (const auto &rec : records) {
+        std::printf("%-24s %-14s %12.0f %14.0f %12.2f\n",
+                    rec.tags.at("point").c_str(), rec.mechanism.c_str(),
+                    rec.metric("events"), rec.metric("eventsPerSec"),
+                    rec.metric("nsPerEvent"));
+    }
+
+    std::string out = o.posOr(0, "BENCH_host_perf.json");
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    fatal_if(!f, "cannot write %s", out.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"host_perf\",\n  \"points\": [\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &rec = records[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"mechanism\": \"%s\", "
+                     "\"mix\": \"%s\", \"events\": %.0f, "
+                     "\"seconds\": %.6f, \"eventsPerSec\": %.0f, "
+                     "\"nsPerEvent\": %.3f}%s\n",
+                     rec.tags.at("point").c_str(), rec.mechanism.c_str(),
+                     rec.mix.c_str(), rec.metric("events"),
+                     rec.metric("seconds"), rec.metric("eventsPerSec"),
+                     rec.metric("nsPerEvent"),
+                     i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Experiment e{"host_perf",
+                        "simulation-kernel host speed (events/sec)",
+                        buildSpec, format};
+    e.serialOnly = true;  // wall-clock timing; parallelism would skew it
+    bench::registerExperiment(e);
+    return bench::harnessMain(argc, argv);
+}

@@ -89,6 +89,13 @@ class InvariantAuditor : public LlcAuditObserver
     std::uint64_t events = 0;
     std::uint64_t sinceCheck = 0;
     std::uint64_t checks = 0;
+
+    /**
+     * Rotating cursor for the I3 per-entry sweep: each check verifies a
+     * stripe of tag-store sets, so the whole store is re-verified over
+     * successive checks without an O(sets) scan on every one.
+     */
+    std::uint32_t sweepCursor = 0;
 };
 
 } // namespace dbsim::audit

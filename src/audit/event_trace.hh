@@ -62,7 +62,9 @@ class EventTraceRing
             events.push_back(ev);
         } else {
             events[head] = ev;
-            head = (head + 1) % cap;
+            if (++head == cap) {
+                head = 0;
+            }
         }
     }
 

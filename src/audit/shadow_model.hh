@@ -14,6 +14,11 @@
  * "final memory image" is what memory would hold after flushing a given
  * dirty set — mechanisms that track dirtiness correctly produce
  * identical images; a lost dirty bit leaves a stale version behind.
+ *
+ * The model sits on the auditor's per-event path (every writeback/fill/
+ * eviction in an audited run), so its state lives in one open-addressed
+ * hash table — one probe per event instead of the four node-based
+ * std::unordered containers this used to shard into.
  */
 
 #ifndef DBSIM_AUDIT_SHADOW_MODEL_HH
@@ -21,8 +26,6 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -35,21 +38,27 @@ using MemoryImage = std::map<Addr, std::uint64_t>;
 class ShadowDirtyModel
 {
   public:
+    ShadowDirtyModel() : table(kInitialSlots) {}
+
     /** A writeback request carried new data for `addr` into the LLC. */
     void
     onWritebackIn(Addr addr)
     {
-        ++cacheVersion[addr];
-        dirty.insert(addr);
+        std::size_t i = fetch(addr);
+        Record &r = table[i];
+        ++r.cacheVersion;
+        r.flags |= kVersioned;
+        markDirty(i);
     }
 
     /** `addr` was filled (insert or resident merge) with `is_dirty`. */
     void
     onFill(Addr addr, bool is_dirty)
     {
-        resident.insert(addr);
+        std::size_t i = fetch(addr);
+        table[i].flags |= kResident;
         if (is_dirty) {
-            dirty.insert(addr);
+            markDirty(i);
         }
     }
 
@@ -61,23 +70,59 @@ class ShadowDirtyModel
     bool
     onEviction(Addr addr)
     {
-        resident.erase(addr);
-        return dirty.count(addr) == 0;
+        Record *r = find(addr);
+        if (!r) {
+            return true;
+        }
+        r->flags &= static_cast<std::uint8_t>(~kResident);
+        return !(r->flags & kDirty);
     }
 
     /** `addr`'s data was written back: memory now holds the latest. */
     void
     onWbToDram(Addr addr)
     {
-        memVersion[addr] = cacheVersion[addr];
-        dirty.erase(addr);
+        Record &r = table[fetch(addr)];
+        r.memVersion = r.cacheVersion;
+        r.flags |= kVersioned;
+        if (r.flags & kDirty) {
+            r.flags &= static_cast<std::uint8_t>(~kDirty);
+            --dirtyCount;
+            maybeCompactDirtyList();
+        }
     }
 
-    bool isDirty(Addr addr) const { return dirty.count(addr) != 0; }
-    bool isResident(Addr addr) const { return resident.count(addr) != 0; }
-    std::size_t countDirty() const { return dirty.size(); }
+    bool
+    isDirty(Addr addr) const
+    {
+        const Record *r = find(addr);
+        return r && (r->flags & kDirty);
+    }
 
-    const std::unordered_set<Addr> &dirtyBlocks() const { return dirty; }
+    bool
+    isResident(Addr addr) const
+    {
+        const Record *r = find(addr);
+        return r && (r->flags & kResident);
+    }
+
+    std::size_t countDirty() const { return dirtyCount; }
+
+    /**
+     * Invoke fn(addr) for every ground-truth-dirty block. Iterates the
+     * dirty-slot list (length <= 2x the dirty count by compaction), not
+     * the whole table, so audit checks stay O(dirty blocks).
+     */
+    template <typename Fn>
+    void
+    forEachDirty(Fn &&fn) const
+    {
+        for (std::size_t i : dirtySlots) {
+            if (table[i].flags & kDirty) {
+                fn(table[i].addr);
+            }
+        }
+    }
 
     /**
      * Memory image after flushing `flush_list` (a mechanism's idea of
@@ -89,15 +134,17 @@ class ShadowDirtyModel
     finalImage(const std::vector<Addr> &flush_list) const
     {
         MemoryImage img;
-        for (const auto &[addr, ver] : memVersion) {
-            if (ver != 0) {
-                img[addr] = ver;
+        for (const Record &r : table) {
+            if ((r.flags & kUsed) && r.memVersion != 0) {
+                img[r.addr] = r.memVersion;
             }
         }
         for (Addr a : flush_list) {
-            auto it = cacheVersion.find(a);
-            if (it != cacheVersion.end()) {
-                img[a] = it->second;
+            // Only blocks with version history (writeback-in or
+            // writeback-to-DRAM) carry a cached version to publish.
+            const Record *r = find(a);
+            if (r && (r->flags & kVersioned)) {
+                img[a] = r->cacheVersion;
             }
         }
         return img;
@@ -107,14 +154,145 @@ class ShadowDirtyModel
     MemoryImage
     finalImage() const
     {
-        return finalImage({dirty.begin(), dirty.end()});
+        std::vector<Addr> dirty;
+        dirty.reserve(dirtyCount);
+        forEachDirty([&](Addr a) { dirty.push_back(a); });
+        return finalImage(dirty);
     }
 
   private:
-    std::unordered_set<Addr> dirty;     ///< ground-truth dirty blocks
-    std::unordered_set<Addr> resident;  ///< blocks in the cache
-    std::unordered_map<Addr, std::uint64_t> cacheVersion;
-    std::unordered_map<Addr, std::uint64_t> memVersion;
+    static constexpr std::uint8_t kUsed = 1;
+    static constexpr std::uint8_t kDirty = 2;
+    static constexpr std::uint8_t kResident = 4;
+    /** Block has version history (appeared in a version map). */
+    static constexpr std::uint8_t kVersioned = 8;
+    /** Record's slot is tracked in dirtySlots. */
+    static constexpr std::uint8_t kInList = 16;
+
+    static constexpr std::size_t kInitialSlots = 4096;  // power of two
+
+    struct Record
+    {
+        Addr addr = 0;
+        std::uint64_t cacheVersion = 0;
+        std::uint64_t memVersion = 0;
+        std::uint8_t flags = 0;
+    };
+
+    static std::size_t
+    probeStart(Addr addr, std::size_t capacity)
+    {
+        // Fibonacci hash of the block number; capacity is a power of 2.
+        std::uint64_t h =
+            (addr >> kBlockShift) * 0x9e3779b97f4a7c15ULL;
+        return static_cast<std::size_t>(h & (capacity - 1));
+    }
+
+    const Record *
+    find(Addr addr) const
+    {
+        std::size_t mask = table.size() - 1;
+        std::size_t i = probeStart(addr, table.size());
+        while (table[i].flags & kUsed) {
+            if (table[i].addr == addr) {
+                return &table[i];
+            }
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    Record *
+    find(Addr addr)
+    {
+        return const_cast<Record *>(
+            static_cast<const ShadowDirtyModel *>(this)->find(addr));
+    }
+
+    /** Find-or-insert; grows the table at 70% load. @return slot. */
+    std::size_t
+    fetch(Addr addr)
+    {
+        if (used * 10 >= table.size() * 7) {
+            grow();
+        }
+        std::size_t mask = table.size() - 1;
+        std::size_t i = probeStart(addr, table.size());
+        while (table[i].flags & kUsed) {
+            if (table[i].addr == addr) {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+        table[i].addr = addr;
+        table[i].flags = kUsed;
+        ++used;
+        return i;
+    }
+
+    /** Set slot `i` dirty and enlist it for forEachDirty. */
+    void
+    markDirty(std::size_t i)
+    {
+        Record &r = table[i];
+        if (r.flags & kDirty) {
+            return;
+        }
+        r.flags |= kDirty;
+        ++dirtyCount;
+        if (!(r.flags & kInList)) {
+            r.flags |= kInList;
+            dirtySlots.push_back(i);
+        }
+    }
+
+    /** Drop cleaned slots once they make up half the dirty list. */
+    void
+    maybeCompactDirtyList()
+    {
+        if (dirtySlots.size() < 64 ||
+            dirtySlots.size() < dirtyCount * 2) {
+            return;
+        }
+        std::size_t out = 0;
+        for (std::size_t i : dirtySlots) {
+            if (table[i].flags & kDirty) {
+                dirtySlots[out++] = i;
+            } else {
+                table[i].flags &= static_cast<std::uint8_t>(~kInList);
+            }
+        }
+        dirtySlots.resize(out);
+    }
+
+    void
+    grow()
+    {
+        // Grow 4x: rehashing touches every record, so total rehash work
+        // stays a small fraction of the final table size.
+        std::vector<Record> old = std::move(table);
+        table.assign(old.size() * 4, Record{});
+        dirtySlots.clear();
+        std::size_t mask = table.size() - 1;
+        for (const Record &r : old) {
+            if (!(r.flags & kUsed)) {
+                continue;
+            }
+            std::size_t i = probeStart(r.addr, table.size());
+            while (table[i].flags & kUsed) {
+                i = (i + 1) & mask;
+            }
+            table[i] = r;
+            if (r.flags & kInList) {
+                dirtySlots.push_back(i);
+            }
+        }
+    }
+
+    std::vector<Record> table;
+    std::vector<std::size_t> dirtySlots;
+    std::size_t used = 0;
+    std::size_t dirtyCount = 0;
 };
 
 } // namespace dbsim::audit

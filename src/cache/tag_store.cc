@@ -18,6 +18,8 @@ TagStore::TagStore(const CacheGeometry &geometry)
     fatal_if(!isPowerOf2(sets), "set count must be a power of two");
     nSets = static_cast<std::uint32_t>(sets);
     entries.resize(static_cast<std::size_t>(nSets) * geo.assoc);
+    tags.assign(entries.size(), kInvalidAddr);
+    touches.assign(entries.size(), 0);
     fatal_if(geo.numThreads == 0, "need at least one thread");
     psel.assign(geo.numThreads, kPselInit);
 }
@@ -51,11 +53,12 @@ TagStore::Entry *
 TagStore::find(Addr block_addr)
 {
     Addr a = blockAlign(block_addr);
-    std::uint32_t set = setIndex(a);
+    std::size_t base =
+        static_cast<std::size_t>(setIndex(a)) * geo.assoc;
+    const Addr *set_tags = tags.data() + base;
     for (std::uint32_t w = 0; w < geo.assoc; ++w) {
-        Entry &e = at(set, w);
-        if (e.valid && e.block == a) {
-            return &e;
+        if (set_tags[w] == a) {
+            return &entries[base + w];
         }
     }
     return nullptr;
@@ -73,8 +76,15 @@ TagStore::touch(Addr block_addr, std::uint32_t thread)
     (void)thread;
     Entry *e = find(block_addr);
     panic_if(!e, "touch of absent block");
-    e->lastTouch = touchClock++;
-    e->rrpv = 0;  // near-immediate re-reference on hit (RRIP hit promotion)
+    touchEntry(*e);
+}
+
+void
+TagStore::touchEntry(Entry &e)
+{
+    e.lastTouch = touchClock++;
+    e.rrpv = 0;  // near-immediate re-reference on hit (RRIP hit promotion)
+    touches[static_cast<std::size_t>(&e - entries.data())] = e.lastTouch;
     ++statHits;
 }
 
@@ -142,11 +152,15 @@ TagStore::victimWay(std::uint32_t set)
       case ReplPolicy::Lru:
       case ReplPolicy::TaDip:
       default: {
+        // First-minimum in way order over the dense touch mirror (the
+        // tie-break matters: BIP inserts park at lastTouch == 0).
+        const std::uint64_t *set_touches =
+            touches.data() + static_cast<std::size_t>(set) * geo.assoc;
         std::uint32_t victim = 0;
         std::uint64_t oldest = kCycleMax;
         for (std::uint32_t w = 0; w < geo.assoc; ++w) {
-            if (at(set, w).lastTouch < oldest) {
-                oldest = at(set, w).lastTouch;
+            if (set_touches[w] < oldest) {
+                oldest = set_touches[w];
                 victim = w;
             }
         }
@@ -184,6 +198,8 @@ TagStore::insert(Addr block_addr, std::uint32_t thread, bool dirty)
     }
 
     Entry &e = at(set, way);
+    nDirty -= static_cast<std::uint64_t>(e.dirty);
+    nDirty += static_cast<std::uint64_t>(dirty);
     e.block = a;
     e.valid = true;
     e.dirty = dirty;
@@ -218,6 +234,9 @@ TagStore::insert(Addr block_addr, std::uint32_t thread, bool dirty)
         e.rrpv = kRrpvMax - 1;
         break;
     }
+    std::size_t idx = static_cast<std::size_t>(set) * geo.assoc + way;
+    tags[idx] = a;
+    touches[idx] = e.lastTouch;
     return ev;
 }
 
@@ -226,9 +245,13 @@ TagStore::invalidate(Addr block_addr)
 {
     Entry *e = find(block_addr);
     if (e) {
+        nDirty -= static_cast<std::uint64_t>(e->dirty);
         e->valid = false;
         e->block = kInvalidAddr;
         e->dirty = false;
+        std::size_t idx = static_cast<std::size_t>(e - entries.data());
+        tags[idx] = kInvalidAddr;
+        touches[idx] = e->lastTouch;
     }
 }
 
@@ -237,7 +260,7 @@ TagStore::markDirty(Addr block_addr)
 {
     Entry *e = find(block_addr);
     panic_if(!e, "markDirty of absent block");
-    e->dirty = true;
+    setEntryDirty(*e, true);
 }
 
 void
@@ -245,7 +268,7 @@ TagStore::markClean(Addr block_addr)
 {
     Entry *e = find(block_addr);
     panic_if(!e, "markClean of absent block");
-    e->dirty = false;
+    setEntryDirty(*e, false);
 }
 
 bool
@@ -299,18 +322,6 @@ TagStore::anyDirtyInLruWays(std::uint32_t set, std::uint32_t ways) const
         }
     }
     return false;
-}
-
-std::uint64_t
-TagStore::countDirty() const
-{
-    std::uint64_t n = 0;
-    for (const auto &e : entries) {
-        if (e.valid && e.dirty) {
-            ++n;
-        }
-    }
-    return n;
 }
 
 } // namespace dbsim

@@ -92,6 +92,13 @@ class TagStore
     void touch(Addr block_addr, std::uint32_t thread);
 
     /**
+     * Promote an entry already located via find() — same effect as
+     * touch() without re-scanning the set. @pre e is valid and was
+     * returned by find() on this store.
+     */
+    void touchEntry(Entry &e);
+
+    /**
      * Insert a block, selecting and displacing a victim if the set is
      * full. Updates set-dueling state on this miss.
      * @param dirty initial dirty state of the inserted block.
@@ -105,6 +112,19 @@ class TagStore
     /** Set/clear the entry's dirty bit. @pre block present. */
     void markDirty(Addr block_addr);
     void markClean(Addr block_addr);
+
+    /**
+     * Set the dirty bit of an entry located via find(), keeping the
+     * store's dirty count coherent. All dirty-bit writes outside the
+     * store must go through this (a raw `e->dirty = x` would desync
+     * countDirty()). @pre e was returned by find() on this store.
+     */
+    void setEntryDirty(Entry &e, bool dirty)
+    {
+        nDirty += static_cast<std::uint64_t>(dirty);
+        nDirty -= static_cast<std::uint64_t>(e.dirty);
+        e.dirty = dirty;
+    }
 
     /** Dirty bit of a resident block. @pre block present. */
     bool isDirty(Addr block_addr) const;
@@ -124,8 +144,12 @@ class TagStore
         return at(set, way);
     }
 
-    /** Count of valid dirty entries (O(n); for tests/examples). */
-    std::uint64_t countDirty() const;
+    /**
+     * Count of valid dirty entries. O(1): maintained incrementally at
+     * every dirty-bit transition (the auditor cross-checks it against
+     * the authoritative per-entry bits every audit interval).
+     */
+    std::uint64_t countDirty() const { return nDirty; }
 
     /** Policy actually used for the last insertion (for tests). */
     bool lastInsertUsedBimodal() const { return lastBimodal; }
@@ -153,7 +177,20 @@ class TagStore
     CacheGeometry geo;
     std::uint32_t nSets;
     std::vector<Entry> entries;
+
+    /**
+     * Structure-of-arrays mirrors of the per-entry fields the hot paths
+     * scan: `tags[i]` is entries[i].block for valid entries and
+     * kInvalidAddr otherwise (so find() is one branchless compare per
+     * way over a dense array instead of striding 32-byte Entry structs),
+     * and `touches[i]` mirrors entries[i].lastTouch for the LRU victim
+     * scan. entries[] stays authoritative; these are write-through.
+     */
+    std::vector<Addr> tags;
+    std::vector<std::uint64_t> touches;
+
     std::uint64_t touchClock = 1;
+    std::uint64_t nDirty = 0;  ///< valid entries with dirty == true
     Rng rng;
 
     /** Per-thread 10-bit policy selectors (TA-DIP / DRRIP dueling). */

@@ -16,6 +16,8 @@ Core::Core(std::uint32_t core_id, const CoreConfig &config,
     fatal_if(cfg.warmupInstrs == 0, "need at least one warmup instruction");
     completion.assign(cfg.robSize, 0);
     retireTime.assign(cfg.robSize, 0);
+    doneTarget = cfg.warmupInstrs + cfg.measureInstrs;
+    haltTarget = cfg.maxOverrun != 0 ? doneTarget * cfg.maxOverrun : 0;
 
     // Resume after an MSHR-full stall.
     mem.onMshrFreed([this] {
@@ -47,8 +49,7 @@ void
 Core::advanceResolution()
 {
     while (resolvedUpTo < nextIssue) {
-        std::uint32_t slot =
-            static_cast<std::uint32_t>(resolvedUpTo % cfg.robSize);
+        std::uint32_t slot = resolvedSlot;
         Cycle c = completion[slot];
         if (c == kCycleMax) {
             break;  // oldest unresolved instruction still pending
@@ -57,6 +58,9 @@ Core::advanceResolution()
         retireTime[slot] = retire;
         lastRetireCycle = retire;
         ++resolvedUpTo;
+        if (++resolvedSlot == cfg.robSize) {
+            resolvedSlot = 0;
+        }
 
         if (resolvedUpTo == cfg.warmupInstrs) {
             warmedAt = retire;
@@ -64,15 +68,13 @@ Core::advanceResolution()
                 warmedFn(coreId);
             }
         }
-        if (resolvedUpTo == cfg.warmupInstrs + cfg.measureInstrs) {
+        if (resolvedUpTo == doneTarget) {
             doneAt = retire;
             if (doneFn) {
                 doneFn(coreId);
             }
         }
-        if (cfg.maxOverrun != 0 &&
-            resolvedUpTo == (cfg.warmupInstrs + cfg.measureInstrs) *
-                                cfg.maxOverrun) {
+        if (resolvedUpTo == haltTarget) {
             halted = true;  // stop contending; see CoreConfig::maxOverrun
         }
     }
@@ -133,9 +135,9 @@ Core::runAhead()
 
         Cycle min_issue = lastIssueCycle + 1;
         if (nextIssue >= cfg.robSize) {
-            std::uint32_t old_slot = static_cast<std::uint32_t>(
-                (nextIssue - cfg.robSize) % cfg.robSize);
-            min_issue = std::max(min_issue, retireTime[old_slot] + 1);
+            // (nextIssue - robSize) and nextIssue share a ring slot.
+            min_issue =
+                std::max(min_issue, retireTime[nextIssueSlot] + 1);
         }
 
         Cycle issue = min_issue;
@@ -183,9 +185,12 @@ Core::runAhead()
             opPending = false;
         }
 
-        completion[static_cast<std::uint32_t>(idx % cfg.robSize)] = comp;
+        completion[nextIssueSlot] = comp;
         lastIssueCycle = issue;
         ++nextIssue;
+        if (++nextIssueSlot == cfg.robSize) {
+            nextIssueSlot = 0;
+        }
         advanceResolution();
 
         if (halted) {

@@ -108,6 +108,10 @@ class Core
 
     std::uint64_t nextIssue = 0;     ///< next instruction number to issue
     std::uint64_t resolvedUpTo = 0;  ///< all earlier retire times final
+    std::uint32_t nextIssueSlot = 0;    ///< nextIssue % robSize
+    std::uint32_t resolvedSlot = 0;     ///< resolvedUpTo % robSize
+    std::uint64_t doneTarget = 0;       ///< warmupInstrs + measureInstrs
+    std::uint64_t haltTarget = 0;       ///< overrun bound; 0 = none
     Cycle lastIssueCycle = 0;
     Cycle lastRetireCycle = 0;
 

@@ -28,10 +28,10 @@ CoreMemory::registerStats(StatSet &set)
 void
 CoreMemory::fillL1(Addr block_addr, bool dirty, Cycle when)
 {
-    if (l1.contains(block_addr)) {
-        l1.touch(block_addr, 0);
+    if (TagStore::Entry *e = l1.find(block_addr)) {
+        l1.touchEntry(*e);
         if (dirty) {
-            l1.markDirty(block_addr);
+            l1.setEntryDirty(*e, true);
         }
         return;
     }
@@ -45,10 +45,10 @@ CoreMemory::fillL1(Addr block_addr, bool dirty, Cycle when)
 void
 CoreMemory::fillL2(Addr block_addr, bool dirty, Cycle when)
 {
-    if (l2.contains(block_addr)) {
-        l2.touch(block_addr, 0);
+    if (TagStore::Entry *e = l2.find(block_addr)) {
+        l2.touchEntry(*e);
         if (dirty) {
-            l2.markDirty(block_addr);
+            l2.setEntryDirty(*e, true);
         }
         return;
     }
@@ -79,13 +79,24 @@ CoreMemory::accessBelowL2(Addr block_addr, bool is_write, Cycle when,
         return Result{true, 0};
     }
 
-    inflight[block_addr].push_back(Waiter{is_write, std::move(on_done)});
+    // Recycle retired waiter vectors: their capacity survives the round
+    // trip through the pool, so the steady state allocates nothing.
+    std::vector<Waiter> fresh;
+    if (!waiterPool.empty()) {
+        fresh = std::move(waiterPool.back());
+        waiterPool.pop_back();
+    }
+    fresh.push_back(Waiter{is_write, std::move(on_done)});
+    inflight.emplace(block_addr, std::move(fresh));
+
     ++statLlcAccesses;
     Cycle at = llcAccessTime(when);
     llc.read(block_addr, coreId, at, [this, block_addr](Cycle done) {
-        auto node = inflight.extract(block_addr);
-        panic_if(node.empty(), "fill completion without MSHR entry");
-        std::vector<Waiter> waiters = std::move(node.mapped());
+        auto node = inflight.find(block_addr);
+        panic_if(node == inflight.end(),
+                 "fill completion without MSHR entry");
+        std::vector<Waiter> waiters = std::move(node->second);
+        inflight.erase(node);
 
         bool any_write = false;
         for (const auto &w : waiters) {
@@ -96,6 +107,8 @@ CoreMemory::accessBelowL2(Addr block_addr, bool is_write, Cycle when,
         for (auto &w : waiters) {
             w.onDone(done);
         }
+        waiters.clear();
+        waiterPool.push_back(std::move(waiters));
         if (mshrFreedFn) {
             mshrFreedFn();
         }
@@ -109,21 +122,19 @@ CoreMemory::load(Addr addr, Cycle when, Callback on_done)
     ++statLoads;
     Addr a = blockAlign(addr);
 
-    if (l1.contains(a)) {
+    if (TagStore::Entry *e = l1.find(a)) {
         ++statL1Hits;
-        l1.touch(a, 0);
+        l1.touchEntry(*e);
         return Result{false, cfg.l1.latency};
     }
-    if (l2.contains(a)) {
+    if (TagStore::Entry *e = l2.find(a)) {
         ++statL2Hits;
-        l2.touch(a, 0);
-        bool dirty = l2.isDirty(a);
+        l2.touchEntry(*e);
+        bool dirty = e->dirty;
         // Move the block up; L2 keeps its copy clean once L1 owns the
         // dirty state (exclusive dirty ownership avoids double
         // writebacks).
-        if (dirty) {
-            l2.markClean(a);
-        }
+        l2.setEntryDirty(*e, false);
         fillL1(a, dirty, when);
         return Result{false, cfg.l1.latency + cfg.l2.latency};
     }
@@ -136,16 +147,16 @@ CoreMemory::store(Addr addr, Cycle when, Callback on_done)
     ++statStores;
     Addr a = blockAlign(addr);
 
-    if (l1.contains(a)) {
+    if (TagStore::Entry *e = l1.find(a)) {
         ++statL1Hits;
-        l1.touch(a, 0);
-        l1.markDirty(a);
+        l1.touchEntry(*e);
+        l1.setEntryDirty(*e, true);
         return Result{false, 1};
     }
-    if (l2.contains(a)) {
+    if (TagStore::Entry *e = l2.find(a)) {
         ++statL2Hits;
-        l2.touch(a, 0);
-        l2.markClean(a);
+        l2.touchEntry(*e);
+        l2.setEntryDirty(*e, false);
         fillL1(a, true, when);
         return Result{false, 1};
     }

@@ -30,6 +30,7 @@ Dbi::Dbi(const DbiConfig &config, std::uint64_t cache_blocks)
     for (auto &e : entries) {
         e.dirty = BitVec(cfg.granularity);
     }
+    tagMirror.assign(entries.size(), kInvalidAddr);
 }
 
 void
@@ -63,11 +64,12 @@ Dbi::at(std::uint32_t set, std::uint32_t way) const
 Dbi::Entry *
 Dbi::findEntry(std::uint64_t region_tag)
 {
-    std::uint32_t set = setIndexOf(region_tag);
+    std::size_t base =
+        static_cast<std::size_t>(setIndexOf(region_tag)) * cfg.assoc;
+    const std::uint64_t *set_tags = tagMirror.data() + base;
     for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
-        Entry &e = at(set, w);
-        if (e.valid && e.regionTag == region_tag) {
-            return &e;
+        if (set_tags[w] == region_tag) {
+            return &entries[base + w];
         }
     }
     return nullptr;
@@ -167,7 +169,10 @@ Dbi::setDirty(Addr block_addr)
 
     Entry *e = findEntry(tag);
     if (e) {
-        e->dirty.set(bit);
+        if (!e->dirty.test(bit)) {
+            e->dirty.set(bit);
+            ++dirtyBits;
+        }
         e->lastWrite = writeClock++;
         e->rrpv = 0;
         return {};
@@ -190,6 +195,7 @@ Dbi::setDirty(Addr block_addr)
         evicted_wbs = drainEntry(victim);
         ++statEvictions;
         statEvictionWbs += evicted_wbs.size();
+        dirtyBits -= evicted_wbs.size();
     }
 
     Entry &ne = at(set, way);
@@ -198,6 +204,8 @@ Dbi::setDirty(Addr block_addr)
     ne.dirty.clear();
     ne.dirty.set(bit);
     ne.rrpv = kRrpvMax - 1;
+    ++dirtyBits;
+    tagMirror[static_cast<std::size_t>(set) * cfg.assoc + way] = tag;
     ++statInserts;
 
     if (cfg.repl == DbiReplPolicy::LrwBip && !rng.chance(kBipEpsilon)) {
@@ -221,8 +229,11 @@ Dbi::clearDirty(Addr block_addr)
         return;
     }
     e->dirty.reset(bit);
+    --dirtyBits;
     if (e->dirty.none()) {
         e->valid = false;  // free the entry for another DRAM row
+        tagMirror[static_cast<std::size_t>(e - entries.data())] =
+            kInvalidAddr;
     }
 }
 
@@ -312,13 +323,7 @@ Dbi::countDirtyInRange(Addr base, std::uint64_t bytes) const
 std::uint64_t
 Dbi::countDirtyBlocks() const
 {
-    std::uint64_t n = 0;
-    for (const auto &e : entries) {
-        if (e.valid) {
-            n += e.dirty.count();
-        }
-    }
-    return n;
+    return dirtyBits;
 }
 
 std::uint64_t

@@ -201,6 +201,17 @@ class Dbi
     std::uint64_t nEntries;
     std::uint32_t nSets;
     std::vector<Entry> entries;
+
+    /**
+     * Dense region-tag mirror of entries[] (kInvalidAddr = invalid), so
+     * findEntry — the access-path lookup — scans a flat array instead
+     * of striding Entry structs that each drag a BitVec along.
+     */
+    std::vector<std::uint64_t> tagMirror;
+
+    /** Total dirty bits set across valid entries (kept incrementally). */
+    std::uint64_t dirtyBits = 0;
+
     std::uint64_t writeClock = 1;
     Rng rng;
 

@@ -66,13 +66,11 @@ DramController::enqueueRead(Addr block_addr, Cycle when, ReadCallback cb)
 {
     Addr a = blockAlign(block_addr);
     // Read-around-write: forward from the write buffer if present.
-    for (const auto &w : writeQ) {
-        if (w.addr == a) {
-            ++statForwards;
-            Cycle done = when + cfg.ioLatency;
-            eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
-            return;
-        }
+    if (writeQAddrs.count(a)) {
+        ++statForwards;
+        Cycle done = when + cfg.ioLatency;
+        eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        return;
     }
     readQ.push_back(ReadReq{a, when, std::move(cb)});
     scheduleService(when);
@@ -82,11 +80,9 @@ void
 DramController::enqueueWrite(Addr block_addr, Cycle when)
 {
     Addr a = blockAlign(block_addr);
-    for (const auto &w : writeQ) {
-        if (w.addr == a) {
-            ++statCoalesced;
-            return;
-        }
+    if (!writeQAddrs.insert(a).second) {
+        ++statCoalesced;
+        return;
     }
     writeQ.push_back(WriteReq{a, when});
     if (writeQ.size() >= cfg.writeBufEntries && !drainMode) {
@@ -119,22 +115,18 @@ template <typename Queue>
 int
 DramController::pickFrFcfs(const Queue &q) const
 {
-    // First-Ready (row hit) first; FCFS among equals.
-    int oldest = -1;
-    int oldest_hit = -1;
+    // First-Ready (row hit) first; FCFS among equals. The scan stops at
+    // the first row hit — it is the oldest one — and falls back to the
+    // queue head (the oldest request) when no row hits.
     for (std::size_t i = 0; i < q.size(); ++i) {
         const auto &bank = banks[map.bank(q[i].addr)];
-        bool hit = bank.openRow >= 0 &&
-                   static_cast<std::uint64_t>(bank.openRow) ==
-                       map.rowId(q[i].addr);
-        if (hit && oldest_hit < 0) {
-            oldest_hit = static_cast<int>(i);
-        }
-        if (oldest < 0) {
-            oldest = static_cast<int>(i);
+        if (bank.openRow >= 0 &&
+            static_cast<std::uint64_t>(bank.openRow) ==
+                map.rowId(q[i].addr)) {
+            return static_cast<int>(i);
         }
     }
-    return oldest_hit >= 0 ? oldest_hit : oldest;
+    return q.empty() ? -1 : 0;
 }
 
 Cycle
@@ -255,6 +247,7 @@ DramController::serviceNext()
         panic_if(idx < 0, "drain with empty write queue");
         WriteReq req = writeQ[static_cast<std::size_t>(idx)];
         writeQ.erase(writeQ.begin() + idx);
+        writeQAddrs.erase(req.addr);
         issue(req.addr, true, req.arrive, now);
         if (drainMode) {
             ++drainWrites;

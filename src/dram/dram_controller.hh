@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/addr_map.hh"
@@ -175,6 +176,14 @@ class DramController
 
     std::deque<ReadReq> readQ;
     std::deque<WriteReq> writeQ;
+
+    /**
+     * Addresses currently in writeQ (coalescing keeps them distinct).
+     * Pure membership mirror so read-forwarding and write-coalescing
+     * checks are O(1) instead of scanning the buffer; never iterated,
+     * so it cannot perturb determinism.
+     */
+    std::unordered_set<Addr> writeQAddrs;
     bool drainMode = false;
     Cycle drainStartAt = 0;
     std::uint64_t drainWrites = 0;  ///< writes serviced this window

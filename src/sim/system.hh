@@ -168,6 +168,14 @@ class System
     /** The DRAM controller. */
     DramController &dram() { return *dramCtrl; }
 
+    /**
+     * Events the simulation kernel has dispatched so far — the
+     * denominator of the host-performance metrics (events/sec,
+     * ns/event) bench/host_perf.cpp reports. Deterministic: identical
+     * configs dispatch identical event counts.
+     */
+    std::uint64_t eventsDispatched() const { return eq.dispatched(); }
+
     /** The invariant auditor, when enabled (nullptr otherwise). */
     audit::InvariantAuditor *auditor() { return auditWatch.get(); }
 

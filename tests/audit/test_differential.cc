@@ -9,124 +9,47 @@
  * the previously-unreachable cross-product combinations the composed
  * --mech grammar opens up (DAWB/VWQ sweeps over a DBI store, CLB next
  * to a DAWB writeback policy).
+ *
+ * Streams come from the shared property-test generator
+ * (tests/support/opgen.hh); tests/audit/test_property_streams.cc
+ * sweeps the same contract across its locality/dirtiness knob grid
+ * with shrink-on-failure.
  */
 
 #include <gtest/gtest.h>
 
-#include <memory>
 #include <vector>
 
-#include "audit/auditor.hh"
-#include "common/event_queue.hh"
-#include "common/rng.hh"
-#include "dram/dram_controller.hh"
-#include "llc/llc.hh"
-#include "sim/mechanism.hh"
+#include "support/composition.hh"
+#include "support/opgen.hh"
 
 namespace dbsim {
 namespace {
 
-LlcConfig
-smallLlc()
-{
-    LlcConfig cfg;
-    cfg.sizeBytes = 64 * 1024;
-    cfg.assoc = 4;
-    cfg.repl = ReplPolicy::Lru;
-    cfg.tagLatency = 10;
-    cfg.dataLatency = 24;
-    cfg.numCores = 1;
-    return cfg;
-}
-
-DbiConfig
-smallDbi()
-{
-    DbiConfig cfg;
-    cfg.alpha = 0.25;
-    cfg.granularity = 16;
-    cfg.assoc = 4;
-    cfg.repl = DbiReplPolicy::Lrw;
-    return cfg;
-}
-
-/** Predictor that predicts miss outside sampled sets (enables CLB). */
-class AlwaysMissPredictor : public MissPredictor
-{
-  public:
-    bool
-    predictMiss(std::uint32_t set, std::uint32_t, Cycle) override
-    {
-        return set % 64 != 0;
-    }
-    void recordOutcome(std::uint32_t, std::uint32_t, bool, Cycle) override
-    {}
-    bool
-    isSampledSet(std::uint32_t set) const override
-    {
-        return set % 64 == 0;
-    }
-};
-
-struct Op
-{
-    bool isWriteback;
-    Addr addr;
-};
+using test::Op;
+using test::OpGenConfig;
 
 /** One fixed request sequence every variant replays. */
 std::vector<Op>
-makeOps(std::uint64_t seed, int count)
+makeOps(std::uint64_t seed, std::size_t count, double locality = 0.0)
 {
-    Rng rng(seed);
-    std::vector<Op> ops;
-    ops.reserve(count);
-    for (int i = 0; i < count; ++i) {
-        ops.push_back(
-            {rng.chance(0.4), blockAlign(rng.below(1 << 20))});
-    }
-    return ops;
+    OpGenConfig cfg;
+    cfg.seed = seed;
+    cfg.count = count;
+    cfg.writebackFraction = 0.4;
+    cfg.localityFraction = locality;
+    return test::generateOps(cfg);
 }
 
-/** Build the composition `spec_name` names and replay `ops` into it. */
+/** Replay under the auditor, asserting mechanism matches ground truth. */
 audit::MemoryImage
 runComposition(const std::string &spec_name, const std::vector<Op> &ops)
 {
-    EventQueue eq;
-    DramController dram(DramConfig{}, eq);
-    MechanismSpec spec = mechanismByName(spec_name);
-    std::shared_ptr<MissPredictor> pred;
-    if (spec.needsPredictor()) {
-        pred = std::make_shared<AlwaysMissPredictor>();
-    }
-    std::unique_ptr<Llc> llc_owner =
-        makeLlc(spec, smallLlc(), smallDbi(), dram, eq, pred);
-    Llc &llc = *llc_owner;
-
-    audit::AuditConfig ac;
-    ac.checkEvery = 512;
-    audit::InvariantAuditor aud(llc, ac);
-
-    int i = 0;
-    for (const Op &op : ops) {
-        if (op.isWriteback) {
-            llc.writeback(op.addr, 0, eq.now());
-        } else {
-            llc.read(op.addr, 0, eq.now(), [](Cycle) {});
-        }
-        if (++i % 256 == 0) {
-            eq.runAll();
-        }
-    }
-    eq.runAll();
-    aud.checkNow();
-
+    test::CompositionOutcome out = test::replayComposition(spec_name, ops);
     // The mechanism's dirty set must reproduce ground truth exactly.
-    audit::MemoryImage image = aud.finalImage();
-    EXPECT_EQ(image, aud.shadow().finalImage()) << spec_name;
-    EXPECT_EQ(aud.mechanismDirtyBlocks().size(), aud.shadow().countDirty())
-        << spec_name;
-    return image;
+    EXPECT_EQ(out.image, out.shadowImage) << spec_name;
+    EXPECT_EQ(out.mechanismDirty, out.shadowDirty) << spec_name;
+    return out.image;
 }
 
 TEST(Differential, AllVariantsProduceIdenticalFinalMemoryImages)
@@ -174,6 +97,19 @@ TEST(Differential, ComposedCombinationsAcrossSeeds)
             EXPECT_EQ(conventional, runComposition(name, ops))
                 << name << " seed " << seed;
         }
+    }
+}
+
+TEST(Differential, HighLocalityStreamsAgree)
+{
+    // Row-local re-touches stress the AWB row sweep and DBI entry
+    // reuse paths the uniform streams above rarely hit back-to-back.
+    const std::vector<Op> ops = makeOps(777, 20000, 0.7);
+
+    audit::MemoryImage conventional = runComposition("TA-DIP", ops);
+    ASSERT_FALSE(conventional.empty());
+    for (const char *name : {"DBI+AWB+CLB", "dbi+dawb"}) {
+        EXPECT_EQ(conventional, runComposition(name, ops)) << name;
     }
 }
 

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Property suite over the composed '+'-spec mechanisms: for hundreds of
+ * generated op streams spanning the generator's locality x dirtiness
+ * knob grid, every composed dirty-store choice must produce a final
+ * memory image identical to the conventional (TA-DIP tag-store) LLC
+ * driven by the same stream, and must agree with the shadow model's
+ * dirty count throughout (each replay runs under the invariant
+ * auditor).
+ *
+ * On a falsified property the stream is shrunk to a (locally) minimal
+ * reproducer before reporting, so the failure output is a handful of
+ * ops plus the generator seed instead of a thousand-op dump. If a
+ * shrink candidate trips an auditor *invariant* (not just an image
+ * mismatch), the auditor panics with its event-trace dump — also a
+ * useful failure report, just not a minimized one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/composition.hh"
+#include "support/opgen.hh"
+
+namespace dbsim {
+namespace {
+
+using test::Op;
+using test::OpGenConfig;
+
+/** The composed dirty-store choices under test. */
+const std::vector<std::string> kCompositions = {
+    "dbi+dawb",
+    "dawb+clb",
+    "dbi+vwq",
+    "vwq+clb",
+};
+
+/** Streams per composition; the knob grid cycles across them. */
+constexpr int kStreams = 200;
+
+/** Knob grid for stream i (deterministic, covers the corners). */
+OpGenConfig
+knobsFor(int i)
+{
+    OpGenConfig cfg;
+    cfg.seed = 0xA5EED0 + static_cast<std::uint64_t>(i);
+    cfg.count = 700;
+    cfg.writebackFraction = 0.15 + 0.20 * (i % 4);   // 0.15 .. 0.75
+    cfg.localityFraction = 0.225 * (i % 5);          // 0.0 .. 0.9
+    cfg.hotPoolBlocks = (i % 3 == 0) ? 16 : 64;
+    return cfg;
+}
+
+/** Does `name` reproduce the conventional image on `ops`? */
+bool
+agreesWithConventional(const std::string &name,
+                       const std::vector<Op> &ops)
+{
+    test::CompositionOutcome ref =
+        test::replayComposition("TA-DIP", ops, 256);
+    test::CompositionOutcome cur = test::replayComposition(name, ops, 256);
+    return cur.image == ref.image && cur.image == cur.shadowImage &&
+           cur.mechanismDirty == cur.shadowDirty;
+}
+
+TEST(PropertyStreams, ComposedDirtyStoresPreserveMemoryImage)
+{
+    for (int i = 0; i < kStreams; ++i) {
+        OpGenConfig cfg = knobsFor(i);
+        const std::vector<Op> ops = test::generateOps(cfg);
+
+        test::CompositionOutcome ref =
+            test::replayComposition("TA-DIP", ops, 256);
+        ASSERT_EQ(ref.image, ref.shadowImage) << "stream " << i;
+
+        for (const std::string &name : kCompositions) {
+            test::CompositionOutcome cur =
+                test::replayComposition(name, ops, 256);
+            bool ok = cur.image == ref.image &&
+                      cur.image == cur.shadowImage &&
+                      cur.mechanismDirty == cur.shadowDirty;
+            if (ok) {
+                continue;
+            }
+            // Falsified: minimize before reporting.
+            std::vector<Op> minimal = test::shrinkOps(
+                ops, [&](const std::vector<Op> &candidate) {
+                    return agreesWithConventional(name, candidate);
+                });
+            FAIL() << name << " diverges from the conventional image "
+                   << "(stream " << i << ", seed " << cfg.seed
+                   << ", wbFrac " << cfg.writebackFraction
+                   << ", locality " << cfg.localityFraction
+                   << ")\nminimized reproducer:\n"
+                   << test::formatOps(minimal);
+        }
+    }
+}
+
+TEST(PropertyStreams, ShrinkerMinimizesAFalsifyingStream)
+{
+    // Sanity-check the shrinker itself with a synthetic property:
+    // "no writeback to block 0x4000 appears after a read of 0x8000".
+    // Plant one such pair inside noise and confirm the shrinker strips
+    // the noise but keeps a falsifying core (property still false,
+    // substantially smaller, minimal under its own edits).
+    OpGenConfig cfg;
+    cfg.seed = 99;
+    cfg.count = 500;
+    std::vector<Op> ops = test::generateOps(cfg);
+    ops.insert(ops.begin() + 120, {false, 0x8000});
+    ops.insert(ops.begin() + 340, {true, 0x4000});
+
+    auto holds = [](const std::vector<Op> &s) {
+        bool seen_read = false;
+        for (const Op &op : s) {
+            if (!op.isWriteback && op.addr == 0x8000) {
+                seen_read = true;
+            } else if (op.isWriteback && op.addr == 0x4000 && seen_read) {
+                return false;
+            }
+        }
+        return true;
+    };
+    ASSERT_FALSE(holds(ops));
+
+    std::vector<Op> minimal = test::shrinkOps(ops, holds);
+    EXPECT_FALSE(holds(minimal));
+    // The two planted ops are the minimal falsifying core.
+    ASSERT_EQ(minimal.size(), 2u) << test::formatOps(minimal);
+    EXPECT_EQ(minimal[0], (Op{false, 0x8000}));
+    EXPECT_EQ(minimal[1], (Op{true, 0x4000}));
+}
+
+TEST(PropertyStreams, GeneratorIsDeterministicAndHonorsKnobs)
+{
+    OpGenConfig cfg;
+    cfg.seed = 42;
+    cfg.count = 10000;
+    cfg.writebackFraction = 0.6;
+    cfg.localityFraction = 0.5;
+    cfg.hotPoolBlocks = 32;
+
+    std::vector<Op> a = test::generateOps(cfg);
+    std::vector<Op> b = test::generateOps(cfg);
+    ASSERT_EQ(a, b);
+
+    std::size_t wbs = 0;
+    for (const Op &op : a) {
+        wbs += op.isWriteback;
+        EXPECT_EQ(op.addr % kBlockBytes, 0u);
+    }
+    double wb_frac = static_cast<double>(wbs) /
+                     static_cast<double>(a.size());
+    EXPECT_NEAR(wb_frac, 0.6, 0.05);
+
+    // Locality concentrates mass: with re-touches at 0.5, the stream
+    // must revisit addresses far more often than a uniform draw over
+    // the same space would.
+    std::vector<Addr> sorted;
+    sorted.reserve(a.size());
+    for (const Op &op : a) {
+        sorted.push_back(op.addr);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t distinct =
+        static_cast<std::size_t>(std::unique(sorted.begin(),
+                                             sorted.end()) -
+                                 sorted.begin());
+    EXPECT_LT(distinct, a.size() / 2);
+}
+
+} // namespace
+} // namespace dbsim

@@ -80,5 +80,18 @@ TEST(EventQueueDeath, PastSchedulingPanics)
     EXPECT_DEATH(eq.schedule(5, [] {}), "past");
 }
 
+TEST(EventQueueDeath, PastSchedulingPanicCarriesFull64BitCycles)
+{
+    // Regression: the panic formatted cycles with a 32-bit conversion,
+    // so beyond 2^32 cycles the "scheduled in the past" message named
+    // truncated times, pointing debugging at the wrong cycle entirely.
+    EventQueue eq;
+    const Cycle big = (1ull << 40) + 5;  // 1099511627781
+    eq.schedule(big, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.now(), big);
+    EXPECT_DEATH(eq.schedule(7, [] {}), "7 < 1099511627781");
+}
+
 } // namespace
 } // namespace dbsim

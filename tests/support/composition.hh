@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared harness for the randomized mechanism-composition suites: build
+ * the LLC variant a '+'-spec (or Table 2 preset) names, replay a
+ * generated op stream into it under the dirty-state auditor, and report
+ * the observable outcome — the final memory image plus the mechanism's
+ * and the shadow model's dirty counts. The differential and property
+ * suites assert over these outcomes; divergence *during* the replay
+ * (an invariant violation) panics with the auditor's event-trace dump.
+ */
+
+#ifndef DBSIM_TESTS_SUPPORT_COMPOSITION_HH
+#define DBSIM_TESTS_SUPPORT_COMPOSITION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hh"
+#include "common/event_queue.hh"
+#include "dram/dram_controller.hh"
+#include "llc/llc.hh"
+#include "sim/mechanism.hh"
+#include "support/opgen.hh"
+
+namespace dbsim::test {
+
+inline LlcConfig
+smallLlc()
+{
+    LlcConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.assoc = 4;
+    cfg.repl = ReplPolicy::Lru;
+    cfg.tagLatency = 10;
+    cfg.dataLatency = 24;
+    cfg.numCores = 1;
+    return cfg;
+}
+
+inline DbiConfig
+smallDbi()
+{
+    DbiConfig cfg;
+    cfg.alpha = 0.25;
+    cfg.granularity = 16;
+    cfg.assoc = 4;
+    cfg.repl = DbiReplPolicy::Lrw;
+    return cfg;
+}
+
+/** Predictor that predicts miss outside sampled sets (enables CLB). */
+class AlwaysMissPredictor : public MissPredictor
+{
+  public:
+    bool
+    predictMiss(std::uint32_t set, std::uint32_t, Cycle) override
+    {
+        return set % 64 != 0;
+    }
+    void recordOutcome(std::uint32_t, std::uint32_t, bool, Cycle) override
+    {}
+    bool
+    isSampledSet(std::uint32_t set) const override
+    {
+        return set % 64 == 0;
+    }
+};
+
+/** What one audited replay of a stream observably produced. */
+struct CompositionOutcome
+{
+    audit::MemoryImage image;        ///< mechanism's final memory image
+    audit::MemoryImage shadowImage;  ///< ground truth's final image
+    std::size_t mechanismDirty = 0;  ///< dirty blocks per the mechanism
+    std::uint64_t shadowDirty = 0;   ///< dirty blocks per ground truth
+};
+
+/**
+ * Build the composition `spec_name` names and replay `ops` into it
+ * under an invariant auditor checking every `check_every` events.
+ */
+inline CompositionOutcome
+replayComposition(const std::string &spec_name, const std::vector<Op> &ops,
+                  std::uint64_t check_every = 512)
+{
+    EventQueue eq;
+    DramController dram(DramConfig{}, eq);
+    MechanismSpec spec = mechanismByName(spec_name);
+    std::shared_ptr<MissPredictor> pred;
+    if (spec.needsPredictor()) {
+        pred = std::make_shared<AlwaysMissPredictor>();
+    }
+    std::unique_ptr<Llc> llc_owner =
+        makeLlc(spec, smallLlc(), smallDbi(), dram, eq, pred);
+    Llc &llc = *llc_owner;
+
+    audit::AuditConfig ac;
+    ac.checkEvery = check_every;
+    audit::InvariantAuditor aud(llc, ac);
+
+    int i = 0;
+    for (const Op &op : ops) {
+        if (op.isWriteback) {
+            llc.writeback(op.addr, 0, eq.now());
+        } else {
+            llc.read(op.addr, 0, eq.now(), [](Cycle) {});
+        }
+        if (++i % 256 == 0) {
+            eq.runAll();
+        }
+    }
+    eq.runAll();
+    aud.checkNow();
+
+    CompositionOutcome out;
+    out.image = aud.finalImage();
+    out.shadowImage = aud.shadow().finalImage();
+    out.mechanismDirty = aud.mechanismDirtyBlocks().size();
+    out.shadowDirty = aud.shadow().countDirty();
+    return out;
+}
+
+} // namespace dbsim::test
+
+#endif // DBSIM_TESTS_SUPPORT_COMPOSITION_HH

@@ -1,0 +1,127 @@
+#include "support/opgen.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.hh"
+
+namespace dbsim::test {
+
+std::vector<Op>
+generateOps(const OpGenConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::vector<Op> ops;
+    ops.reserve(cfg.count);
+
+    // Recent-address ring the locality knob draws re-touches from.
+    std::vector<Addr> pool;
+    pool.reserve(cfg.hotPoolBlocks ? cfg.hotPoolBlocks : 1);
+    std::size_t poolNext = 0;
+
+    for (std::size_t i = 0; i < cfg.count; ++i) {
+        Addr a;
+        if (!pool.empty() && rng.chance(cfg.localityFraction)) {
+            a = pool[rng.below(pool.size())];
+        } else {
+            a = blockAlign(rng.below(cfg.addrSpaceBytes));
+            if (pool.size() < cfg.hotPoolBlocks) {
+                pool.push_back(a);
+            } else if (!pool.empty()) {
+                pool[poolNext] = a;
+                if (++poolNext == pool.size()) {
+                    poolNext = 0;
+                }
+            }
+        }
+        ops.push_back({rng.chance(cfg.writebackFraction), a});
+    }
+    return ops;
+}
+
+namespace {
+
+/** ops minus the window [at, at+len). */
+std::vector<Op>
+without(const std::vector<Op> &ops, std::size_t at, std::size_t len)
+{
+    std::vector<Op> out;
+    out.reserve(ops.size() - len);
+    out.insert(out.end(), ops.begin(),
+               ops.begin() + static_cast<std::ptrdiff_t>(at));
+    out.insert(out.end(),
+               ops.begin() + static_cast<std::ptrdiff_t>(at + len),
+               ops.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<Op>
+shrinkOps(std::vector<Op> ops, const OpProperty &holds,
+          std::size_t maxEvals)
+{
+    std::size_t evals = 0;
+    auto stillFails = [&](const std::vector<Op> &candidate) {
+        ++evals;
+        return !holds(candidate);
+    };
+
+    // Phase 1: chunk removal, largest chunks first. After a successful
+    // removal rescan at the same chunk size (more of it may now go).
+    std::size_t chunk = ops.size() / 2;
+    while (chunk >= 1 && evals < maxEvals) {
+        bool removed = false;
+        for (std::size_t at = 0;
+             at + chunk <= ops.size() && evals < maxEvals;) {
+            std::vector<Op> candidate = without(ops, at, chunk);
+            if (!candidate.empty() && stillFails(candidate)) {
+                ops = std::move(candidate);
+                removed = true;
+                // at now indexes the ops that followed the removed
+                // window; keep scanning from here.
+            } else {
+                at += chunk;
+            }
+        }
+        if (!removed) {
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: per-op simplification — a read is simpler than a
+    // writeback (it moves no dirty state), so try demoting each.
+    for (std::size_t i = 0; i < ops.size() && evals < maxEvals; ++i) {
+        if (!ops[i].isWriteback) {
+            continue;
+        }
+        std::vector<Op> candidate = ops;
+        candidate[i].isWriteback = false;
+        if (stillFails(candidate)) {
+            ops = std::move(candidate);
+        }
+    }
+    return ops;
+}
+
+std::string
+formatOps(const std::vector<Op> &ops, std::size_t maxShown)
+{
+    std::string out = "stream of " + std::to_string(ops.size()) +
+                      " ops:\n";
+    char line[64];
+    std::size_t shown = ops.size() < maxShown ? ops.size() : maxShown;
+    for (std::size_t i = 0; i < shown; ++i) {
+        std::snprintf(line, sizeof(line), "  [%3zu] %s 0x%" PRIx64 "\n",
+                      i, ops[i].isWriteback ? "WB" : "RD",
+                      static_cast<std::uint64_t>(ops[i].addr));
+        out += line;
+    }
+    if (shown < ops.size()) {
+        out += "  ... (" + std::to_string(ops.size() - shown) +
+               " more)\n";
+    }
+    return out;
+}
+
+} // namespace dbsim::test

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Property-based op-stream generation for the randomized suites: a
+ * seeded generator of LLC request streams with locality and dirtiness
+ * knobs, plus a minimizing shrinker. A property is any predicate over a
+ * stream; when a generated stream falsifies it, shrinkOps() searches
+ * for a (locally) minimal sub-stream that still falsifies it, so the
+ * failure report is a handful of ops instead of thousands.
+ *
+ * The generator is pure: the same OpGenConfig always yields the same
+ * stream, so every reported seed is a standalone reproducer.
+ */
+
+#ifndef DBSIM_TESTS_SUPPORT_OPGEN_HH
+#define DBSIM_TESTS_SUPPORT_OPGEN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dbsim::test {
+
+/** One generated LLC request. */
+struct Op
+{
+    bool isWriteback = false;
+    Addr addr = 0;
+
+    bool operator==(const Op &o) const
+    {
+        return isWriteback == o.isWriteback && addr == o.addr;
+    }
+};
+
+/** Stream-shape knobs. */
+struct OpGenConfig
+{
+    std::uint64_t seed = 1;
+    std::size_t count = 2000;
+
+    /** Dirtiness: fraction of ops that are writebacks (vs reads). */
+    double writebackFraction = 0.4;
+
+    /**
+     * Locality: probability that an op re-touches an address from the
+     * recent pool instead of drawing a fresh one. 0 reproduces the
+     * uniform streams the differential tests historically used.
+     */
+    double localityFraction = 0.0;
+
+    /** Recent-address pool size the locality draws come from. */
+    std::size_t hotPoolBlocks = 64;
+
+    /** Address-space span fresh draws cover (block-aligned). */
+    Addr addrSpaceBytes = 1 << 20;
+};
+
+/** Generate the stream `cfg` describes (deterministic in cfg). */
+std::vector<Op> generateOps(const OpGenConfig &cfg);
+
+/** A property: true when the invariant under test holds for `ops`. */
+using OpProperty = std::function<bool(const std::vector<Op> &)>;
+
+/**
+ * Minimize a falsifying stream: `holds(ops)` must already be false.
+ * Delta-debugging-style chunk removal (halving chunk sizes) followed by
+ * per-op simplification (writeback -> read), re-running the property
+ * after each candidate edit and keeping only edits that preserve the
+ * failure. At most `maxEvals` property evaluations are spent; the
+ * result is the smallest falsifying stream found within that budget.
+ */
+std::vector<Op> shrinkOps(std::vector<Op> ops, const OpProperty &holds,
+                          std::size_t maxEvals = 400);
+
+/** Render a stream as a compact reproducer table for failure output. */
+std::string formatOps(const std::vector<Op> &ops,
+                      std::size_t maxShown = 48);
+
+} // namespace dbsim::test
+
+#endif // DBSIM_TESTS_SUPPORT_OPGEN_HH

@@ -1,0 +1,90 @@
+#!/bin/bash
+# Per-directory line-coverage report for a gcov-instrumented build.
+#
+# Usage: tools/check_coverage.sh [build-dir]     (default: build-cov)
+#
+# Workflow:
+#   cmake --preset coverage
+#   cmake --build --preset coverage
+#   ctest --preset coverage
+#   tools/check_coverage.sh build-cov
+#
+# Aggregates every .gcda the test run produced with gcov's JSON output
+# and prints line coverage per top-level source directory (src/<sub>,
+# bench/, tools/). Only execution by the test suite counts — bench
+# binaries are built but mostly exercised outside ctest, so bench/
+# coverage is expectedly low. The README's coverage table is generated
+# from this output.
+set -euo pipefail
+
+BUILD=${1:-build-cov}
+if [[ ! -d $BUILD ]]; then
+    echo "error: build dir '$BUILD' not found (configure the" \
+         "'coverage' preset first)" >&2
+    exit 2
+fi
+
+mapfile -t GCDA < <(find "$BUILD" -name '*.gcda' | sort)
+if ((${#GCDA[@]} == 0)); then
+    echo "error: no .gcda files under '$BUILD' — run ctest first" >&2
+    exit 2
+fi
+
+# gcov -t --json-format writes one JSON document per line; dump them to
+# a scratch file, then aggregate per directory in python (no gcovr/lcov
+# in the image). The dump is a file, not a pipe, because the python
+# program itself arrives on stdin via the heredoc.
+DUMP=$(mktemp)
+trap 'rm -f "$DUMP"' EXIT
+gcov -t --json-format "${GCDA[@]}" 2>/dev/null > "$DUMP"
+
+python3 - "$PWD" "$DUMP" <<'EOF'
+import collections
+import json
+import os
+import sys
+
+root = sys.argv[1]
+dump = sys.argv[2]
+per_dir = collections.defaultdict(lambda: [0, 0])   # dir -> [hit, total]
+seen = {}                                           # file -> {line: hit}
+
+for doc_line in open(dump):
+    doc_line = doc_line.strip()
+    if not doc_line:
+        continue
+    doc = json.loads(doc_line)
+    for f in doc.get("files", []):
+        path = os.path.normpath(f["file"])
+        # Paths are relative to the object's build dir (../src/...) or
+        # absolute; normalize to repo-relative and keep only our tree.
+        if os.path.isabs(path):
+            path = os.path.relpath(path, root)
+        path = path.lstrip("./")
+        while path.startswith("../"):
+            path = path[3:]
+        if not (path.startswith("src/") or path.startswith("bench/")
+                or path.startswith("tools/")):
+            continue
+        lines = seen.setdefault(path, {})
+        for ln in f.get("lines", []):
+            n = ln["line_number"]
+            lines[n] = max(lines.get(n, 0), ln["count"])
+
+for path, lines in seen.items():
+    parts = path.split("/")
+    key = "/".join(parts[:2]) if parts[0] == "src" else parts[0]
+    per_dir[key][0] += sum(1 for c in lines.values() if c > 0)
+    per_dir[key][1] += len(lines)
+
+tot_hit = tot_all = 0
+print(f"{'directory':<18} {'lines':>7} {'covered':>8} {'coverage':>9}")
+for key in sorted(per_dir):
+    hit, total = per_dir[key]
+    tot_hit += hit
+    tot_all += total
+    pct = 100.0 * hit / total if total else 0.0
+    print(f"{key:<18} {total:>7} {hit:>8} {pct:>8.1f}%")
+print(f"{'total':<18} {tot_all:>7} {tot_hit:>8} "
+      f"{100.0 * tot_hit / tot_all:>8.1f}%")
+EOF

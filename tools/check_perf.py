@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Host-performance regression gate for the simulation kernel.
+
+Runs bench/host_perf (which times three representative mechanism x mix
+simulations and reports events/sec over the kernel's deterministic
+dispatched-event count) and compares every point against the committed
+baseline, BENCH_host_perf.json at the repo root. A point that comes in
+more than TOLERANCE slower than its baseline events/sec fails the gate.
+
+The bench already takes the fastest of three repeats per point; this
+script adds a retry layer on top — a whole extra bench run before
+declaring failure — so a transiently loaded CI host does not fail the
+gate spuriously while a real hot-path regression still does.
+
+Usage: check_perf.py <host_perf_binary> <baseline.json> <workdir>
+
+Environment:
+  DBSIM_PERF_TOLERANCE   fractional allowed slowdown (default 0.15)
+
+Re-baselining (after an intentional kernel change): run
+`build/bench/host_perf --no-progress` from the repo root on a quiet
+machine and commit the rewritten BENCH_host_perf.json (see DESIGN.md
+section 11).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def run_bench(binary, workdir):
+    out = os.path.join(workdir, "host_perf_current.json")
+    subprocess.run([binary, out, "--no-progress"], cwd=workdir,
+                   check=True, stdout=subprocess.DEVNULL)
+    with open(out) as f:
+        doc = json.load(f)
+    return {p["name"]: p for p in doc["points"]}
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary, baseline_path, workdir = sys.argv[1:4]
+    tolerance = float(os.environ.get("DBSIM_PERF_TOLERANCE", "0.15"))
+    os.makedirs(workdir, exist_ok=True)
+
+    with open(baseline_path) as f:
+        baseline = {p["name"]: p for p in json.load(f)["points"]}
+
+    attempts = 2
+    failures = []
+    best = {}  # per-point fastest events/sec seen across attempts
+    for attempt in range(1, attempts + 1):
+        current = run_bench(binary, workdir)
+
+        missing = sorted(set(baseline) - set(current))
+        if missing:
+            print(f"FAIL: baseline points missing from bench output: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 1
+
+        failures = []
+        print(f"attempt {attempt}/{attempts} "
+              f"(tolerance {tolerance:.0%}):")
+        for name, base in sorted(baseline.items()):
+            cur_eps = float(current[name]["eventsPerSec"])
+            best[name] = max(best.get(name, 0.0), cur_eps)
+            base_eps = float(base["eventsPerSec"])
+            ratio = best[name] / base_eps
+            ok = ratio >= 1.0 - tolerance
+            print(f"  {name:<24} baseline {base_eps:>12,.0f} ev/s   "
+                  f"best {best[name]:>12,.0f} ev/s   "
+                  f"{ratio:6.2%}  {'ok' if ok else 'REGRESSED'}")
+            if not ok:
+                failures.append(name)
+        if not failures:
+            print("host-perf gate: ok")
+            return 0
+        if attempt < attempts:
+            print("regression seen; retrying once in case the host "
+                  "was transiently loaded...")
+
+    print(f"FAIL: host-perf regression >{tolerance:.0%} on: "
+          f"{', '.join(failures)}", file=sys.stderr)
+    print("If the slowdown is intentional, re-baseline: run "
+          "build/bench/host_perf --no-progress from the repo root and "
+          "commit BENCH_host_perf.json.", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
