@@ -34,7 +34,9 @@ printUsage(const char *argv0)
     std::printf("usage: %s [positional args...] [--mech SPEC] [--jobs N]\n"
                 "        [--json FILE] [--seed S] [--warmup N] "
                 "[--measure N] [--instrs K]\n"
-                "        [--audit N] [--sample N] [--timeseries FILE]\n"
+                "        [--audit N] [--shards N] [--slices N] "
+                "[--channels N] [--hop N]\n"
+                "        [--sample N] [--timeseries FILE]\n"
                 "        [--trace FILE] [--hist] [--host-timers]\n"
                 "        [--no-progress] [--list] [--help]\n\n"
                 "experiments in this binary:\n",
@@ -66,6 +68,23 @@ MechanismSpec
 HarnessOptions::mechOr(const MechanismSpec &def) const
 {
     return mechSpec ? mechanismByName(*mechSpec) : def;
+}
+
+void
+HarnessOptions::applySharding(SystemConfig &cfg) const
+{
+    if (shards) {
+        cfg.numShards = *shards;
+    }
+    if (slices) {
+        cfg.llcSlices = *slices;
+    }
+    if (channels) {
+        cfg.dram.channels = *channels;
+    }
+    if (hopLatency) {
+        cfg.shardHopLatency = *hopLatency;
+    }
 }
 
 telemetry::TelemetryConfig
@@ -127,6 +146,21 @@ harnessMain(int argc, char **argv)
         } else if (std::strcmp(arg, "--audit") == 0) {
             opts.auditEvery = parseUint(arg, needValue(i));
             ++i;
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            opts.shards = static_cast<std::uint32_t>(
+                parseUint(arg, needValue(i)));
+            ++i;
+        } else if (std::strcmp(arg, "--slices") == 0) {
+            opts.slices = static_cast<std::uint32_t>(
+                parseUint(arg, needValue(i)));
+            ++i;
+        } else if (std::strcmp(arg, "--channels") == 0) {
+            opts.channels = static_cast<std::uint32_t>(
+                parseUint(arg, needValue(i)));
+            ++i;
+        } else if (std::strcmp(arg, "--hop") == 0) {
+            opts.hopLatency = parseUint(arg, needValue(i));
+            ++i;
         } else if (std::strcmp(arg, "--sample") == 0) {
             opts.sampleEvery = parseUint(arg, needValue(i));
             ++i;
@@ -169,6 +203,10 @@ harnessMain(int argc, char **argv)
         run_opts.hostTimers = opts.hostTimers;
 
         exp::SweepSpec spec = e.spec(opts);
+        // Machine-shape flags are applied centrally, so every bench
+        // honors them without knowing about sharding.
+        spec.overrideConfigs(
+            [&opts](SystemConfig &cfg) { opts.applySharding(cfg); });
         exp::ExperimentRunner runner(run_opts);
         std::vector<exp::PointRecord> records = runner.run(spec);
         e.format(records, opts);

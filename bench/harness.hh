@@ -19,6 +19,15 @@
  *           [--instrs K]              shorthand: warmup = measure = K
  *           [--audit N]               run the dirty-state auditor every
  *                                     N LLC events (default 0 = off)
+ *           [--shards N]              worker threads for partitioned
+ *                                     machines (execution only: results
+ *                                     are bit-identical at any value)
+ *           [--slices N]              LLC slices (simulated machine;
+ *                                     0 = derive from core count)
+ *           [--channels N]            DRAM channels (simulated machine;
+ *                                     0 = one per LLC slice)
+ *           [--hop N]                 cross-shard hop latency in cycles
+ *                                     (simulated machine; 0 = derive)
  *           [--sample N]              telemetry: sample the stat channels
  *                                     every N simulated cycles
  *           [--timeseries FILE]       epoch samples as JSONL (default
@@ -80,6 +89,20 @@ struct HarnessOptions
 
     /** --host-timers: wall-clock phase timings in the JSONL records. */
     bool hostTimers = false;
+
+    /**
+     * Sharding flags (--shards / --slices / --channels / --hop),
+     * applied centrally to every config of every experiment; absent
+     * means "leave whatever the experiment set". --slices/--channels/
+     * --hop change the simulated machine; --shards only the execution.
+     */
+    std::optional<std::uint32_t> shards;
+    std::optional<std::uint32_t> slices;
+    std::optional<std::uint32_t> channels;
+    std::optional<std::uint64_t> hopLatency;
+
+    /** Apply the sharding flags (those given) to `cfg`. */
+    void applySharding(SystemConfig &cfg) const;
 
     /** --mech override (raw spelling; resolve with mechOr()). */
     std::optional<std::string> mechSpec;

@@ -22,6 +22,7 @@
  */
 
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -43,20 +44,47 @@ struct PerfPoint
     std::string mechSpec;   ///< mechanismByName() spelling
     std::uint32_t cores;
     WorkloadMix mix;
+
+    /** Sharded-machine shape; 0s = the default Table 1 machine. */
+    std::uint32_t slices = 0;
+    std::uint32_t channels = 0;
+    std::uint32_t shards = 0;
+
+    /** Per-point instr-count override (sharded points run shorter). */
+    std::uint64_t instrs = 0;
 };
 
 /**
- * The three points cover the kernel's distinct hot-path profiles:
+ * The fixed points cover the kernel's distinct hot-path profiles:
  * a baseline run (tag-store + DRAM paths, no DBI), the diag_run seed
  * configuration (DBI + AWB + CLB, two cores — the ISSUE's 1.5x target
- * workload), and a composed '+'-spec on the write-heaviest profile
- * (DBI insert/evict and write-drain paths dominate).
+ * workload), a composed '+'-spec on the write-heaviest profile
+ * (DBI insert/evict and write-drain paths dominate), and the 64-core /
+ * 4-slice / 4-channel epoch-barrier machine at 1 and 4 worker threads
+ * — same simulation (bit-identical stats), so the pair freezes the
+ * parallel engine's scaling on this host alongside its absolute speed.
  */
-const std::vector<PerfPoint> kPoints = {
-    {"baseline_mcf", "TA-DIP", 1, {"mcf"}},
-    {"dbi_awb_clb_lbm_libq", "DBI+AWB+CLB", 2, {"lbm", "libquantum"}},
-    {"dbi_dawb_stream", "dbi+dawb", 1, {"stream"}},
-};
+std::vector<PerfPoint>
+makePoints()
+{
+    std::vector<PerfPoint> pts = {
+        {"baseline_mcf", "TA-DIP", 1, {"mcf"}},
+        {"dbi_awb_clb_lbm_libq", "DBI+AWB+CLB", 2, {"lbm", "libquantum"}},
+        {"dbi_dawb_stream", "dbi+dawb", 1, {"stream"}},
+    };
+    WorkloadMix big;
+    const char *rota[] = {"mcf", "lbm", "stream", "libquantum"};
+    for (int c = 0; c < 64; ++c) {
+        big.push_back(rota[c % 4]);
+    }
+    pts.push_back({"sharded_64c4s4ch_shards1", "DBI", 64, big, 4, 4, 1,
+                   30'000});
+    pts.push_back({"sharded_64c4s4ch_shards4", "DBI", 64, big, 4, 4, 4,
+                   30'000});
+    return pts;
+}
+
+const std::vector<PerfPoint> kPoints = makePoints();
 
 exp::SweepSpec
 buildSpec(const bench::HarnessOptions &o)
@@ -70,6 +98,13 @@ buildSpec(const bench::HarnessOptions &o)
         cfg.auditEvery = o.auditEvery;
         cfg.mech = o.mechOr(mechanismByName(point.mechSpec));
         cfg.numCores = point.cores;
+        cfg.llcSlices = point.slices;
+        cfg.dram.channels = point.channels;
+        cfg.numShards = point.shards;
+        if (point.instrs) {
+            cfg.core.warmupInstrs = o.warmupOr(point.instrs);
+            cfg.core.measureInstrs = o.measureOr(point.instrs);
+        }
         WorkloadMix mix = point.mix;
 
         auto &pt = spec.addCustom([cfg, mix](exp::PointRecord &rec) {
@@ -130,7 +165,28 @@ format(const std::vector<exp::PointRecord> &records,
                      rec.metric("nsPerEvent"),
                      i + 1 < records.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // The sharded pair differs only in worker threads, so the ratio of
+    // their events/sec is the parallel engine's host speedup. Recorded
+    // for the record, not gated: it is a property of the CI host's core
+    // count (a single-core host shows < 1 from thread overhead).
+    double serial_eps = 0.0, parallel_eps = 0.0;
+    for (const auto &rec : records) {
+        if (rec.tags.at("point") == "sharded_64c4s4ch_shards1") {
+            serial_eps = rec.metric("eventsPerSec");
+        } else if (rec.tags.at("point") == "sharded_64c4s4ch_shards4") {
+            parallel_eps = rec.metric("eventsPerSec");
+        }
+    }
+    if (serial_eps > 0.0 && parallel_eps > 0.0) {
+        std::fprintf(f, "  ],\n  \"shardSpeedupAt4\": %.3f\n}\n",
+                     parallel_eps / serial_eps);
+        std::printf("shard speedup at 4 workers: %.2fx (host has %u "
+                    "hardware threads)\n",
+                    parallel_eps / serial_eps,
+                    std::thread::hardware_concurrency());
+    } else {
+        std::fprintf(f, "  ]\n}\n");
+    }
     std::fclose(f);
     std::printf("\nwrote %s\n", out.c_str());
 }

@@ -1,6 +1,7 @@
 #include "auditor.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 #include "dbi/dbi.hh"
@@ -166,10 +167,15 @@ InvariantAuditor::checkNow()
 void
 InvariantAuditor::fail(const char *what, Addr addr)
 {
+    // On sliced machines each slice has its own auditor; the shard id
+    // in the dump says which slice's event stream follows.
+    std::fprintf(stderr, "[shard %u] dirty-state audit failure, "
+                         "event trace:\n",
+                 cfg.shardId);
     ring.dump(stderr);
-    panic("dirty-state audit: %s (block %#llx, after %llu events, "
-          "%llu checks)",
-          what, static_cast<unsigned long long>(addr),
+    panic("dirty-state audit [shard %u]: %s (block %#llx, after %llu "
+          "events, %llu checks)",
+          cfg.shardId, what, static_cast<unsigned long long>(addr),
           static_cast<unsigned long long>(events),
           static_cast<unsigned long long>(checks));
 }

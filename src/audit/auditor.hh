@@ -38,6 +38,9 @@ struct AuditConfig
     std::uint64_t checkEvery = 4096;
     /** Events kept for the divergence dump. */
     std::size_t traceDepth = 64;
+    /** Shard the audited slice lives on; labels the divergence dump so
+     *  a panic on a sliced machine names the offending slice. */
+    std::uint32_t shardId = 0;
 };
 
 class InvariantAuditor : public LlcAuditObserver

@@ -21,10 +21,13 @@ namespace dbsim {
  * Row-interleaved DRAM address map.
  *
  * Physical address layout (low to high):
- *   [block offset | column | bank | row]
+ *   [block offset | column | channel | bank | row]
  * so one DRAM row occupies rowBytes contiguous physical bytes within a
- * bank, and consecutive rows rotate across banks. This matches the "open
- * row, row interleaving" controller configuration of Table 1.
+ * bank, consecutive rows rotate across channels first and then across
+ * the banks of each channel. This matches the "open row, row
+ * interleaving" controller configuration of Table 1 (one channel) and
+ * extends it to multi-channel machines: whole DRAM rows stay within one
+ * channel, so DBI rows never straddle channels.
  */
 class DramAddrMap
 {
@@ -32,40 +35,55 @@ class DramAddrMap
     /**
      * @param row_bytes size of one DRAM row (row buffer), e.g. 8KB.
      * @param num_banks number of banks per rank.
+     * @param num_channels channels rows interleave over (default 1,
+     *        the Table 1 machine; with 1 the map is unchanged).
      */
-    DramAddrMap(std::uint64_t row_bytes, std::uint32_t num_banks)
+    DramAddrMap(std::uint64_t row_bytes, std::uint32_t num_banks,
+                std::uint32_t num_channels = 1)
         : rowBytes_(row_bytes), numBanks_(num_banks),
+          numChannels_(num_channels),
           blocksPerRow_(static_cast<std::uint32_t>(row_bytes / kBlockBytes))
     {
         fatal_if(!isPowerOf2(row_bytes) || row_bytes < kBlockBytes,
                  "DRAM row size must be a power-of-two multiple of the "
                  "block size");
         fatal_if(!isPowerOf2(num_banks), "bank count must be a power of 2");
+        fatal_if(!isPowerOf2(num_channels) || num_channels == 0,
+                 "channel count must be a power of 2");
     }
 
     std::uint64_t rowBytes() const { return rowBytes_; }
     std::uint32_t numBanks() const { return numBanks_; }
+    std::uint32_t numChannels() const { return numChannels_; }
     std::uint32_t blocksPerRow() const { return blocksPerRow_; }
 
-    /** Global row identifier (unique across banks). */
+    /** Global row identifier (unique across channels and banks). */
     std::uint64_t
     rowId(Addr addr) const
     {
         return addr / rowBytes_;
     }
 
-    /** Bank the address maps to. */
+    /** Channel the address maps to. */
+    std::uint32_t
+    channel(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(rowId(addr) % numChannels_);
+    }
+
+    /** Bank the address maps to (within its channel). */
     std::uint32_t
     bank(Addr addr) const
     {
-        return static_cast<std::uint32_t>(rowId(addr) % numBanks_);
+        return static_cast<std::uint32_t>((rowId(addr) / numChannels_) %
+                                          numBanks_);
     }
 
     /** Row index within the bank (what the row decoder sees). */
     std::uint64_t
     rowInBank(Addr addr) const
     {
-        return rowId(addr) / numBanks_;
+        return rowId(addr) / numChannels_ / numBanks_;
     }
 
     /** Index of the block within its DRAM row: 0..blocksPerRow-1. */
@@ -93,6 +111,7 @@ class DramAddrMap
   private:
     std::uint64_t rowBytes_;
     std::uint32_t numBanks_;
+    std::uint32_t numChannels_;
     std::uint32_t blocksPerRow_;
 };
 

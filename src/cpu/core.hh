@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/shard.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/core_memory.hh"
@@ -57,9 +58,14 @@ class Core
     /** (core_id, warmed: crossed warmup / done: finished measuring) */
     using MilestoneFn = std::function<void(std::uint32_t)>;
 
+    /**
+     * @param context the shard the core executes on (implicitly a bare
+     *        EventQueue& for unsharded use); its private hierarchy's
+     *        LlcPort decides where accesses actually go.
+     */
     Core(std::uint32_t core_id, const CoreConfig &config,
          TraceSource &trace_source, CoreMemory &memory,
-         EventQueue &event_queue);
+         ShardContext context);
 
     /** Schedule the core's first work at cycle 0. */
     void start();

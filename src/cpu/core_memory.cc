@@ -4,7 +4,7 @@
 
 namespace dbsim {
 
-CoreMemory::CoreMemory(const CoreMemoryConfig &config, Llc &shared_llc,
+CoreMemory::CoreMemory(const CoreMemoryConfig &config, LlcPort &shared_llc,
                        std::uint32_t core_id, std::uint64_t seed)
     : cfg(config), llc(shared_llc), coreId(core_id),
       l1(CacheGeometry{config.l1.sizeBytes, config.l1.assoc,

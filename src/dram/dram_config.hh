@@ -19,6 +19,15 @@ struct DramConfig
     std::uint32_t numBanks = 8;
     std::uint64_t rowBytes = 8192;
 
+    /**
+     * Independent DRAM channels rows interleave over. Each channel is
+     * one DramController instance; this field tells every controller
+     * the machine-wide interleave so bank/row decoding stays correct.
+     * 0 = derive at the System level (Table-1 style: one channel per
+     * LLC slice); a standalone controller treats 0 as 1.
+     */
+    std::uint32_t channels = 0;
+
     /** CPU cycles per memory clock. */
     std::uint32_t tCkCpu = 5;
 

@@ -7,8 +7,10 @@
 namespace dbsim {
 
 DramController::DramController(const DramConfig &config,
-                               EventQueue &event_queue)
-    : cfg(config), eq(event_queue), map(config.rowBytes, config.numBanks),
+                               ShardContext context)
+    : cfg(config), eq(context.queue()),
+      map(config.rowBytes, config.numBanks,
+          config.channels ? config.channels : 1),
       banks(config.numBanks)
 {
     fatal_if(cfg.writeBufEntries == 0, "write buffer needs capacity");

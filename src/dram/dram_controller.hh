@@ -20,6 +20,7 @@
 
 #include "common/addr_map.hh"
 #include "common/event_queue.hh"
+#include "common/shard.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_config.hh"
@@ -73,7 +74,11 @@ class DramController
   public:
     using ReadCallback = std::function<void(Cycle)>;
 
-    DramController(const DramConfig &config, EventQueue &event_queue);
+    /**
+     * @param context the shard this channel lives on. Implicitly
+     *        constructible from a bare EventQueue& for unsharded use.
+     */
+    DramController(const DramConfig &config, ShardContext context);
 
     /** Enqueue a block read arriving at cycle `when`. */
     void enqueueRead(Addr block_addr, Cycle when, ReadCallback cb);

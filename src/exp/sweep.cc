@@ -85,6 +85,18 @@ SweepSpec::addGrid(const std::vector<MechanismSpec> &mechs,
     }
 }
 
+void
+SweepSpec::overrideConfigs(const std::function<void(SystemConfig &)> &fn)
+{
+    fn(baseCfg);
+    fn(aloneCfg);
+    for (SweepPoint &p : pts) {
+        if (p.kind != PointKind::Custom) {
+            fn(p.cfg);
+        }
+    }
+}
+
 bool
 SweepSpec::hasMixSim() const
 {

@@ -100,6 +100,14 @@ class SweepSpec
 
     const std::vector<SweepPoint> &points() const { return pts; }
 
+    /**
+     * Apply `fn` to every config the spec embeds: base, alone-base,
+     * and each already-added point's. The harness's machine-shape
+     * flags (--shards/--slices/--channels/--hop) go through here so
+     * every experiment honors them without per-bench plumbing.
+     */
+    void overrideConfigs(const std::function<void(SystemConfig &)> &fn);
+
     /** True when any point needs alone-IPC normalization. */
     bool hasMixSim() const;
 

@@ -7,10 +7,10 @@
 namespace dbsim {
 
 Llc::Llc(const LlcConfig &config, DramController &dram_ctrl,
-         EventQueue &event_queue, std::unique_ptr<DirtyStore> dirty_store,
+         ShardContext context, std::unique_ptr<DirtyStore> dirty_store,
          std::unique_ptr<WritebackPolicy> writeback_policy,
          std::unique_ptr<LookupPolicy> lookup_policy)
-    : cfg(config), dram(dram_ctrl), eq(event_queue),
+    : cfg(config), dram(dram_ctrl), ctx(context), eq(context.queue()),
       store(CacheGeometry{config.sizeBytes, config.assoc, config.repl,
                           config.numCores, config.seed}),
       dirtyStorePtr(dirty_store ? std::move(dirty_store)
@@ -85,7 +85,7 @@ Llc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
 void
 Llc::writebackToDram(Addr block_addr, Cycle when)
 {
-    dram.enqueueWrite(block_addr, when);
+    dramWrite(block_addr, when);
     ++statWbToDram;
     if (auditor) {
         auditor->onWbToDram(block_addr, when);
@@ -192,7 +192,7 @@ Llc::missToDram(Addr block_addr, std::uint32_t core, Cycle when,
     p.cbs.push_back(std::move(cb));
     pendingReads.emplace(block_addr, std::move(p));
 
-    dram.enqueueRead(block_addr, when, [this, block_addr](Cycle done) {
+    dramRead(block_addr, when, [this, block_addr](Cycle done) {
         auto pit = pendingReads.find(block_addr);
         panic_if(pit == pendingReads.end(), "orphan DRAM completion");
         Pending p = std::move(pit->second);

@@ -27,6 +27,7 @@
 
 #include "cache/tag_store.hh"
 #include "common/event_queue.hh"
+#include "common/shard.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_controller.hh"
@@ -80,6 +81,48 @@ class LlcAuditObserver
 };
 
 /**
+ * What the private cache levels see of the level below them: a demand
+ * read that completes through a callback, and a fire-and-forget
+ * writeback. An Llc is an LlcPort; on sliced machines the cores talk
+ * to a router implementing the same interface that forwards each
+ * access to the owning slice (possibly across shards).
+ */
+class LlcPort
+{
+  public:
+    using Callback = std::function<void(Cycle)>;
+
+    virtual ~LlcPort() = default;
+
+    /** Demand read from core `core` arriving at cycle `when`. */
+    virtual void read(Addr block_addr, std::uint32_t core, Cycle when,
+                      Callback cb) = 0;
+
+    /** Writeback request from a private L2 arriving at cycle `when`. */
+    virtual void writeback(Addr block_addr, std::uint32_t core,
+                           Cycle when) = 0;
+};
+
+/**
+ * Where an LLC slice's memory traffic goes. By default (no router) the
+ * slice talks directly and synchronously to its home DramController;
+ * on multi-channel machines the System installs a router that
+ * dispatches each block to its owning channel, crossing shards through
+ * the fabric when the channel lives elsewhere.
+ */
+class MemRouter
+{
+  public:
+    using ReadCallback = DramController::ReadCallback;
+
+    virtual ~MemRouter() = default;
+
+    virtual void dramRead(Addr block_addr, Cycle when,
+                          ReadCallback cb) = 0;
+    virtual void dramWrite(Addr block_addr, Cycle when) = 0;
+};
+
+/**
  * The shared LLC. Reads complete through a callback with the
  * completion cycle; writebacks from the private levels are
  * fire-and-forget. Policy components act on the cache through the
@@ -87,7 +130,7 @@ class LlcAuditObserver
  * every port-arbitration, stat, audit, and telemetry side effect flows
  * through a single point regardless of composition.
  */
-class Llc
+class Llc : public LlcPort
 {
   public:
     using Callback = std::function<void(Cycle)>;
@@ -97,17 +140,19 @@ class Llc
      * the conventional writeback cache: in-tag dirty bits, evict-order
      * writebacks, no bypassing. Policies are bound to this cache here
      * and must be freshly constructed (not shared between caches).
+     * `dram_ctrl` is the slice's home channel (same shard); see
+     * setMemRouter() for multi-channel machines.
      */
     Llc(const LlcConfig &config, DramController &dram_ctrl,
-        EventQueue &event_queue,
+        ShardContext context,
         std::unique_ptr<DirtyStore> dirty_store = nullptr,
         std::unique_ptr<WritebackPolicy> writeback_policy = nullptr,
         std::unique_ptr<LookupPolicy> lookup_policy = nullptr);
-    virtual ~Llc() = default;
+    ~Llc() override = default;
 
     /** Demand read from core `core` arriving at cycle `when`. */
     void read(Addr block_addr, std::uint32_t core, Cycle when,
-              Callback cb);
+              Callback cb) override;
 
     /**
      * Writeback request from a private L2 (Section 2.2.2). Accounts the
@@ -115,7 +160,8 @@ class Llc
      * DirtyStore's writebackIn() so every composition is observable the
      * same way.
      */
-    void writeback(Addr block_addr, std::uint32_t core, Cycle when);
+    void writeback(Addr block_addr, std::uint32_t core,
+                   Cycle when) override;
 
     /**
      * Attach (or detach, with nullptr) a dirty-state observer. The
@@ -169,7 +215,53 @@ class Llc
     const LlcConfig &config() const { return cfg; }
     TagStore &tags() { return store; }
     const TagStore &tags() const { return store; }
+
+    /** The slice's home (same-shard) channel. Policy code should use
+     *  dramRead()/dramWrite()/addrMap() instead so multi-channel
+     *  routing is honored. */
     DramController &dramController() { return dram; }
+
+    /** The shard this slice lives on. */
+    const ShardContext &context() const { return ctx; }
+
+    /**
+     * Install (or remove, with nullptr) the memory router. Without one
+     * every DRAM access goes synchronously to the home channel — the
+     * single-channel machine. The caller keeps ownership.
+     */
+    void setMemRouter(MemRouter *router) { memRouter = router; }
+
+    /**
+     * Issue a block read to memory, routed to the owning channel.
+     * Every DRAM read in every composition goes through here.
+     */
+    void
+    dramRead(Addr block_addr, Cycle when, DramController::ReadCallback cb)
+    {
+        if (memRouter) {
+            memRouter->dramRead(block_addr, when, std::move(cb));
+        } else {
+            dram.enqueueRead(block_addr, when, std::move(cb));
+        }
+    }
+
+    /** Issue a block write to memory, routed to the owning channel. */
+    void
+    dramWrite(Addr block_addr, Cycle when)
+    {
+        if (memRouter) {
+            memRouter->dramWrite(block_addr, when);
+        } else {
+            dram.enqueueWrite(block_addr, when);
+        }
+    }
+
+    /**
+     * The machine's DRAM address map. Identical for every channel (the
+     * map is machine-wide), so the home channel's copy is authoritative
+     * even when accesses route elsewhere.
+     */
+    const DramAddrMap &addrMap() const { return dram.addrMap(); }
 
     DirtyStore &dirtyStore() { return *dirtyStorePtr; }
     const DirtyStore &dirtyStore() const { return *dirtyStorePtr; }
@@ -268,7 +360,9 @@ class Llc
 
     LlcConfig cfg;
     DramController &dram;
+    ShardContext ctx;
     EventQueue &eq;
+    MemRouter *memRouter = nullptr;
     TagStore store;
     Cycle portFreeAt = 0;
     LlcAuditObserver *auditor = nullptr;

@@ -176,7 +176,7 @@ DbiDirtyStore::dirtyInVictimRow(Addr block_addr) const
 {
     // Fig. 2 sample: the victim is still marked in the DBI here, so the
     // range count includes it (no +1 needed, unlike the in-tag store).
-    const DramAddrMap &map = llc->dramController().addrMap();
+    const DramAddrMap &map = llc->addrMap();
     return index->countDirtyInRange(map.rowBase(block_addr),
                                     map.rowBytes());
 }
@@ -206,7 +206,7 @@ DawbSweepPolicy::afterDirtyEviction(Addr block_addr, Cycle when)
     // store, writing back (and cleaning) the ones found dirty. Most of
     // these lookups are wasted — the blocks are clean or absent — which
     // is exactly DAWB's overhead (Section 3.1).
-    const DramAddrMap &map = llc->dramController().addrMap();
+    const DramAddrMap &map = llc->addrMap();
     DirtyStore &ds = llc->dirtyStore();
     std::uint32_t victim_idx = map.blockInRow(block_addr);
     Cycle cursor = when;
@@ -270,7 +270,7 @@ VwqSweepPolicy::afterDirtyEviction(Addr block_addr, Cycle when)
     // Like DAWB, but consult the Set State Vector first: only sets that
     // report a dirty block among their LRU ways are looked up, and only
     // LRU-way blocks are eligible for proactive writeback.
-    const DramAddrMap &map = llc->dramController().addrMap();
+    const DramAddrMap &map = llc->addrMap();
     DirtyStore &ds = llc->dirtyStore();
     std::uint32_t victim_idx = map.blockInRow(block_addr);
     Cycle cursor = when;
@@ -389,7 +389,7 @@ SkipBypassLookup::tryBypass(Addr block_addr, std::uint32_t core,
         cb = llc->wrapReadLatency(telemetry::ReadClass::Bypass, when,
                                   std::move(cb));
     }
-    llc->dramController().enqueueRead(block_addr, when, std::move(cb));
+    llc->dramRead(block_addr, when, std::move(cb));
     return true;
 }
 
@@ -449,7 +449,7 @@ ClbBypassLookup::tryBypass(Addr block_addr, std::uint32_t core, Cycle when,
         cb = llc->wrapReadLatency(telemetry::ReadClass::Bypass, when,
                                   std::move(cb));
     }
-    llc->dramController().enqueueRead(block_addr, checked, std::move(cb));
+    llc->dramRead(block_addr, checked, std::move(cb));
     return true;
 }
 

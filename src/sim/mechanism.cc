@@ -164,7 +164,13 @@ mechanismHelp()
            "directory; need dbi)\n"
            "    replacement:  lru             (default TA-DIP/DRRIP)\n"
            "  e.g. 'dbi+dawb', 'dawb+clb', 'vwq+clb', 'dbi+awb+ecc', "
-           "'dbi+dir'";
+           "'dbi+dir'\n"
+           "  On sliced machines (--slices N) every LLC slice composes "
+           "its own\n"
+           "  slice-local policy tuple (DirtyStore x WritebackPolicy x "
+           "LookupPolicy)\n"
+           "  from this one spec; the mechanism is machine-wide, the "
+           "state per-slice.";
 }
 
 [[noreturn]] void
@@ -314,7 +320,7 @@ allMechanisms()
 
 std::unique_ptr<Llc>
 makeLlc(const MechanismSpec &spec, const LlcConfig &llc_cfg,
-        const DbiConfig &dbi_cfg, DramController &dram, EventQueue &eq,
+        const DbiConfig &dbi_cfg, DramController &dram, ShardContext ctx,
         std::shared_ptr<MissPredictor> predictor)
 {
     std::unique_ptr<DirtyStore> store;
@@ -359,7 +365,7 @@ makeLlc(const MechanismSpec &spec, const LlcConfig &llc_cfg,
         break;
     }
 
-    return std::make_unique<Llc>(llc_cfg, dram, eq, std::move(store),
+    return std::make_unique<Llc>(llc_cfg, dram, ctx, std::move(store),
                                  std::move(wb), std::move(lookup));
 }
 

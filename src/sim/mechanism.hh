@@ -143,15 +143,16 @@ Mechanism mechanismPresetByName(const std::string &name);
 const std::vector<Mechanism> &allMechanisms();
 
 /**
- * Build an LLC from a mechanism spec (the one factory every simulation
- * goes through). `predictor` is required iff spec.needsPredictor().
- * Metadata attachments are the caller's job (they need the built
- * cache's DBI; see System's constructor).
+ * Build an LLC (slice) from a mechanism spec (the one factory every
+ * simulation goes through). `predictor` is required iff
+ * spec.needsPredictor(); on sliced machines each slice gets its own
+ * predictor instance. Metadata attachments are the caller's job (they
+ * need the built cache's DBI; see System's constructor).
  */
 std::unique_ptr<Llc> makeLlc(const MechanismSpec &spec,
                              const LlcConfig &llc_cfg,
                              const DbiConfig &dbi_cfg,
-                             DramController &dram, EventQueue &eq,
+                             DramController &dram, ShardContext ctx,
                              std::shared_ptr<MissPredictor> predictor);
 
 } // namespace dbsim

@@ -1,5 +1,7 @@
 #include "system.hh"
 
+#include <algorithm>
+
 #include "coherence/directory_index.hh"
 #include "common/logging.hh"
 #include "ecc/ecc_index.hh"
@@ -50,70 +52,277 @@ SystemConfig::resolveLlc() const
     return llc;
 }
 
+ShardTopology
+SystemConfig::topology() const
+{
+    TopologySpec spec;
+    spec.numCores = numCores;
+    spec.llcSlices = llcSlices;
+    spec.dramChannels = dram.channels;
+    spec.hopLatency = shardHopLatency;
+    spec.numShards = numShards;
+    spec.rowBytes = dram.rowBytes;
+    spec.llcTotalBytes = llcBytesPerCore * numCores;
+    spec.llcAssoc = resolveLlc().assoc;
+    return resolveTopology(spec);
+}
+
+/**
+ * The LlcPort the cores of one shard talk to: forwards each access to
+ * the slice owning its address — a direct call when the slice lives on
+ * this shard, a fabric round-trip (hop each way) when it does not.
+ */
+class ShardLlcPort : public LlcPort
+{
+  public:
+    ShardLlcPort(const ShardTopology &topology, ShardFabric &fabric,
+                 const std::vector<std::unique_ptr<Llc>> &llc_slices,
+                 std::uint32_t shard)
+        : topo(topology), fab(fabric), slices(llc_slices), part(shard)
+    {
+    }
+
+    void
+    read(Addr block_addr, std::uint32_t core, Cycle when,
+         Callback cb) override
+    {
+        std::uint32_t s = topo.sliceOf(block_addr);
+        std::uint32_t dst = topo.partitionOfSlice(s);
+        Llc *llc = slices[s].get();
+        if (dst == part) {
+            llc->read(block_addr, core, when, std::move(cb));
+            return;
+        }
+        ShardFabric *f = &fab;
+        std::uint32_t src = part;
+        f->send(src, dst, when,
+                [llc, block_addr, core, cb = std::move(cb), f, src,
+                 dst](Cycle at) {
+                    llc->read(block_addr, core, at,
+                              [f, src, dst, cb](Cycle done) {
+                                  // Response hop back to the core's
+                                  // shard.
+                                  f->send(dst, src, done, cb);
+                              });
+                });
+    }
+
+    void
+    writeback(Addr block_addr, std::uint32_t core, Cycle when) override
+    {
+        std::uint32_t s = topo.sliceOf(block_addr);
+        std::uint32_t dst = topo.partitionOfSlice(s);
+        Llc *llc = slices[s].get();
+        if (dst == part) {
+            llc->writeback(block_addr, core, when);
+            return;
+        }
+        fab.send(part, dst, when, [llc, block_addr, core](Cycle at) {
+            llc->writeback(block_addr, core, at);
+        });
+    }
+
+  private:
+    const ShardTopology &topo;
+    ShardFabric &fab;
+    const std::vector<std::unique_ptr<Llc>> &slices;
+    std::uint32_t part;
+};
+
+/**
+ * Routes one LLC slice's memory traffic to the channel owning each
+ * address: a direct call for the shard-local channel, a fabric
+ * round-trip otherwise (slice->channel traffic is the second kind of
+ * cross-shard message the tentpole names).
+ */
+class ShardMemRouter : public MemRouter
+{
+  public:
+    ShardMemRouter(const ShardTopology &topology, ShardFabric &fabric,
+                   const std::vector<std::unique_ptr<DramController>> &
+                       channels,
+                   std::uint32_t shard)
+        : topo(topology), fab(fabric), chans(channels), part(shard)
+    {
+    }
+
+    void
+    dramRead(Addr block_addr, Cycle when, ReadCallback cb) override
+    {
+        std::uint32_t c = topo.channelOf(block_addr);
+        std::uint32_t dst = topo.partitionOfChannel(c);
+        DramController *dc = chans[c].get();
+        if (dst == part) {
+            dc->enqueueRead(block_addr, when, std::move(cb));
+            return;
+        }
+        ShardFabric *f = &fab;
+        std::uint32_t src = part;
+        f->send(src, dst, when,
+                [dc, block_addr, cb = std::move(cb), f, src,
+                 dst](Cycle at) {
+                    dc->enqueueRead(block_addr, at,
+                                    [f, src, dst, cb](Cycle done) {
+                                        f->send(dst, src, done, cb);
+                                    });
+                });
+    }
+
+    void
+    dramWrite(Addr block_addr, Cycle when) override
+    {
+        std::uint32_t c = topo.channelOf(block_addr);
+        std::uint32_t dst = topo.partitionOfChannel(c);
+        DramController *dc = chans[c].get();
+        if (dst == part) {
+            dc->enqueueWrite(block_addr, when);
+            return;
+        }
+        fab.send(part, dst, when, [dc, block_addr](Cycle at) {
+            dc->enqueueWrite(block_addr, at);
+        });
+    }
+
+  private:
+    const ShardTopology &topo;
+    ShardFabric &fab;
+    const std::vector<std::unique_ptr<DramController>> &chans;
+    std::uint32_t part;
+};
+
 System::System(const SystemConfig &config, const WorkloadMix &mix)
-    : cfg(config), workload(mix), statSet("system")
+    : cfg(config), workload(mix), topo(config.topology()),
+      statSet("system")
 {
     fatal_if(workload.size() != cfg.numCores,
              "workload has %zu entries for %u cores", workload.size(),
              cfg.numCores);
 
-    dramCtrl = std::make_unique<DramController>(cfg.dram, eq);
+    const std::uint32_t P = topo.partitions;
+    for (std::uint32_t p = 0; p < P; ++p) {
+        queues.push_back(std::make_unique<EventQueue>());
+        queuePtrs.push_back(queues.back().get());
+    }
+    if (topo.sharded()) {
+        fab = std::make_unique<ShardFabric>(P, topo.hopLatency);
+    }
 
+    DramConfig dram_cfg = cfg.dram;
+    dram_cfg.channels = topo.channels;
+    for (std::uint32_t c = 0; c < topo.channels; ++c) {
+        std::uint32_t p = topo.partitionOfChannel(c);
+        chans.push_back(std::make_unique<DramController>(
+            dram_cfg, ShardContext(p, *queues[p], fab.get())));
+    }
+
+    // Machine-wide capacity, divided evenly across slices (validated by
+    // resolveTopology); slice 0 keeps the unsliced seeds exactly so the
+    // Table-1 machine is bit-identical to the pre-shard simulator.
     LlcConfig llc_cfg = cfg.resolveLlc();
+    llc_cfg.sizeBytes /= topo.slices;
 
     SkipPredictorConfig pc = cfg.pred;
     pc.numThreads = cfg.numCores;
 
-    DbiConfig dbi_cfg = cfg.dbi;
-    dbi_cfg.seed = cfg.seed + 1009;
+    for (std::uint32_t s = 0; s < topo.slices; ++s) {
+        LlcConfig slice_cfg = llc_cfg;
+        slice_cfg.seed = llc_cfg.seed + 7919ull * s;
+        DbiConfig dbi_cfg = cfg.dbi;
+        dbi_cfg.seed = cfg.seed + 1009 + 104729ull * s;
 
-    if (cfg.mech.needsPredictor()) {
-        predictor = std::make_shared<SkipPredictor>(pc);
-    }
-    sharedLlc =
-        makeLlc(cfg.mech, llc_cfg, dbi_cfg, *dramCtrl, eq, predictor);
+        // Slice-local policy tuple: each slice composes its own
+        // DirtyStore/WritebackPolicy/LookupPolicy (and predictor —
+        // shared predictor state across shards would race).
+        std::shared_ptr<MissPredictor> pred;
+        if (cfg.mech.needsPredictor()) {
+            pred = std::make_shared<SkipPredictor>(pc);
+        }
+        predictors.push_back(pred);
 
-    // Metadata subsystems the spec attaches (Sections 2.3 and 3.3): both
-    // hang off the DBI organization. They are passive observers, so the
-    // simulation's timing and stats are identical with or without them.
-    if (cfg.mech.attachEcc) {
-        const Dbi *d = sharedLlc->dbiIndex();
-        fatal_if(!d, "the hetero-ECC attachment requires a DBI store");
-        StorageParams sp;
-        sp.cacheBytes = llc_cfg.sizeBytes;
-        sp.assoc = llc_cfg.assoc;
-        sp.alpha = dbi_cfg.alpha;
-        sp.granularity = dbi_cfg.granularity;
-        sp.dbiAssoc = dbi_cfg.assoc;
-        metaIndexes.push_back(std::make_unique<HeteroEccIndex>(
-            d->trackableBlocks(), sp));
+        std::uint32_t p = topo.partitionOfSlice(s);
+        slices.push_back(makeLlc(cfg.mech, slice_cfg, dbi_cfg,
+                                 *chans[s % topo.channels],
+                                 ShardContext(p, *queues[p], fab.get()),
+                                 pred));
+
+        // Metadata subsystems the spec attaches (Sections 2.3 and 3.3):
+        // both hang off the slice's DBI organization. They are passive
+        // observers, so the simulation's timing and stats are identical
+        // with or without them.
+        if (cfg.mech.attachEcc) {
+            const Dbi *d = slices[s]->dbiIndex();
+            fatal_if(!d, "the hetero-ECC attachment requires a DBI store");
+            StorageParams sp;
+            sp.cacheBytes = slice_cfg.sizeBytes;
+            sp.assoc = slice_cfg.assoc;
+            sp.alpha = dbi_cfg.alpha;
+            sp.granularity = dbi_cfg.granularity;
+            sp.dbiAssoc = dbi_cfg.assoc;
+            metaIndexes.push_back(std::make_unique<HeteroEccIndex>(
+                d->trackableBlocks(), sp));
+            metaSlices.push_back(s);
+        }
+        if (cfg.mech.attachDirectory) {
+            fatal_if(!slices[s]->dbiIndex(),
+                     "the coherence-directory attachment requires a DBI "
+                     "store");
+            DbiConfig dir_cfg = dbi_cfg;
+            dir_cfg.seed = cfg.seed + 2017 + 104729ull * s;
+            metaIndexes.push_back(std::make_unique<SplitDirectoryIndex>(
+                dir_cfg, slices[s]->tags().numBlocks()));
+            metaSlices.push_back(s);
+        }
     }
-    if (cfg.mech.attachDirectory) {
-        fatal_if(!sharedLlc->dbiIndex(),
-                 "the coherence-directory attachment requires a DBI "
-                 "store");
-        DbiConfig dir_cfg = dbi_cfg;
-        dir_cfg.seed = cfg.seed + 2017;
-        metaIndexes.push_back(std::make_unique<SplitDirectoryIndex>(
-            dir_cfg, sharedLlc->tags().numBlocks()));
-    }
-    for (auto &m : metaIndexes) {
-        sharedLlc->attachMetadata(m.get());
+    for (std::size_t i = 0; i < metaIndexes.size(); ++i) {
+        slices[metaSlices[i]]->attachMetadata(metaIndexes[i].get());
     }
 
     if (cfg.auditEvery > 0) {
-        audit::AuditConfig ac;
-        ac.checkEvery = cfg.auditEvery;
-        auditWatch =
-            std::make_unique<audit::InvariantAuditor>(*sharedLlc, ac);
+        for (std::uint32_t s = 0; s < topo.slices; ++s) {
+            audit::AuditConfig ac;
+            ac.checkEvery = cfg.auditEvery;
+            ac.shardId = topo.partitionOfSlice(s);
+            auditors.push_back(std::make_unique<audit::InvariantAuditor>(
+                *slices[s], ac));
+        }
     }
 
-    setupTelemetry();
+    if (topo.sharded()) {
+        for (std::uint32_t s = 0; s < topo.slices; ++s) {
+            memRouters.push_back(std::make_unique<ShardMemRouter>(
+                topo, *fab, chans, topo.partitionOfSlice(s)));
+            slices[s]->setMemRouter(memRouters.back().get());
+        }
+        for (std::uint32_t p = 0; p < P; ++p) {
+            corePorts.push_back(std::make_unique<ShardLlcPort>(
+                topo, *fab, slices, p));
+        }
+    }
 
-    sharedLlc->registerStats(statSet);
-    dramCtrl->registerStats(statSet);
+    if (cfg.telemetry.enabled()) {
+        if constexpr (!telemetry::kEnabled) {
+            warn("telemetry requested but this build has DBSIM_TELEMETRY "
+                 "off; ignoring");
+        } else {
+            for (std::uint32_t p = 0; p < P; ++p) {
+                setupTelemetry(p);
+            }
+        }
+    }
 
+    for (auto &slice : slices) {
+        slice->registerStats(statSet);
+    }
+    for (auto &chan : chans) {
+        chan->registerStats(statSet);
+    }
+    if (fab) {
+        fab->registerStats(statSet);
+    }
+
+    progress.resize(P);
     for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        std::uint32_t p = topo.partitionOfCore(c);
         if (!workload[c].empty() && workload[c][0] == '@') {
             traces.push_back(
                 std::make_unique<FileTrace>(workload[c].substr(1)));
@@ -122,73 +331,109 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
             traces.push_back(
                 std::make_unique<SyntheticTrace>(prof, c, cfg.seed));
         }
-        mems.push_back(std::make_unique<CoreMemory>(
-            cfg.mem, *sharedLlc, c, cfg.seed + 31 * c));
+        LlcPort &below = topo.sharded()
+                             ? static_cast<LlcPort &>(*corePorts[p])
+                             : static_cast<LlcPort &>(*slices[0]);
+        mems.push_back(std::make_unique<CoreMemory>(cfg.mem, below, c,
+                                                    cfg.seed + 31 * c));
         mems.back()->registerStats(statSet);
-        cores.push_back(std::make_unique<Core>(c, cfg.core, *traces[c],
-                                               *mems[c], eq));
-        cores.back()->onWarmed(
-            [this](std::uint32_t id) { onCoreWarmed(id); });
-        cores.back()->onDone([this](std::uint32_t id) { onCoreDone(id); });
+        cores.push_back(
+            std::make_unique<Core>(c, cfg.core, *traces[c], *mems[c],
+                                   ShardContext(p, *queues[p], fab.get())));
+        if (!topo.sharded()) {
+            cores.back()->onWarmed(
+                [this](std::uint32_t id) { onCoreWarmed(id); });
+            cores.back()->onDone(
+                [this](std::uint32_t id) { onCoreDone(id); });
+        } else {
+            // Milestones fire on whichever thread runs the core's
+            // shard; they touch only that shard's tally. The epoch loop
+            // acts on them at the next barrier, which keeps warmup
+            // snapshots and the halt deterministic in epoch index —
+            // independent of thread count.
+            cores.back()->onWarmed(
+                [this, p](std::uint32_t) { ++progress[p].warmed; });
+            cores.back()->onDone(
+                [this, p](std::uint32_t) { ++progress[p].done; });
+        }
     }
 }
 
 System::~System() = default;
 
 void
-System::setupTelemetry()
+System::setupTelemetry(std::uint32_t part)
 {
-    if (!cfg.telemetry.enabled()) {
-        return;
+    telemetry::TelemetryConfig tc =
+        topo.sharded() ? cfg.telemetry.withShardSuffix(part)
+                       : cfg.telemetry;
+    auto t = std::make_unique<telemetry::SimTelemetry>(tc);
+    Llc *llc = part < topo.slices ? slices[part].get() : nullptr;
+    DramController *dc = part < topo.channels ? chans[part].get()
+                                              : nullptr;
+    if (llc) {
+        llc->attachTelemetry(t.get());
     }
-    if constexpr (!telemetry::kEnabled) {
-        warn("telemetry requested but this build has DBSIM_TELEMETRY "
-             "off; ignoring");
-        return;
+    if (dc) {
+        dc->attachObserver(t.get());
     }
-    telem = std::make_unique<telemetry::SimTelemetry>(cfg.telemetry);
-    sharedLlc->attachTelemetry(telem.get());
-    dramCtrl->attachObserver(telem.get());
 
-    telemetry::StatSampler *s = telem->sampler();
+    telemetry::StatSampler *s = t->sampler();
     if (!s) {
+        telems.push_back(std::move(t));
         return;
     }
     // Gauges read component state through stat-free const accessors
     // only; counters/rates are tracked with sampler-private last-value
     // bookkeeping. Either way the sampled run's stats stay identical
     // to an unsampled run's.
-    Dbi *d = dbi();
-    if (d) {
-        s->addGauge("dirtyBlocks",
-                    [d] { return double(d->countDirtyBlocks()); });
-        s->addGauge("dbiValidEntries",
-                    [d] { return double(d->countValidEntries()); });
-    } else {
-        const TagStore &ts = sharedLlc->tags();
-        s->addGauge("dirtyBlocks",
-                    [&ts] { return double(ts.countDirty()); });
+    if (llc) {
+        Dbi *d = llc->dbiIndex();
+        if (d) {
+            s->addGauge("dirtyBlocks",
+                        [d] { return double(d->countDirtyBlocks()); });
+            s->addGauge("dbiValidEntries",
+                        [d] { return double(d->countValidEntries()); });
+        } else {
+            const TagStore &ts = llc->tags();
+            s->addGauge("dirtyBlocks",
+                        [&ts] { return double(ts.countDirty()); });
+        }
     }
-    DramController *dc = dramCtrl.get();
-    s->addGauge("writeQueueDepth",
-                [dc] { return double(dc->pendingWrites()); });
-    s->addGauge("readQueueDepth",
-                [dc] { return double(dc->pendingReads()); });
-    s->addGauge("drainMode", [dc] { return dc->draining() ? 1.0 : 0.0; });
-    s->addCounter("dramReads", dramCtrl->statReads);
-    s->addCounter("dramWrites", dramCtrl->statWrites);
-    s->addRate("readRowHitRate", dramCtrl->statReadRowHits,
-               dramCtrl->statReads);
-    s->addRate("writeRowHitRate", dramCtrl->statWriteRowHits,
-               dramCtrl->statWrites);
-    s->addCounter("llcDemandMisses", sharedLlc->statDemandMisses);
-    s->addCounter("llcWbToDram", sharedLlc->statWbToDram);
+    if (dc) {
+        s->addGauge("writeQueueDepth",
+                    [dc] { return double(dc->pendingWrites()); });
+        s->addGauge("readQueueDepth",
+                    [dc] { return double(dc->pendingReads()); });
+        s->addGauge("drainMode",
+                    [dc] { return dc->draining() ? 1.0 : 0.0; });
+        s->addCounter("dramReads", dc->statReads);
+        s->addCounter("dramWrites", dc->statWrites);
+        s->addRate("readRowHitRate", dc->statReadRowHits, dc->statReads);
+        s->addRate("writeRowHitRate", dc->statWriteRowHits,
+                   dc->statWrites);
+    }
+    if (llc) {
+        s->addCounter("llcDemandMisses", llc->statDemandMisses);
+        s->addCounter("llcWbToDram", llc->statWbToDram);
+    }
+    telems.push_back(std::move(t));
 }
 
 Dbi *
 System::dbi()
 {
-    return sharedLlc->dbiIndex();
+    return slices[0]->dbiIndex();
+}
+
+std::uint64_t
+System::eventsDispatched() const
+{
+    std::uint64_t n = 0;
+    for (const EventQueue *q : queuePtrs) {
+        n += q->dispatched();
+    }
+    return n;
 }
 
 void
@@ -199,7 +444,7 @@ System::onCoreWarmed(std::uint32_t)
         // All cores crossed their warmup boundary: the measurement
         // window for system-wide stats starts here.
         statSet.snapshotAll();
-        warmTime = eq.now();
+        warmTime = queues[0]->now();
     }
 }
 
@@ -208,23 +453,22 @@ System::onCoreDone(std::uint32_t)
 {
     ++doneCount;
     if (doneCount == cfg.numCores) {
-        doneTime = eq.now();
+        doneTime = queues[0]->now();
         for (auto &core : cores) {
             core->halt();
         }
     }
 }
 
-SimResult
-System::run()
+void
+System::runSingle()
 {
-    for (auto &core : cores) {
-        core->start();
-    }
+    EventQueue &eq = *queues[0];
     // The sampler is polled (one comparison) rather than event-driven:
     // scheduling sampling events would keep the queue alive and perturb
     // same-cycle FIFO ordering, breaking run/no-run identity.
-    telemetry::StatSampler *sampler = telem ? telem->sampler() : nullptr;
+    telemetry::StatSampler *sampler =
+        !telems.empty() && telems[0] ? telems[0]->sampler() : nullptr;
     while (eq.step()) {
         if constexpr (telemetry::kEnabled) {
             if (sampler) {
@@ -238,7 +482,103 @@ System::run()
     }
     panic_if(doneCount != cfg.numCores,
              "event queue drained before all cores finished");
+}
 
+void
+System::runShardEpoch(std::uint32_t part, Cycle limit)
+{
+    EventQueue &q = *queues[part];
+    telemetry::StatSampler *sampler = nullptr;
+    if constexpr (telemetry::kEnabled) {
+        if (part < telems.size() && telems[part]) {
+            sampler = telems[part]->sampler();
+        }
+    }
+    while (q.pending() != 0 && q.nextTime() <= limit) {
+        q.step();
+        if constexpr (telemetry::kEnabled) {
+            if (sampler) {
+                sampler->poll(q.now());
+            }
+        }
+    }
+    // Advance the shard's clock to the barrier even if it went idle
+    // early, so next epoch's deliveries can never be in its past.
+    q.runUntil(limit);
+}
+
+void
+System::runSharded()
+{
+    const std::uint32_t P = topo.partitions;
+    const Cycle W = topo.hopLatency;
+    ShardWorkers pool(topo.workers);
+
+    // Conservative time-window loop. Epoch k runs every shard
+    // independently over [epochBase, epochBase+W); messages they send
+    // deliver >= one full window later (send time + hop, hop == W), so
+    // nothing a concurrent shard does this epoch can affect another
+    // until after the barrier. See common/shard.hh.
+    Cycle epoch_base = 0;
+    for (;;) {
+        fatal_if(epoch_base > cfg.maxCycles,
+                 "simulation exceeded %llu cycles: likely deadlock",
+                 static_cast<unsigned long long>(cfg.maxCycles));
+        const Cycle limit = epoch_base + W - 1;
+        pool.run([&](std::uint32_t w) {
+            // Static shard->worker assignment; any assignment yields
+            // the same simulation, this one just balances load.
+            for (std::uint32_t p = w; p < P; p += pool.count()) {
+                runShardEpoch(p, limit);
+            }
+        });
+        fab->deliverAll(queuePtrs);
+
+        // Barrier-time milestone processing (single-threaded, so the
+        // cross-shard stat snapshot and the halt are race-free and land
+        // at a deterministic epoch boundary).
+        std::uint32_t warmed = 0;
+        std::uint32_t done = 0;
+        for (const ShardProgress &pr : progress) {
+            warmed += pr.warmed;
+            done += pr.done;
+        }
+        if (!warmSnapshotTaken && warmed == cfg.numCores) {
+            statSet.snapshotAll();
+            warmTime = limit + 1;
+            warmedCount = warmed;
+            warmSnapshotTaken = true;
+        }
+        if (!haltIssued && done == cfg.numCores) {
+            doneTime = limit + 1;
+            for (auto &core : cores) {
+                core->halt();
+            }
+            doneCount = done;
+            haltIssued = true;
+        }
+
+        Cycle min_next = kCycleMax;
+        for (const EventQueue *q : queuePtrs) {
+            min_next = std::min(min_next, q->nextTime());
+        }
+        if (min_next == kCycleMax) {
+            break;  // every queue drained and no messages in flight
+        }
+        epoch_base += W;
+        if (min_next >= epoch_base + W) {
+            // Dead air: no shard has an event this epoch, so jump to
+            // the window containing the globally earliest one.
+            epoch_base = min_next - (min_next % W);
+        }
+    }
+    panic_if(!haltIssued,
+             "event queues drained before all cores finished");
+}
+
+SimResult
+System::assembleResult()
+{
     SimResult res;
     res.windowCycles = doneTime - warmTime;
     for (auto &core : cores) {
@@ -246,8 +586,18 @@ System::run()
         res.totalInstrs += core->measuredInstrs();
     }
     res.stats = statSet.collect();
-    res.readRowHitRate = dramCtrl->readRowHitRate();
-    res.writeRowHitRate = dramCtrl->writeRowHitRate();
+
+    std::uint64_t reads = 0, read_hits = 0, writes = 0, write_hits = 0;
+    for (auto &chan : chans) {
+        reads += chan->statReads.sinceSnapshot();
+        read_hits += chan->statReadRowHits.sinceSnapshot();
+        writes += chan->statWrites.sinceSnapshot();
+        write_hits += chan->statWriteRowHits.sinceSnapshot();
+    }
+    res.readRowHitRate =
+        reads ? static_cast<double>(read_hits) / reads : 0.0;
+    res.writeRowHitRate =
+        writes ? static_cast<double>(write_hits) / writes : 0.0;
 
     double kilo_instrs = static_cast<double>(res.totalInstrs) / 1000.0;
     res.tagLookupsPki =
@@ -255,32 +605,71 @@ System::run()
     res.wpki = static_cast<double>(res.stats["dram.writes"]) / kilo_instrs;
     res.mpki =
         static_cast<double>(res.stats["llc.demandMisses"]) / kilo_instrs;
-    res.dramEnergyPj = dramCtrl->energySince(res.windowCycles).totalPj();
+    for (auto &chan : chans) {
+        res.dramEnergyPj += chan->energySince(res.windowCycles).totalPj();
+    }
 
     if constexpr (telemetry::kEnabled) {
-        if (telem) {
-            telem->setTotal("dram.drainCycles",
-                            dramCtrl->statDrainCycles.value());
-            telem->setTotal("dram.drains", dramCtrl->statDrains.value());
-            telem->finish(eq.now());
-            res.telemetry = telem->summaryMetrics();
+        for (std::uint32_t p = 0; p < telems.size(); ++p) {
+            if (!telems[p]) {
+                continue;
+            }
+            if (p < topo.channels) {
+                telems[p]->setTotal("dram.drainCycles",
+                                    chans[p]->statDrainCycles.value());
+                telems[p]->setTotal("dram.drains",
+                                    chans[p]->statDrains.value());
+            }
+            telems[p]->finish(queues[p]->now());
+            std::string prefix =
+                topo.sharded() ? "s" + std::to_string(p) + "." : "";
+            for (const auto &[key, value] :
+                 telems[p]->summaryMetrics()) {
+                res.telemetry[prefix + key] = value;
+            }
         }
     }
 
-    for (auto &m : metaIndexes) {
-        m->reportMetrics(res.metadata);
+    for (std::size_t i = 0; i < metaIndexes.size(); ++i) {
+        if (topo.slices == 1) {
+            metaIndexes[i]->reportMetrics(res.metadata);
+        } else {
+            std::map<std::string, double> m;
+            metaIndexes[i]->reportMetrics(m);
+            std::string prefix =
+                "s" + std::to_string(metaSlices[i]) + ".";
+            for (const auto &[key, value] : m) {
+                res.metadata[prefix + key] = value;
+            }
+        }
     }
 
-    sharedLlc->checkInvariants();
-    if (auditWatch) {
+    for (auto &slice : slices) {
+        slice->checkInvariants();
+    }
+    for (auto &watch : auditors) {
         // End-of-run differential: the mechanism's final dirty state
-        // must reproduce the ground-truth memory image exactly.
-        auditWatch->checkNow();
-        panic_if(auditWatch->finalImage() !=
-                     auditWatch->shadow().finalImage(),
+        // must reproduce the ground-truth memory image exactly, slice
+        // by slice.
+        watch->checkNow();
+        panic_if(watch->finalImage() != watch->shadow().finalImage(),
                  "final memory image diverges from ground truth");
     }
     return res;
+}
+
+SimResult
+System::run()
+{
+    for (auto &core : cores) {
+        core->start();
+    }
+    if (topo.sharded()) {
+        runSharded();
+    } else {
+        runSingle();
+    }
+    return assembleResult();
 }
 
 SimResult

@@ -4,6 +4,16 @@
  * system configuration (Table 1), pick a mechanism (Table 2) and a
  * workload mix, and run it to obtain per-core IPCs plus the memory-
  * system statistics the paper's figures are made of.
+ *
+ * Machines come in two shapes. The paper's Table 1 machine (the
+ * default) has one monolithic LLC and one DRAM channel and runs on a
+ * single EventQueue exactly as before. Scaled-up machines
+ * (llcSlices/dram.channels > 1) are partitioned into shards — each
+ * owning an EventQueue, an LLC slice with its own policy tuple, and a
+ * DRAM channel — and executed under epoch-barrier synchronization on
+ * `numShards` worker threads. Thread count never changes statistics;
+ * see common/shard.hh and sim/topology.hh for the scheme and the
+ * determinism argument.
  */
 
 #ifndef DBSIM_SIM_SYSTEM_HH
@@ -17,6 +27,7 @@
 
 #include "audit/auditor.hh"
 #include "common/event_queue.hh"
+#include "common/shard.hh"
 #include "cpu/core.hh"
 #include "cpu/core_memory.hh"
 #include "dbi/dbi.hh"
@@ -24,6 +35,7 @@
 #include "llc/llc.hh"
 #include "pred/miss_predictor.hh"
 #include "sim/mechanism.hh"
+#include "sim/topology.hh"
 #include "telemetry/telemetry.hh"
 #include "workload/mixes.hh"
 #include "workload/file_trace.hh"
@@ -55,6 +67,33 @@ struct SystemConfig
     /** Use DRRIP instead of TA-DIP for non-baseline mechanisms. */
     bool useDrrip = false;
 
+    // -- Sharding knobs (0 = derive; see sim/topology.hh) -------------
+
+    /**
+     * Address-interleaved LLC slices, each with its own tag store, DBI,
+     * and policy tuple (the paper's multi-bank DBI organization scaled
+     * out). 0 derives Table-1 style: 1 slice up to 8 cores, one per 16
+     * cores beyond. Part of the simulated machine: changes stats.
+     */
+    std::uint32_t llcSlices = 0;
+
+    /**
+     * Cross-shard hop latency in cycles (NUCA remote-slice / remote-
+     * channel penalty), which is also the epoch-barrier lookahead.
+     * 0 derives: 64 on sliced machines, none on unsharded ones.
+     * Part of the simulated machine: changes stats.
+     * DRAM channels are configured via `dram.channels` (0 = one per
+     * LLC slice).
+     */
+    Cycle shardHopLatency = 0;
+
+    /**
+     * Worker threads executing the shards. Purely an execution knob:
+     * any value produces bit-identical statistics (the new golden
+     * invariant). 0 derives min(partitions, host cores).
+     */
+    std::uint32_t numShards = 0;
+
     DbiConfig dbi;
     DramConfig dram;
     CoreConfig core;
@@ -71,6 +110,7 @@ struct SystemConfig
      * runs are covered) audit by default; the bench harness overrides
      * this to 0 so measured numbers never carry auditing overhead.
      * The auditor is passive — it changes no timing and no stats.
+     * Sliced machines audit per slice (each slice has its own auditor).
      */
 #ifdef DBSIM_AUDIT
     std::uint64_t auditEvery = 4096;
@@ -84,15 +124,20 @@ struct SystemConfig
      * (TelemetryConfig::enabled() is false); requesting it in a build
      * configured with -DDBSIM_TELEMETRY=OFF draws a warning and is
      * ignored. Observation is strictly passive: a run with telemetry on
-     * is cycle- and stat-identical to the same run without.
+     * is cycle- and stat-identical to the same run without. On sharded
+     * runs each shard writes its own ".s<k>"-suffixed streams.
      */
     telemetry::TelemetryConfig telemetry;
 
     /** Hard simulation cap; exceeded means a deadlock bug. */
     Cycle maxCycles = 20'000'000'000ull;
 
-    /** Resolved LLC config for this core count. */
+    /** Resolved LLC config for this core count (machine-wide size;
+     *  System divides capacity across slices). */
     LlcConfig resolveLlc() const;
+
+    /** Resolved, validated machine partitioning for these knobs. */
+    ShardTopology topology() const;
 };
 
 /**
@@ -121,7 +166,7 @@ struct SimResult
     /**
      * Histogram summaries ("hist.<name>.<stat>") when the run collected
      * telemetry histograms; empty otherwise. Deterministic in the
-     * simulation.
+     * simulation. Sharded runs prefix each shard's entries "s<k>.".
      */
     std::map<std::string, double> telemetry;
 
@@ -129,14 +174,24 @@ struct SimResult
      * Metrics reported by attached metadata subsystems ("ecc.*" /
      * "dir.*" — hetero-ECC protection outcomes and storage/energy
      * accounting, coherence-directory activity) when the mechanism spec
-     * attaches them; empty otherwise.
+     * attaches them; empty otherwise. Sliced machines attach one index
+     * set per slice and prefix each slice's entries "s<k>.".
      */
     std::map<std::string, double> metadata;
 };
 
+class ShardLlcPort;
+class ShardMemRouter;
+
 /**
- * One simulated machine: cores + private caches + shared LLC (mechanism
- * variant) + DRAM, on a single event queue.
+ * One simulated machine: cores + private caches + sliced shared LLC
+ * (mechanism variant) + DRAM channels, partitioned into shards each
+ * driving its own event queue.
+ *
+ * Compatibility façade: on the default single-shard machine llc(),
+ * dram(), dbi(), auditor() and telemetry() mean what they always did;
+ * on sliced machines they refer to slice/channel/shard 0, with
+ * llcSlice()/dramChannel()/sliceAuditor() for the rest.
  */
 class System
 {
@@ -152,35 +207,71 @@ class System
     /** Run warmup + measurement; collect results. */
     SimResult run();
 
-    /** The LLC (for tests and examples). */
-    Llc &llc() { return *sharedLlc; }
+    /** The resolved machine partitioning. */
+    const ShardTopology &topology() const { return topo; }
 
-    /** The DBI, if the mechanism has one (nullptr otherwise). */
+    std::uint32_t numSlices() const { return topo.slices; }
+    std::uint32_t numChannels() const { return topo.channels; }
+
+    /** Shards the machine is partitioned into (not worker threads). */
+    std::uint32_t numPartitions() const { return topo.partitions; }
+
+    /** Worker threads the epoch engine will use. */
+    std::uint32_t numWorkers() const { return topo.workers; }
+
+    /** The LLC — slice 0 on sliced machines (for tests and examples). */
+    Llc &llc() { return *slices[0]; }
+
+    /** LLC slice `s`. */
+    Llc &llcSlice(std::uint32_t s) { return *slices.at(s); }
+
+    /** Slice 0's DBI, if the mechanism has one (nullptr otherwise). */
     Dbi *dbi();
 
-    /** Attached metadata subsystems (for tests and examples). */
+    /** Attached metadata subsystems, all slices in slice order. */
     const std::vector<std::unique_ptr<MetadataIndex>> &
     metadata() const
     {
         return metaIndexes;
     }
 
-    /** The DRAM controller. */
-    DramController &dram() { return *dramCtrl; }
+    /** The DRAM controller — channel 0 on multi-channel machines. */
+    DramController &dram() { return *chans[0]; }
+
+    /** DRAM channel `c`. */
+    DramController &dramChannel(std::uint32_t c) { return *chans.at(c); }
+
+    /** The cross-shard mailbox (nullptr on single-shard machines). */
+    const ShardFabric *fabric() const { return fab.get(); }
 
     /**
-     * Events the simulation kernel has dispatched so far — the
-     * denominator of the host-performance metrics (events/sec,
-     * ns/event) bench/host_perf.cpp reports. Deterministic: identical
-     * configs dispatch identical event counts.
+     * Events the simulation kernel has dispatched so far, summed over
+     * every shard's queue — the denominator of the host-performance
+     * metrics (events/sec, ns/event) bench/host_perf.cpp reports.
+     * Deterministic: identical configs dispatch identical event counts,
+     * regardless of numShards.
      */
-    std::uint64_t eventsDispatched() const { return eq.dispatched(); }
+    std::uint64_t eventsDispatched() const;
 
-    /** The invariant auditor, when enabled (nullptr otherwise). */
-    audit::InvariantAuditor *auditor() { return auditWatch.get(); }
+    /** Slice 0's invariant auditor, when enabled (nullptr otherwise). */
+    audit::InvariantAuditor *auditor()
+    {
+        return auditors.empty() ? nullptr : auditors[0].get();
+    }
 
-    /** The telemetry sink, when enabled (nullptr otherwise). */
-    dbsim::telemetry::SimTelemetry *telemetry() { return telem.get(); }
+    /** Slice `s`'s invariant auditor (nullptr when auditing is off). */
+    audit::InvariantAuditor *
+    sliceAuditor(std::uint32_t s)
+    {
+        return auditors.empty() ? nullptr : auditors.at(s).get();
+    }
+
+    /** Shard 0's telemetry sink, when enabled (nullptr otherwise). */
+    dbsim::telemetry::SimTelemetry *
+    telemetry()
+    {
+        return telems.empty() ? nullptr : telems[0].get();
+    }
 
     /** Per-core private hierarchy (for inspection). */
     CoreMemory &coreMemory(std::uint32_t core) { return *mems.at(core); }
@@ -188,18 +279,35 @@ class System
   private:
     void onCoreWarmed(std::uint32_t core_id);
     void onCoreDone(std::uint32_t core_id);
-    void setupTelemetry();
+    void setupTelemetry(std::uint32_t part);
+
+    /** Legacy engine: the whole machine on one queue, one thread. */
+    void runSingle();
+
+    /** Epoch-barrier engine for partitioned machines. */
+    void runSharded();
+
+    /** Run shard `part`'s events up to and including `limit`. */
+    void runShardEpoch(std::uint32_t part, Cycle limit);
+
+    SimResult assembleResult();
 
     SystemConfig cfg;
     WorkloadMix workload;
+    ShardTopology topo;
 
-    EventQueue eq;
-    std::unique_ptr<DramController> dramCtrl;
-    std::shared_ptr<MissPredictor> predictor;
-    std::unique_ptr<Llc> sharedLlc;
+    std::vector<std::unique_ptr<EventQueue>> queues;  ///< per shard
+    std::vector<EventQueue *> queuePtrs;
+    std::unique_ptr<ShardFabric> fab;                 ///< sharded only
+    std::vector<std::unique_ptr<DramController>> chans;
+    std::vector<std::shared_ptr<MissPredictor>> predictors;  ///< per slice
+    std::vector<std::unique_ptr<Llc>> slices;
+    std::vector<std::unique_ptr<ShardMemRouter>> memRouters;  ///< per slice
+    std::vector<std::unique_ptr<ShardLlcPort>> corePorts;     ///< per shard
     std::vector<std::unique_ptr<MetadataIndex>> metaIndexes;
-    std::unique_ptr<audit::InvariantAuditor> auditWatch;
-    std::unique_ptr<dbsim::telemetry::SimTelemetry> telem;
+    std::vector<std::uint32_t> metaSlices;  ///< owning slice per index
+    std::vector<std::unique_ptr<audit::InvariantAuditor>> auditors;
+    std::vector<std::unique_ptr<dbsim::telemetry::SimTelemetry>> telems;
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<CoreMemory>> mems;
     std::vector<std::unique_ptr<Core>> cores;
@@ -209,6 +317,20 @@ class System
     std::uint32_t doneCount = 0;
     Cycle warmTime = 0;
     Cycle doneTime = 0;
+
+    /**
+     * Per-shard milestone tallies for the epoch engine. A shard's entry
+     * is written only by the thread running that shard's epoch and read
+     * at barriers, so the padding (not locks) is all that's needed.
+     */
+    struct alignas(64) ShardProgress
+    {
+        std::uint32_t warmed = 0;
+        std::uint32_t done = 0;
+    };
+    std::vector<ShardProgress> progress;
+    bool warmSnapshotTaken = false;
+    bool haltIssued = false;
 };
 
 /** Convenience: build and run in one call. */

@@ -8,12 +8,11 @@ namespace {
 
 /** "dir/base.ext" -> "dir/base.pt<i>.ext"; no-ext names get appended. */
 std::string
-suffixPath(const std::string &path, std::size_t index)
+suffixPath(const std::string &path, const std::string &tag)
 {
     if (path.empty()) {
         return path;
     }
-    std::string tag = ".pt" + std::to_string(index);
     std::size_t slash = path.find_last_of('/');
     std::size_t dot = path.find_last_of('.');
     if (dot == std::string::npos ||
@@ -44,8 +43,19 @@ TelemetryConfig
 TelemetryConfig::withPointSuffix(std::size_t index) const
 {
     TelemetryConfig c = *this;
-    c.timeseriesPath = suffixPath(timeseriesPath, index);
-    c.tracePath = suffixPath(tracePath, index);
+    std::string tag = ".pt" + std::to_string(index);
+    c.timeseriesPath = suffixPath(timeseriesPath, tag);
+    c.tracePath = suffixPath(tracePath, tag);
+    return c;
+}
+
+TelemetryConfig
+TelemetryConfig::withShardSuffix(std::uint32_t shard) const
+{
+    TelemetryConfig c = *this;
+    std::string tag = ".s" + std::to_string(shard);
+    c.timeseriesPath = suffixPath(timeseriesPath, tag);
+    c.tracePath = suffixPath(tracePath, tag);
     return c;
 }
 

@@ -76,6 +76,14 @@ struct TelemetryConfig
      * distinct files.
      */
     TelemetryConfig withPointSuffix(std::size_t index) const;
+
+    /**
+     * Copy with ".s<shard>" spliced into the output file names: on
+     * sharded runs every shard writes its own time-series/trace stream
+     * (merged logically at epoch barriers by construction — a shard's
+     * samples are final when its epoch ends).
+     */
+    TelemetryConfig withShardSuffix(std::uint32_t shard) const;
 };
 
 /** Request classes the LLC read path distinguishes (latency hists). */

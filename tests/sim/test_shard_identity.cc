@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The new golden invariant: `numShards` is a pure execution knob. A
+ * partitioned machine simulated on 1 worker thread and on N worker
+ * threads must produce bit-identical results — every counter, every
+ * per-core IPC, every derived metric. This is what the epoch-barrier
+ * scheme (common/shard.hh) promises; these tests hold it to that over
+ * the full mechanism preset matrix, several workload mixes, asymmetric
+ * slice/channel counts, and every worker count from 1 to partitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/mechanism.hh"
+#include "sim/system.hh"
+
+namespace dbsim {
+namespace {
+
+const std::vector<WorkloadMix> kMixes = {
+    {"stream", "stream", "stream", "stream"},
+    {"mcf", "lbm", "mcf", "lbm"},
+    {"libquantum", "stream", "mcf", "lbm"},
+};
+
+SystemConfig
+slicedConfig(MechanismSpec mech)
+{
+    SystemConfig cfg;
+    cfg.mech = mech;
+    cfg.numCores = 4;
+    cfg.llcSlices = 4;
+    cfg.dram.channels = 4;
+    cfg.core.warmupInstrs = 40'000;
+    cfg.core.measureInstrs = 30'000;
+    // Shorten the predictor epoch so Skip/CLB mechanisms actually train
+    // inside this short run (mirrors test_system.cc).
+    cfg.pred.epochCycles = 100'000;
+    return cfg;
+}
+
+void
+expectIdentical(const SimResult &a, const SimResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.stats, b.stats) << what;
+    EXPECT_EQ(a.totalInstrs, b.totalInstrs) << what;
+    EXPECT_EQ(a.windowCycles, b.windowCycles) << what;
+    EXPECT_EQ(a.readRowHitRate, b.readRowHitRate) << what;
+    EXPECT_EQ(a.writeRowHitRate, b.writeRowHitRate) << what;
+    EXPECT_EQ(a.tagLookupsPki, b.tagLookupsPki) << what;
+    EXPECT_EQ(a.wpki, b.wpki) << what;
+    EXPECT_EQ(a.mpki, b.mpki) << what;
+    EXPECT_EQ(a.dramEnergyPj, b.dramEnergyPj) << what;
+    EXPECT_EQ(a.telemetry, b.telemetry) << what;
+    EXPECT_EQ(a.metadata, b.metadata) << what;
+}
+
+SimResult
+runWithShards(SystemConfig cfg, const WorkloadMix &mix,
+              std::uint32_t shards)
+{
+    cfg.numShards = shards;
+    return runWorkload(cfg, mix);
+}
+
+TEST(ShardIdentity, EveryPresetIsThreadCountInvariant)
+{
+    // The full Table 2 matrix x 3 mixes, 1 worker vs 4 workers.
+    for (Mechanism m : allMechanisms()) {
+        for (std::size_t i = 0; i < kMixes.size(); ++i) {
+            SystemConfig cfg = slicedConfig(m);
+            SimResult serial = runWithShards(cfg, kMixes[i], 1);
+            SimResult parallel = runWithShards(cfg, kMixes[i], 4);
+            expectIdentical(serial, parallel,
+                            std::string(mechanismName(m)) + " mix " +
+                                std::to_string(i));
+        }
+    }
+}
+
+TEST(ShardIdentity, EveryWorkerCountAgrees)
+{
+    // Non-power-of-two worker counts exercise uneven shard->worker
+    // assignment (4 partitions on 3 workers: one worker runs two).
+    SystemConfig cfg = slicedConfig(Mechanism::DbiAwbClb);
+    SimResult ref = runWithShards(cfg, kMixes[1], 1);
+    for (std::uint32_t shards : {2u, 3u, 4u}) {
+        SimResult r = runWithShards(cfg, kMixes[1], shards);
+        expectIdentical(ref, r,
+                        "numShards=" + std::to_string(shards));
+    }
+}
+
+TEST(ShardIdentity, AsymmetricSliceChannelMachinesAgree)
+{
+    // Slices != channels: partitions follow the larger axis, some
+    // shards own a slice but no channel — the routing asymmetry the
+    // mailbox has to get right in both directions.
+    SystemConfig cfg = slicedConfig(Mechanism::Dbi);
+    cfg.llcSlices = 4;
+    cfg.dram.channels = 2;
+    SimResult serial = runWithShards(cfg, kMixes[2], 1);
+    SimResult parallel = runWithShards(cfg, kMixes[2], 4);
+    expectIdentical(serial, parallel, "4 slices / 2 channels");
+
+    cfg.llcSlices = 2;
+    cfg.dram.channels = 4;
+    serial = runWithShards(cfg, kMixes[2], 1);
+    parallel = runWithShards(cfg, kMixes[2], 4);
+    expectIdentical(serial, parallel, "2 slices / 4 channels");
+}
+
+TEST(ShardIdentity, ShardedRunsAreDeterministicAcrossRepeats)
+{
+    // Same config, same thread count, two runs: the parallel engine
+    // must also be deterministic against itself (no dependence on
+    // host-thread scheduling).
+    SystemConfig cfg = slicedConfig(Mechanism::DbiAwb);
+    SimResult a = runWithShards(cfg, kMixes[1], 4);
+    SimResult b = runWithShards(cfg, kMixes[1], 4);
+    expectIdentical(a, b, "repeat");
+}
+
+TEST(ShardIdentity, HopLatencyChangesStatsButNotIdentity)
+{
+    // The hop is part of the simulated machine: varying it must change
+    // results (it's a real latency), while thread-count invariance
+    // holds at every value — including the minimum W=1, where the
+    // epoch engine degenerates to near-lockstep.
+    SystemConfig cfg = slicedConfig(Mechanism::TaDip);
+    cfg.shardHopLatency = 64;
+    SimResult base = runWithShards(cfg, kMixes[0], 1);
+    for (Cycle hop : {1u, 16u, 128u}) {
+        cfg.shardHopLatency = hop;
+        SimResult serial = runWithShards(cfg, kMixes[0], 1);
+        SimResult parallel = runWithShards(cfg, kMixes[0], 4);
+        expectIdentical(serial, parallel,
+                        "hop=" + std::to_string(hop));
+        if (hop != 64) {
+            EXPECT_NE(serial.windowCycles, base.windowCycles)
+                << "hop latency should be a real simulated latency";
+        }
+    }
+}
+
+TEST(ShardIdentity, EventCountIsThreadCountInvariant)
+{
+    SystemConfig cfg = slicedConfig(Mechanism::Dbi);
+    cfg.numShards = 1;
+    System serial(cfg, kMixes[0]);
+    serial.run();
+    cfg.numShards = 4;
+    System parallel(cfg, kMixes[0]);
+    parallel.run();
+    EXPECT_EQ(serial.eventsDispatched(), parallel.eventsDispatched());
+    EXPECT_EQ(serial.numWorkers(), 1u);
+}
+
+} // namespace
+} // namespace dbsim
