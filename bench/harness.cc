@@ -38,6 +38,7 @@ printUsage(const char *argv0)
                 "[--channels N] [--hop N]\n"
                 "        [--sample N] [--timeseries FILE]\n"
                 "        [--trace FILE] [--hist] [--host-timers]\n"
+                "        [--cache-dir DIR] [--no-cache] [--no-resume]\n"
                 "        [--no-progress] [--list] [--help]\n\n"
                 "experiments in this binary:\n",
                 argv0);
@@ -174,6 +175,13 @@ harnessMain(int argc, char **argv)
             opts.histograms = true;
         } else if (std::strcmp(arg, "--host-timers") == 0) {
             opts.hostTimers = true;
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            opts.cacheDir = needValue(i);
+            ++i;
+        } else if (std::strcmp(arg, "--no-cache") == 0) {
+            opts.noCache = true;
+        } else if (std::strcmp(arg, "--no-resume") == 0) {
+            opts.resume = false;
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             opts.progress = false;
         } else if (std::strcmp(arg, "--list") == 0 ||
@@ -192,6 +200,15 @@ harnessMain(int argc, char **argv)
 
     fatal_if(registry().empty(), "no experiment registered");
 
+    if (opts.cacheDir.empty()) {
+        if (const char *env = std::getenv("DBSIM_CACHE_DIR")) {
+            opts.cacheDir = env;
+        }
+    }
+    if (opts.noCache) {
+        opts.cacheDir.clear();
+    }
+
     for (const auto &e : registry()) {
         exp::RunOptions run_opts;
         run_opts.jobs = e.serialOnly ? 1 : opts.jobs;
@@ -201,6 +218,8 @@ harnessMain(int argc, char **argv)
         run_opts.auditEvery = opts.auditEvery;
         run_opts.telemetry = opts.telemetryConfig(e.name);
         run_opts.hostTimers = opts.hostTimers;
+        run_opts.cacheDir = opts.cacheDir;
+        run_opts.resume = opts.resume;
 
         exp::SweepSpec spec = e.spec(opts);
         // Machine-shape flags are applied centrally, so every bench

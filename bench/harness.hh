@@ -41,6 +41,16 @@
  *           [--host-timers]           per-point wall-clock phase timings
  *                                     in the JSONL records ("host" key;
  *                                     non-deterministic, hence opt-in)
+ *           [--cache-dir DIR]         persistent content-hash result
+ *                                     cache: points already computed
+ *                                     under this build (by any bench)
+ *                                     are filled from the store instead
+ *                                     of simulated (default
+ *                                     $DBSIM_CACHE_DIR when set)
+ *           [--no-cache]              ignore $DBSIM_CACHE_DIR/--cache-dir
+ *           [--no-resume]             with --json: recompute everything
+ *                                     instead of resuming a killed sweep
+ *                                     from FILE and FILE.manifest
  *           [--no-progress]           suppress the stderr progress line
  *           [--list] [--help]
  *
@@ -89,6 +99,16 @@ struct HarnessOptions
 
     /** --host-timers: wall-clock phase timings in the JSONL records. */
     bool hostTimers = false;
+
+    /**
+     * --cache-dir DIR (default $DBSIM_CACHE_DIR): persistent result
+     * cache directory; empty = caching off. --no-cache forces it off.
+     */
+    std::string cacheDir;
+    bool noCache = false;
+
+    /** --no-resume: never resume --json sweeps from their manifest. */
+    bool resume = true;
 
     /**
      * Sharding flags (--shards / --slices / --channels / --hop),

@@ -2,16 +2,31 @@
 
 namespace dbsim::exp {
 
+SystemConfig
+aloneRunConfig(const SystemConfig &base)
+{
+    SystemConfig cfg = base;
+    cfg.numCores = 1;
+    cfg.mech = Mechanism::Baseline;
+    // Alone runs keep per-core LLC capacity, matching the shared
+    // system (same convention as the legacy cache), but the machine
+    // topology is pinned: inheriting llcSlices/dram.channels/
+    // shardHopLatency from a sharded base would make --slices 4
+    // silently change the fairness-metric denominators.
+    cfg.llcSlices = 1;
+    cfg.dram.channels = 1;
+    cfg.shardHopLatency = 0;
+    cfg.numShards = 0;
+    return cfg;
+}
+
 AloneIpcCache::AloneIpcCache(const SystemConfig &base)
     : baseCfg(base)
 {
     compute = [this](const std::string &bench) {
-        SystemConfig cfg = baseCfg;
-        cfg.numCores = 1;
-        cfg.mech = Mechanism::Baseline;
-        // Alone runs keep per-core LLC capacity, matching the shared
-        // system (same convention as the legacy cache).
-        return runWorkload(cfg, WorkloadMix{bench}).ipc[0];
+        return runWorkload(aloneRunConfig(baseCfg),
+                           WorkloadMix{bench})
+            .ipc[0];
     };
 }
 

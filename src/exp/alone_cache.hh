@@ -24,6 +24,18 @@
 
 namespace dbsim::exp {
 
+/**
+ * The configuration an alone-IPC baseline run actually uses: `base`
+ * with the core count, mechanism, and machine topology pinned to the
+ * canonical 1-core/1-slice/1-channel shape. Alone IPCs are the
+ * denominators of every fairness metric, so they must not drift when
+ * the shared machine is swept (--slices 4 must not change them); only
+ * scalar parameters (seed, instruction counts, DRAM timings, cache
+ * geometry per core) are inherited. Exposed so the result cache can
+ * canonicalize exactly what would run.
+ */
+SystemConfig aloneRunConfig(const SystemConfig &base);
+
 class AloneIpcCache
 {
   public:

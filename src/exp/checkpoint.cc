@@ -1,0 +1,173 @@
+#include "checkpoint.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "exp/json.hh"
+#include "exp/jsonl_read.hh"
+#include "exp/result_cache.hh"
+
+namespace dbsim::exp {
+
+std::string
+sweepSpecHash(const SweepSpec &spec)
+{
+    std::string all = buildStamp();
+    all += '\n';
+    for (const SweepPoint &p : spec.points()) {
+        all += canonicalPoint(p, spec.aloneBase());
+        all += '\n';
+    }
+    return keyHex(fnv1a64(all));
+}
+
+namespace {
+
+std::string
+manifestHeader(const std::string &spec_hash)
+{
+    return "{\"farm\":" +
+           jsonString(ResultCache::kVersion) +
+           ",\"spec\":" + jsonString(spec_hash) + "}";
+}
+
+std::string
+manifestEntry(std::size_t index, const std::string &raw)
+{
+    return "{\"index\":" + jsonNumber(std::uint64_t(index)) +
+           ",\"line\":" + jsonString(keyHex(fnv1a64(raw))) + "}";
+}
+
+} // namespace
+
+CheckpointSink::CheckpointSink(const std::string &jsonl_path,
+                               const std::string &spec_hash,
+                               bool resume)
+    : jsonlPath(jsonl_path), manifestPath(jsonl_path + ".manifest")
+{
+    if (resume) {
+        loadForResume(spec_hash);
+    }
+    // Rewrite both files to exactly the trusted completed set (empty
+    // when not resuming), then reopen for appending. The temp+rename
+    // dance keeps a kill during the rewrite from losing the originals.
+    rewrite(spec_hash);
+
+    jsonlOut.open(jsonlPath, std::ios::out | std::ios::app);
+    fatal_if(!jsonlOut, "cannot open JSONL output '%s'",
+             jsonlPath.c_str());
+    manifestOut.open(manifestPath, std::ios::out | std::ios::app);
+    fatal_if(!manifestOut, "cannot open manifest '%s'",
+             manifestPath.c_str());
+}
+
+void
+CheckpointSink::loadForResume(const std::string &spec_hash)
+{
+    JsonlFile manifest = readJsonl(manifestPath);
+    if (!manifest.exists || manifest.rows.empty()) {
+        return;
+    }
+    {
+        const JsonValue &hdr = manifest.rows.front().value;
+        const JsonValue *farm = hdr.find("farm");
+        const JsonValue *spec = hdr.find("spec");
+        if (!farm || !farm->isString() ||
+            farm->text != ResultCache::kVersion || !spec ||
+            !spec->isString() || spec->text != spec_hash) {
+            // Different sweep, different build, or not ours: the
+            // checkpoint cannot be trusted for this run.
+            return;
+        }
+    }
+
+    // Index the JSONL lines actually on disk (first occurrence wins).
+    std::map<std::size_t, const JsonlRow *> on_disk;
+    JsonlFile jsonl = readJsonl(jsonlPath);
+    for (const JsonlRow &row : jsonl.rows) {
+        const JsonValue *idx = row.value.find("index");
+        std::uint64_t i = 0;
+        if (!idx || !idx->asU64(i)) {
+            continue;
+        }
+        on_disk.emplace(static_cast<std::size_t>(i), &row);
+    }
+
+    // A point is complete iff its manifest entry's line hash matches
+    // the raw bytes on disk.
+    for (std::size_t r = 1; r < manifest.rows.size(); ++r) {
+        const JsonValue &e = manifest.rows[r].value;
+        const JsonValue *idx = e.find("index");
+        const JsonValue *line = e.find("line");
+        std::uint64_t i = 0;
+        if (!idx || !idx->asU64(i) || !line || !line->isString()) {
+            continue;
+        }
+        auto it = on_disk.find(static_cast<std::size_t>(i));
+        if (it == on_disk.end() ||
+            keyHex(fnv1a64(it->second->raw)) != line->text) {
+            continue;
+        }
+        // Trust nothing that does not parse back into a full record:
+        // a schema drift or hash-preserving corruption must lead to
+        // recomputation, not a half-restored point.
+        PointRecord rec;
+        if (!pointRecordFromJson(it->second->value, rec) ||
+            rec.index != static_cast<std::size_t>(i)) {
+            continue;
+        }
+        done[static_cast<std::size_t>(i)] = it->second->raw;
+        recs[static_cast<std::size_t>(i)] = std::move(rec);
+    }
+}
+
+void
+CheckpointSink::rewrite(const std::string &spec_hash)
+{
+    const std::string jsonl_tmp = jsonlPath + ".tmp";
+    const std::string manifest_tmp = manifestPath + ".tmp";
+    {
+        std::ofstream j(jsonl_tmp, std::ios::out | std::ios::trunc);
+        fatal_if(!j, "cannot open '%s'", jsonl_tmp.c_str());
+        std::ofstream m(manifest_tmp, std::ios::out | std::ios::trunc);
+        fatal_if(!m, "cannot open '%s'", manifest_tmp.c_str());
+        m << manifestHeader(spec_hash) << '\n';
+        for (const auto &[index, raw] : done) {
+            j << raw << '\n';
+            m << manifestEntry(index, raw) << '\n';
+        }
+    }
+    fatal_if(std::rename(jsonl_tmp.c_str(), jsonlPath.c_str()) != 0,
+             "cannot replace '%s'", jsonlPath.c_str());
+    fatal_if(std::rename(manifest_tmp.c_str(),
+                         manifestPath.c_str()) != 0,
+             "cannot replace '%s'", manifestPath.c_str());
+}
+
+const std::string *
+CheckpointSink::rawLine(std::size_t index) const
+{
+    auto it = done.find(index);
+    return it == done.end() ? nullptr : &it->second;
+}
+
+const PointRecord *
+CheckpointSink::record(std::size_t index) const
+{
+    auto it = recs.find(index);
+    return it == recs.end() ? nullptr : &it->second;
+}
+
+void
+CheckpointSink::append(std::size_t index, const std::string &raw)
+{
+    // JSONL first, manifest second: a kill between the two leaves a
+    // record line the next resume will not trust (no manifest entry)
+    // and will drop during its rewrite — recomputed, never duplicated.
+    jsonlOut << raw << '\n';
+    jsonlOut.flush();
+    manifestOut << manifestEntry(index, raw) << '\n';
+    manifestOut.flush();
+}
+
+} // namespace dbsim::exp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Checkpoint/resume for JSONL sweeps. The sink writes every completed
+ * point twice: the record line into the JSONL file, then a completion
+ * entry into a sidecar manifest (`<jsonl>.manifest`), each flushed in
+ * that order. A point counts as complete only when both are present
+ * and consistent, so a kill between the two writes means recompute,
+ * never a duplicate or a half-trusted line.
+ *
+ * On resume the sink loads both files, intersects them (manifest entry
+ * + parseable JSONL line whose hash matches), rewrites both files to
+ * exactly that completed set — preserving each record's original raw
+ * bytes, so no value is ever re-serialized — and reopens them in
+ * append mode. The manifest header pins the sweep-spec hash (which
+ * folds in the build stamp): a different spec or binary never resumes,
+ * it starts fresh.
+ */
+
+#ifndef DBSIM_EXP_CHECKPOINT_HH
+#define DBSIM_EXP_CHECKPOINT_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "exp/sweep.hh"
+
+namespace dbsim::exp {
+
+/**
+ * Content hash (16-digit hex) of a whole sweep: every point's canonical
+ * serialization (see canonicalPoint) plus the build stamp. Two sweeps
+ * with the same hash would evaluate the same points with the same
+ * simulator — the precondition for resuming one from the other's
+ * checkpoint.
+ */
+std::string sweepSpecHash(const SweepSpec &spec);
+
+/**
+ * JSONL sink with a completion manifest. Not internally synchronized:
+ * the runner already serializes sink access under its own mutex.
+ */
+class CheckpointSink
+{
+  public:
+    /**
+     * Open `jsonl_path` (and its `.manifest` sidecar) for a sweep with
+     * hash `spec_hash`. With `resume` set and a matching manifest on
+     * disk, previously completed points are loaded and both files are
+     * rewritten to that consistent prefix; otherwise both start empty.
+     */
+    CheckpointSink(const std::string &jsonl_path,
+                   const std::string &spec_hash, bool resume);
+
+    /** True when `index` was completed by a previous run. */
+    bool isDone(std::size_t index) const
+    {
+        return done.count(index) != 0;
+    }
+
+    /** The original raw JSONL line of a completed point (no '\n'). */
+    const std::string *rawLine(std::size_t index) const;
+
+    /** The parsed record of a completed point. */
+    const PointRecord *record(std::size_t index) const;
+
+    /** Points restored from the previous run. */
+    std::size_t resumedCount() const { return done.size(); }
+
+    /**
+     * Record one newly completed point: append `raw` to the JSONL,
+     * flush, then append the manifest entry, flush.
+     */
+    void append(std::size_t index, const std::string &raw);
+
+  private:
+    void loadForResume(const std::string &spec_hash);
+    void rewrite(const std::string &spec_hash);
+
+    std::string jsonlPath;
+    std::string manifestPath;
+    std::map<std::size_t, std::string> done;  ///< index -> raw line
+    std::map<std::size_t, PointRecord> recs;  ///< index -> parsed
+    std::ofstream jsonlOut;
+    std::ofstream manifestOut;
+};
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_CHECKPOINT_HH

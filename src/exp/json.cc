@@ -1,5 +1,6 @@
 #include "json.hh"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -52,18 +53,14 @@ jsonNumber(double v)
     if (!std::isfinite(v)) {
         return "null";
     }
+    // std::to_chars emits the shortest decimal that round-trips and is
+    // locale-independent by definition. The previous %g/sscanf loop
+    // honored LC_NUMERIC: under a comma-decimal locale it produced
+    // "0,25" (invalid JSON), and the unchecked sscanf accepted the
+    // garbage, so the bug was silent.
     char buf[40];
-    // Try successively longer precisions; the first that round-trips
-    // keeps the output short for "nice" values like 0.25.
-    for (int prec = 1; prec <= 17; ++prec) {
-        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-        double back = 0.0;
-        std::sscanf(buf, "%lf", &back);
-        if (back == v) {
-            break;
-        }
-    }
-    return buf;
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
 }
 
 std::string
@@ -73,6 +70,399 @@ jsonNumber(std::uint64_t v)
     std::snprintf(buf, sizeof(buf), "%llu",
                   static_cast<unsigned long long>(v));
     return buf;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members) {
+        if (k == key) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::asU64(std::uint64_t &out) const
+{
+    if (kind != Kind::Number || text.empty() || text[0] == '-') {
+        return false;
+    }
+    std::uint64_t v = 0;
+    auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+namespace {
+
+/** Strict recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s(text), err(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out, 0)) {
+            return false;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            return fail("trailing characters after JSON value");
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const char *why)
+    {
+        if (err) {
+            *err = std::string(why) + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) != 0) {
+            return fail("invalid literal");
+        }
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            return fail("nesting too deep");
+        }
+        if (pos >= s.size()) {
+            return fail("unexpected end of input");
+        }
+        switch (s[pos]) {
+          case '{':
+            return object(out, depth);
+          case '[':
+            return array(out, depth);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return numberValue(out);
+        }
+    }
+
+    bool
+    object(JsonValue &out, int depth)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"') {
+                return fail("expected object key");
+            }
+            std::string key;
+            if (!string(key)) {
+                return false;
+            }
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':') {
+                return fail("expected ':' after object key");
+            }
+            ++pos;
+            skipWs();
+            JsonValue v;
+            if (!value(v, depth + 1)) {
+                return false;
+            }
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos >= s.size()) {
+                return fail("unterminated object");
+            }
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array(JsonValue &out, int depth)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!value(v, depth + 1)) {
+                return false;
+            }
+            out.elements.push_back(std::move(v));
+            skipWs();
+            if (pos >= s.size()) {
+                return fail("unterminated array");
+            }
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    /** Append the UTF-8 encoding of `cp` to `out`. */
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    hex4(std::uint32_t &out)
+    {
+        if (pos + 4 > s.size()) {
+            return fail("truncated \\u escape");
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = s[pos + i];
+            out <<= 4;
+            if (c >= '0' && c <= '9') {
+                out |= static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            } else {
+                return fail("invalid \\u escape");
+            }
+        }
+        pos += 4;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos; // opening '"'
+        while (true) {
+            if (pos >= s.size()) {
+                return fail("unterminated string");
+            }
+            unsigned char c = static_cast<unsigned char>(s[pos]);
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20) {
+                return fail("raw control character in string");
+            }
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos;
+                continue;
+            }
+            ++pos;
+            if (pos >= s.size()) {
+                return fail("truncated escape");
+            }
+            char e = s[pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                if (!hex4(cp)) {
+                    return false;
+                }
+                if (cp >= 0xd800 && cp <= 0xdbff &&
+                    s.compare(pos, 2, "\\u") == 0) {
+                    // Surrogate pair.
+                    pos += 2;
+                    std::uint32_t lo = 0;
+                    if (!hex4(lo)) {
+                        return false;
+                    }
+                    if (lo < 0xdc00 || lo > 0xdfff) {
+                        return fail("invalid low surrogate");
+                    }
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    numberValue(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-') {
+            ++pos;
+        }
+        // Integer part: 0, or [1-9][0-9]*.
+        if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') {
+            return fail("invalid number");
+        }
+        if (s[pos] == '0') {
+            ++pos;
+        } else {
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+                ++pos;
+            }
+        }
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') {
+                return fail("invalid number fraction");
+            }
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+                ++pos;
+            }
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) {
+                ++pos;
+            }
+            if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') {
+                return fail("invalid number exponent");
+            }
+            while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+                ++pos;
+            }
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.text.assign(s, start, pos - start);
+        double v = 0.0;
+        auto res = std::from_chars(out.text.data(),
+                                   out.text.data() + out.text.size(), v);
+        if (res.ec == std::errc::result_out_of_range) {
+            // Legal JSON beyond double range: clamp like strtod —
+            // tiny magnitudes to 0, huge ones to +-HUGE_VAL (a
+            // negative decimal exponent marks the tiny case).
+            bool tiny = out.text.find_first_of("eE") !=
+                            std::string::npos &&
+                        out.text.find('-', 1) != std::string::npos;
+            double mag = tiny ? 0.0 : HUGE_VAL;
+            v = out.text[0] == '-' ? -mag : mag;
+        } else if (res.ec != std::errc()) {
+            return fail("unparseable number");
+        }
+        out.number = v;
+        return true;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string *err;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    out = JsonValue{};
+    Parser p(text, error);
+    return p.parse(out);
 }
 
 } // namespace dbsim::exp

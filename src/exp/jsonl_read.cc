@@ -1,0 +1,129 @@
+#include "jsonl_read.hh"
+
+#include <cmath>
+#include <fstream>
+
+namespace dbsim::exp {
+
+JsonlFile
+readJsonl(const std::string &path)
+{
+    JsonlFile out;
+    std::ifstream in(path);
+    if (!in) {
+        return out;
+    }
+    out.exists = true;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        if (line.empty()) {
+            continue;
+        }
+        JsonlRow row;
+        if (!parseJson(line, row.value)) {
+            ++out.corruptLines;
+            continue;
+        }
+        row.raw = line;
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+namespace {
+
+/** Object of strings -> map; false on type mismatch. */
+bool
+stringMap(const JsonValue &v, std::map<std::string, std::string> &out)
+{
+    if (!v.isObject()) {
+        return false;
+    }
+    for (const auto &[k, m] : v.members) {
+        if (!m.isString()) {
+            return false;
+        }
+        out[k] = m.text;
+    }
+    return true;
+}
+
+/** Object of numbers (null = NaN) -> map; false on type mismatch. */
+bool
+doubleMap(const JsonValue &v, std::map<std::string, double> &out)
+{
+    if (!v.isObject()) {
+        return false;
+    }
+    for (const auto &[k, m] : v.members) {
+        if (m.kind == JsonValue::Kind::Null) {
+            out[k] = std::nan("");
+        } else if (m.isNumber()) {
+            out[k] = m.number;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Object of exact u64 counters -> map; false on type mismatch. */
+bool
+u64Map(const JsonValue &v, std::map<std::string, std::uint64_t> &out)
+{
+    if (!v.isObject()) {
+        return false;
+    }
+    for (const auto &[k, m] : v.members) {
+        std::uint64_t x = 0;
+        if (!m.asU64(x)) {
+            return false;
+        }
+        out[k] = x;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+pointRecordFromJson(const JsonValue &v, PointRecord &out)
+{
+    if (!v.isObject()) {
+        return false;
+    }
+    const JsonValue *index = v.find("index");
+    const JsonValue *experiment = v.find("experiment");
+    const JsonValue *mechanism = v.find("mechanism");
+    const JsonValue *mix = v.find("mix");
+    const JsonValue *tags = v.find("tags");
+    const JsonValue *metrics = v.find("metrics");
+    const JsonValue *stats = v.find("stats");
+    std::uint64_t idx = 0;
+    if (!index || !index->asU64(idx) || !experiment ||
+        !experiment->isString() || !mechanism || !mechanism->isString() ||
+        !mix || !mix->isString() || !tags || !metrics || !stats) {
+        return false;
+    }
+    PointRecord rec;
+    rec.index = static_cast<std::size_t>(idx);
+    rec.experiment = experiment->text;
+    rec.mechanism = mechanism->text;
+    rec.mix = mix->text;
+    if (!stringMap(*tags, rec.tags) || !doubleMap(*metrics, rec.metrics) ||
+        !u64Map(*stats, rec.stats)) {
+        return false;
+    }
+    if (const JsonValue *host = v.find("host")) {
+        if (!doubleMap(*host, rec.host)) {
+            return false;
+        }
+    }
+    out = std::move(rec);
+    return true;
+}
+
+} // namespace dbsim::exp

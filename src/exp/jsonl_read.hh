@@ -1,0 +1,56 @@
+/**
+ * @file
+ * JSON Lines re-reading for the experiment farm: load a JSONL file
+ * into parsed rows (keeping the raw line bytes, so checkpoint resume
+ * can rewrite files without re-serializing), and rebuild a PointRecord
+ * from its serialized form. Corrupted or truncated lines are counted
+ * and skipped, never trusted: a consumer that needs a record which
+ * fails to load simply recomputes it.
+ */
+
+#ifndef DBSIM_EXP_JSONL_READ_HH
+#define DBSIM_EXP_JSONL_READ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "exp/record.hh"
+
+namespace dbsim::exp {
+
+/** One successfully parsed JSONL row. */
+struct JsonlRow
+{
+    std::string raw;  ///< the line exactly as stored (no newline)
+    JsonValue value;  ///< its parse
+};
+
+/** A loaded JSONL file. */
+struct JsonlFile
+{
+    std::vector<JsonlRow> rows;   ///< parseable lines, in file order
+    std::size_t corruptLines = 0; ///< unparseable/truncated lines
+    bool exists = false;          ///< false: file absent/unreadable
+};
+
+/**
+ * Read `path` line by line, parsing each as one JSON value. Blank
+ * lines are ignored; lines that fail to parse (including a truncated
+ * final line from a killed writer) bump `corruptLines` and are
+ * dropped.
+ */
+JsonlFile readJsonl(const std::string &path);
+
+/**
+ * Rebuild a PointRecord from the object toJsonLine() wrote. Strict:
+ * false when required fields are missing or mistyped (the caller
+ * recomputes the point). Metric values serialized as null (non-finite
+ * doubles) come back as NaN.
+ */
+bool pointRecordFromJson(const JsonValue &v, PointRecord &out);
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_JSONL_READ_HH

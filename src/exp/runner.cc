@@ -2,11 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/logging.hh"
+#include "exp/checkpoint.hh"
 #include "exp/thread_pool.hh"
 #include "sim/metrics.hh"
 
@@ -117,6 +118,7 @@ ExperimentRunner::run(const SweepSpec &spec)
 {
     const auto &points = spec.points();
     std::vector<PointRecord> records(points.size());
+    last = RunStats{};
     if (points.empty()) {
         return records;
     }
@@ -130,51 +132,132 @@ ExperimentRunner::run(const SweepSpec &spec)
         alone = std::make_unique<AloneIpcCache>(alone_base);
     }
 
-    std::ofstream jsonl;
+    // The content cache: a shared warm instance (the farm service) or
+    // one owned by this run. Telemetry-enabled sweeps bypass entirely —
+    // a cache hit would skip producing the side artifacts.
+    std::unique_ptr<ResultCache> ownedCache;
+    ResultCache *cache = opts.cache;
+    if (!cache && !opts.cacheDir.empty()) {
+        ownedCache = std::make_unique<ResultCache>(opts.cacheDir);
+        cache = ownedCache.get();
+    }
+    const SystemConfig aloneCanonBase = spec.aloneBase();
+    auto cacheable = [&](const SweepPoint &p) {
+        return cache != nullptr && p.kind != PointKind::Custom &&
+               !opts.telemetry.enabled();
+    };
+
+    std::optional<CheckpointSink> ckpt;
     if (!opts.jsonlPath.empty()) {
-        jsonl.open(opts.jsonlPath, std::ios::out | std::ios::trunc);
-        fatal_if(!jsonl, "cannot open JSONL output '%s'",
-                 opts.jsonlPath.c_str());
+        ckpt.emplace(opts.jsonlPath, sweepSpecHash(spec), opts.resume);
     }
 
     // Sink state shared by the workers.
     std::mutex sinkMu;
     std::size_t completed = 0;
+    std::size_t timed = 0;
     double pointSecondsSum = 0.0;
     auto t0 = HostClock::now();
 
-    auto sink = [&](const PointRecord &rec, double point_seconds) {
-        std::lock_guard<std::mutex> lock(sinkMu);
-        if (jsonl.is_open()) {
-            jsonl << rec.toJsonLine() << '\n';
-            jsonl.flush();
+    auto progressLine = [&] {
+        // Caller holds sinkMu.
+        double elapsed =
+            std::chrono::duration<double>(HostClock::now() - t0)
+                .count();
+        std::size_t remaining = points.size() - completed;
+        // ETA from the measured mean point cost spread over the
+        // worker pool, not elapsed/completed: the latter overshoots
+        // while the pool is still ramping up its first batch.
+        double per_point = timed ? pointSecondsSum / timed : 0.0;
+        std::size_t lanes = opts.jobs > 1 ? opts.jobs : 1;
+        double eta = per_point * remaining / lanes;
+        std::fprintf(stderr,
+                     "\r[%zu/%zu] %5.1f%%  elapsed %.0fs  eta %.0fs ",
+                     completed, points.size(),
+                     100.0 * completed / points.size(), elapsed, eta);
+        if (cache) {
+            CacheStats cs = cache->stats();
+            std::fprintf(stderr, " cache %llu hit / %llu miss / %llu byp ",
+                         static_cast<unsigned long long>(cs.hits),
+                         static_cast<unsigned long long>(cs.misses),
+                         static_cast<unsigned long long>(cs.bypasses));
         }
-        ++completed;
-        pointSecondsSum += point_seconds;
-        if (opts.progress) {
-            double elapsed =
-                std::chrono::duration<double>(HostClock::now() - t0)
-                    .count();
-            std::size_t remaining = points.size() - completed;
-            // ETA from the measured mean point cost spread over the
-            // worker pool, not elapsed/completed: the latter overshoots
-            // while the pool is still ramping up its first batch.
-            double per_point = pointSecondsSum / completed;
-            std::size_t lanes = opts.jobs > 1 ? opts.jobs : 1;
-            double eta = per_point * remaining / lanes;
-            std::fprintf(stderr,
-                         "\r[%zu/%zu] %5.1f%%  elapsed %.0fs  eta %.0fs ",
-                         completed, points.size(),
-                         100.0 * completed / points.size(), elapsed, eta);
-            if (completed == points.size()) {
-                std::fprintf(stderr, "\n");
-            }
+        if (completed == points.size()) {
+            std::fprintf(stderr, "\n");
         }
     };
 
+    auto sink = [&](const PointRecord &rec, double point_seconds) {
+        std::lock_guard<std::mutex> lock(sinkMu);
+        if (ckpt) {
+            ckpt->append(rec.index, rec.toJsonLine());
+        }
+        ++completed;
+        ++timed;
+        pointSecondsSum += point_seconds;
+        if (opts.onRecord) {
+            opts.onRecord(rec);
+        }
+        if (opts.progress) {
+            progressLine();
+        }
+    };
+
+    // Restore checkpointed points: their lines are already on disk in
+    // their original bytes, so they are counted, streamed, and used to
+    // warm the content cache, but never re-appended.
+    std::vector<const SweepPoint *> todo;
+    todo.reserve(points.size());
+    for (const auto &p : points) {
+        const PointRecord *prev =
+            ckpt ? ckpt->record(p.index) : nullptr;
+        if (!prev) {
+            todo.push_back(&p);
+            continue;
+        }
+        records[p.index] = *prev;
+        ++last.resumedPoints;
+        if (cacheable(p)) {
+            std::string canon = canonicalPoint(p, aloneCanonBase);
+            cache->insert(fnv1a64(canon), canon, *prev);
+        }
+        std::lock_guard<std::mutex> lock(sinkMu);
+        ++completed;
+        if (opts.onRecord) {
+            opts.onRecord(records[p.index]);
+        }
+    }
+    if (opts.progress && last.resumedPoints > 0) {
+        inform("resumed %zu/%zu points from %s", last.resumedPoints,
+               points.size(), opts.jsonlPath.c_str());
+    }
+
     auto evalOne = [&](const SweepPoint &p) {
         auto t_point = HostClock::now();
-        PointRecord rec = evalPoint(p, opts, points.size(), alone.get());
+        PointRecord rec;
+        bool hit = false;
+        std::string canon;
+        std::uint64_t key = 0;
+        if (cacheable(p)) {
+            canon = canonicalPoint(p, aloneCanonBase);
+            key = fnv1a64(canon);
+            PointRecord payload;
+            if (cache->lookup(key, canon, payload)) {
+                rec = std::move(payload);
+                rec.index = p.index;
+                rec.experiment = opts.experiment;
+                rec.tags = p.tags;
+                hit = true;
+            }
+        } else if (cache) {
+            cache->noteBypass();
+        }
+        if (!hit) {
+            rec = evalPoint(p, opts, points.size(), alone.get());
+            if (cacheable(p)) {
+                cache->insert(key, canon, rec);
+            }
+        }
         double secs = std::chrono::duration<double>(HostClock::now() -
                                                     t_point)
                           .count();
@@ -183,15 +266,27 @@ ExperimentRunner::run(const SweepSpec &spec)
     };
 
     if (opts.jobs <= 1) {
-        for (const auto &p : points) {
-            evalOne(p);
+        for (const SweepPoint *p : todo) {
+            evalOne(*p);
         }
     } else {
         ThreadPool pool(opts.jobs);
-        for (const auto &p : points) {
-            pool.submit([&evalOne, &p] { evalOne(p); });
+        for (const SweepPoint *p : todo) {
+            pool.submit([&evalOne, p] { evalOne(*p); });
         }
         pool.wait();
+    }
+    last.evaluatedPoints = todo.size();
+    if (cache) {
+        last.cache = cache->stats();
+        if (opts.progress) {
+            inform("result cache (%s): %llu hits, %llu misses, "
+                   "%llu bypasses",
+                   cache->directory().c_str(),
+                   static_cast<unsigned long long>(last.cache.hits),
+                   static_cast<unsigned long long>(last.cache.misses),
+                   static_cast<unsigned long long>(last.cache.bypasses));
+        }
     }
     return records;
 }

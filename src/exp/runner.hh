@@ -15,12 +15,14 @@
 #define DBSIM_EXP_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/alone_cache.hh"
 #include "exp/record.hh"
+#include "exp/result_cache.hh"
 #include "exp/sweep.hh"
 #include "telemetry/telemetry.hh"
 
@@ -66,6 +68,46 @@ struct RunOptions
      * record bit-identity across machines and runs.
      */
     bool hostTimers = false;
+
+    /**
+     * Directory of the persistent content-hash result cache; "" (the
+     * default) disables caching. Sim/MixSim points whose canonical
+     * content was computed before — in any previous run of any bench
+     * under the same build — are filled from the store without
+     * building a System. Custom points and telemetry-enabled sweeps
+     * bypass the cache (counted in RunStats::cache.bypasses).
+     */
+    std::string cacheDir;
+
+    /**
+     * A shared, already-open cache (the farm service's warm instance).
+     * Not owned; overrides cacheDir when set.
+     */
+    ResultCache *cache = nullptr;
+
+    /**
+     * Resume an interrupted sweep: when jsonlPath's `.manifest`
+     * sidecar matches this sweep's content hash, completed points are
+     * restored from their original bytes and skipped. On by default —
+     * a fresh sweep simply finds no matching manifest.
+     */
+    bool resume = true;
+
+    /**
+     * Streaming sink: called under the runner's sink lock for every
+     * record as it becomes available (resumed, cache-hit, or freshly
+     * computed). The farm service uses this to stream results to
+     * clients; completion order is nondeterministic with jobs > 1.
+     */
+    std::function<void(const PointRecord &)> onRecord;
+};
+
+/** What one ExperimentRunner::run() did, beyond the records. */
+struct RunStats
+{
+    CacheStats cache;                ///< zeros when caching is off
+    std::size_t resumedPoints = 0;   ///< restored from the checkpoint
+    std::size_t evaluatedPoints = 0; ///< hits + simulated + custom
 };
 
 class ExperimentRunner
@@ -81,8 +123,12 @@ class ExperimentRunner
      */
     std::vector<PointRecord> run(const SweepSpec &spec);
 
+    /** Statistics of the most recent run(). */
+    const RunStats &lastRun() const { return last; }
+
   private:
     RunOptions opts;
+    RunStats last;
 };
 
 } // namespace dbsim::exp

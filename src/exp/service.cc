@@ -1,0 +1,420 @@
+#include "service.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "exp/json.hh"
+#include "exp/runner.hh"
+#include "sim/mechanism.hh"
+#include "workload/profiles.hh"
+
+namespace dbsim::exp {
+
+namespace {
+
+/**
+ * Send one response line; false when the peer is gone (EPIPE & co).
+ * MSG_NOSIGNAL: a dead client must surface as an error return, not a
+ * SIGPIPE that kills the warm server.
+ */
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        ssize_t n = ::send(fd, out.data() + sent, out.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendError(int fd, const std::string &message)
+{
+    return sendLine(fd, "{\"type\":\"error\",\"message\":" +
+                            jsonString(message) + "}");
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Optional unsigned field; false (with an error sent) on bad type. */
+bool
+optU64(const JsonValue &req, const char *key, std::uint64_t &out,
+       int fd, bool *sent_error)
+{
+    const JsonValue *v = req.find(key);
+    if (!v) {
+        return true;
+    }
+    if (!v->asU64(out)) {
+        *sent_error = true;
+        sendError(fd, std::string("field '") + key +
+                          "' must be an unsigned integer");
+        return false;
+    }
+    return true;
+}
+
+std::string
+cacheStatsJson(const CacheStats &cs)
+{
+    return "{\"hits\":" + jsonNumber(cs.hits) +
+           ",\"misses\":" + jsonNumber(cs.misses) +
+           ",\"bypasses\":" + jsonNumber(cs.bypasses) + "}";
+}
+
+} // namespace
+
+FarmService::FarmService(ServiceConfig config) : cfg(std::move(config))
+{
+    if (!cfg.cacheDir.empty()) {
+        store = std::make_unique<ResultCache>(cfg.cacheDir);
+    }
+}
+
+FarmService::~FarmService()
+{
+    if (listenFd >= 0) {
+        ::close(listenFd);
+    }
+}
+
+void
+FarmService::stop()
+{
+    stopping.store(true);
+    if (listenFd >= 0) {
+        // Break the blocking accept().
+        ::shutdown(listenFd, SHUT_RDWR);
+    }
+}
+
+void
+FarmService::serve()
+{
+    fatal_if(cfg.socketPath.empty(), "farm service needs a socket path");
+    fatal_if(cfg.socketPath.size() >= sizeof(sockaddr_un{}.sun_path),
+             "socket path '%s' is too long", cfg.socketPath.c_str());
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(listenFd < 0, "socket: %s", std::strerror(errno));
+
+    ::unlink(cfg.socketPath.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fatal_if(::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind '%s': %s", cfg.socketPath.c_str(),
+             std::strerror(errno));
+    fatal_if(::listen(listenFd, 8) != 0, "listen: %s",
+             std::strerror(errno));
+    inform("farm server listening on %s (cache: %s)",
+           cfg.socketPath.c_str(),
+           store ? store->directory().c_str() : "off");
+
+    std::vector<std::thread> clients;
+    while (!stopping.load()) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR && !stopping.load()) {
+                continue;
+            }
+            break;
+        }
+        clients.emplace_back([this, fd] {
+            handleConnection(fd);
+            ::close(fd);
+        });
+    }
+    for (auto &t : clients) {
+        t.join();
+    }
+    ::close(listenFd);
+    listenFd = -1;
+    ::unlink(cfg.socketPath.c_str());
+}
+
+void
+FarmService::handleConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    while (true) {
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r') {
+                line.pop_back();
+            }
+            if (line.empty()) {
+                continue;
+            }
+            if (!handleLine(line, fd)) {
+                return;
+            }
+        }
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            return;  // EOF or error: client is done
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+FarmService::handleLine(const std::string &line, int fd)
+{
+    JsonValue req;
+    std::string parse_error;
+    if (!parseJson(line, req, &parse_error) || !req.isObject()) {
+        sendError(fd, "bad request: " + parse_error);
+        return true;
+    }
+    const JsonValue *op = req.find("op");
+    if (!op || !op->isString()) {
+        sendError(fd, "request needs a string 'op'");
+        return true;
+    }
+
+    if (op->text == "ping") {
+        return sendLine(fd, "{\"type\":\"pong\",\"version\":" +
+                                jsonString(ResultCache::kVersion) + "}");
+    }
+    if (op->text == "stats") {
+        std::string body = "{\"type\":\"stats\",\"cache\":";
+        if (store) {
+            body += cacheStatsJson(store->stats()) +
+                    ",\"entries\":" +
+                    jsonNumber(std::uint64_t(store->entryCount()));
+        } else {
+            body += "null";
+        }
+        body += "}";
+        return sendLine(fd, body);
+    }
+    if (op->text == "shutdown") {
+        sendLine(fd, "{\"type\":\"bye\"}");
+        stop();
+        return false;
+    }
+    if (op->text == "sweep") {
+        return runSweep(req, fd);
+    }
+    sendError(fd, "unknown op '" + op->text + "'");
+    return true;
+}
+
+bool
+FarmService::runSweep(const JsonValue &req, int fd)
+{
+    // -- Validate everything before building anything. ----------------
+    const JsonValue *mechs = req.find("mechs");
+    const JsonValue *mixes = req.find("mixes");
+    if (!mechs || !mechs->isArray() || mechs->elements.empty()) {
+        return sendError(fd, "'mechs' must be a non-empty array of "
+                             "mechanism specs");
+    }
+    if (!mixes || !mixes->isArray() || mixes->elements.empty()) {
+        return sendError(fd, "'mixes' must be a non-empty array of "
+                             "benchmark-name arrays");
+    }
+
+    std::vector<MechanismSpec> mech_specs;
+    for (const JsonValue &m : mechs->elements) {
+        if (!m.isString()) {
+            return sendError(fd, "'mechs' entries must be strings");
+        }
+        std::string why;
+        auto spec = tryMechanismByName(m.text, &why);
+        if (!spec) {
+            return sendError(fd, why);
+        }
+        mech_specs.push_back(*spec);
+    }
+
+    std::vector<WorkloadMix> mix_list;
+    for (const JsonValue &mx : mixes->elements) {
+        if (!mx.isArray() || mx.elements.empty() ||
+            mx.elements.size() > 64) {
+            return sendError(fd, "each mix must be an array of 1-64 "
+                                 "benchmark names");
+        }
+        WorkloadMix mix;
+        for (const JsonValue &b : mx.elements) {
+            if (!b.isString()) {
+                return sendError(fd, "mix entries must be strings");
+            }
+            // File traces ("@path") would let clients read arbitrary
+            // host files through the server; only named profiles are
+            // accepted.
+            if (!findBenchmark(b.text)) {
+                return sendError(fd,
+                                 "unknown benchmark '" + b.text + "'");
+            }
+            mix.push_back(b.text);
+        }
+        mix_list.push_back(std::move(mix));
+    }
+
+    PointKind kind = PointKind::Sim;
+    if (const JsonValue *k = req.find("kind")) {
+        if (!k->isString() ||
+            (k->text != "sim" && k->text != "mix")) {
+            return sendError(fd, "'kind' must be \"sim\" or \"mix\"");
+        }
+        kind = k->text == "mix" ? PointKind::MixSim : PointKind::Sim;
+    }
+
+    bool sent = false;
+    std::uint64_t warmup = 0, measure = 0, seed = 0;
+    std::uint64_t slices = 0, channels = 0, hop = 0, shards = 0;
+    std::uint64_t jobs = cfg.jobs;
+    if (!optU64(req, "warmup", warmup, fd, &sent) ||
+        !optU64(req, "measure", measure, fd, &sent) ||
+        !optU64(req, "seed", seed, fd, &sent) ||
+        !optU64(req, "slices", slices, fd, &sent) ||
+        !optU64(req, "channels", channels, fd, &sent) ||
+        !optU64(req, "hop", hop, fd, &sent) ||
+        !optU64(req, "shards", shards, fd, &sent) ||
+        !optU64(req, "jobs", jobs, fd, &sent)) {
+        return sent;  // error already reported; keep the connection
+    }
+
+    // The cheap topology rules resolveTopology() enforces with fatal():
+    // checked here non-fatally so a bad machine shape is a request
+    // error, not a dead server.
+    if (slices && (!isPow2(slices) || slices > 64)) {
+        return sendError(fd, "'slices' must be a power of two in "
+                             "[1,64]");
+    }
+    if (channels && (!isPow2(channels) || channels > 64)) {
+        return sendError(fd, "'channels' must be a power of two in "
+                             "[1,64]");
+    }
+    if (hop != 0) {
+        // Replicates the slice/channel derivation of resolveTopology()
+        // per mix (core count = mix size): hop on a machine that
+        // resolves to one slice and one channel is a config error.
+        for (const WorkloadMix &mix : mix_list) {
+            std::uint64_t derived = 1;
+            while (derived * 2 <= std::max<std::uint64_t>(
+                                      1, mix.size() / 16)) {
+                derived *= 2;
+            }
+            std::uint64_t s = slices ? slices
+                                     : (mix.size() <= 8 ? 1 : derived);
+            std::uint64_t c = channels ? channels : s;
+            if (s == 1 && c == 1) {
+                return sendError(
+                    fd, "'hop' is set but a mix of " +
+                            jsonNumber(std::uint64_t(mix.size())) +
+                            " cores resolves to one slice and one "
+                            "channel");
+            }
+        }
+    }
+
+    std::string experiment = "farm";
+    if (const JsonValue *e = req.find("experiment")) {
+        if (!e->isString()) {
+            return sendError(fd, "'experiment' must be a string");
+        }
+        experiment = e->text;
+    }
+
+    // -- Build the sweep. ---------------------------------------------
+    SweepSpec spec;
+    spec.base().seed = seed ? seed : spec.base().seed;
+    if (warmup) {
+        spec.base().core.warmupInstrs = warmup;
+    }
+    if (measure) {
+        spec.base().core.measureInstrs = measure;
+    }
+    spec.base().llcSlices = static_cast<std::uint32_t>(slices);
+    spec.base().dram.channels = static_cast<std::uint32_t>(channels);
+    spec.base().shardHopLatency = hop;
+    spec.base().numShards = static_cast<std::uint32_t>(shards);
+    spec.base().auditEvery = 0;
+    spec.setAloneBase(spec.base());
+
+    for (const MechanismSpec &m : mech_specs) {
+        for (const WorkloadMix &mix : mix_list) {
+            SweepPoint &p = kind == PointKind::MixSim
+                                ? spec.addMixSim(m, mix)
+                                : spec.addSim(m, mix);
+            p.cfg.numCores = static_cast<std::uint32_t>(mix.size());
+        }
+    }
+
+    RunOptions run_opts;
+    run_opts.jobs = static_cast<std::uint32_t>(jobs ? jobs : 1);
+    run_opts.progress = false;
+    run_opts.experiment = experiment;
+    run_opts.cache = store.get();
+
+    std::size_t total = spec.points().size();
+    std::size_t streamed = 0;
+    std::mutex sendMu;
+    bool peer_alive = true;
+    run_opts.onRecord = [&](const PointRecord &rec) {
+        // Called under the runner's sink lock, but from whichever
+        // worker finished the point; the send itself needs no extra
+        // lock beyond being serialized, which the sink lock provides.
+        std::lock_guard<std::mutex> lock(sendMu);
+        if (!peer_alive) {
+            return;
+        }
+        ++streamed;
+        if (!sendLine(fd, "{\"type\":\"record\",\"data\":" +
+                              rec.toJsonLine() + "}") ||
+            !sendLine(fd,
+                      "{\"type\":\"progress\",\"completed\":" +
+                          jsonNumber(std::uint64_t(streamed)) +
+                          ",\"total\":" +
+                          jsonNumber(std::uint64_t(total)) + "}")) {
+            // Client went away mid-sweep. Finish the sweep anyway:
+            // the results land in the shared cache, so the retry the
+            // client is about to make will be all hits.
+            peer_alive = false;
+        }
+    };
+
+    ExperimentRunner runner(run_opts);
+    runner.run(spec);
+    const RunStats &rs = runner.lastRun();
+
+    std::string done = "{\"type\":\"done\",\"points\":" +
+                       jsonNumber(std::uint64_t(total)) + ",\"cache\":";
+    done += store ? cacheStatsJson(rs.cache) : std::string("null");
+    done += "}";
+    std::lock_guard<std::mutex> lock(sendMu);
+    return peer_alive && sendLine(fd, done);
+}
+
+} // namespace dbsim::exp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The experiment-farm service: one warm process multiplexing sweep
+ * requests from many clients over a single shared result cache, so a
+ * team's (or a script loop's) repeated sweeps pay simulation cost only
+ * for content nobody has computed yet.
+ *
+ * Transport is a unix-domain stream socket speaking JSON lines, one
+ * request per line:
+ *
+ *   {"op":"ping"}
+ *   {"op":"stats"}
+ *   {"op":"sweep","mechs":["Baseline","dbi+awb"],
+ *    "mixes":[["milc","lbm"],["mcf","gcc"]],
+ *    "kind":"mix",              // "sim" | "mix" (default "sim")
+ *    "warmup":30000,"measure":20000,"seed":1,   // optional
+ *    "slices":0,"channels":0,"hop":0,"shards":0, // optional topology
+ *    "jobs":4,"experiment":"farm"}               // optional execution
+ *   {"op":"shutdown"}
+ *
+ * and streams JSON-line responses back: {"type":"progress",...} after
+ * every completed point, {"type":"record","data":{...}} per record
+ * (data is the exact JSONL record object the bench binaries emit),
+ * then one {"type":"done",...} carrying cache traffic counters. Bad
+ * requests get {"type":"error","message":...} and the connection —
+ * and the server — keep going: request validation goes through the
+ * non-fatal seams (tryMechanismByName, findBenchmark, the topology
+ * rules) precisely so a typo cannot take down the warm process.
+ */
+
+#ifndef DBSIM_EXP_SERVICE_HH
+#define DBSIM_EXP_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/result_cache.hh"
+
+namespace dbsim::exp {
+
+struct JsonValue;
+
+/** Farm-server settings. */
+struct ServiceConfig
+{
+    /** Unix-socket path to listen on (serve() unlinks + binds it). */
+    std::string socketPath;
+
+    /** Result-cache directory; "" serves without a persistent cache. */
+    std::string cacheDir;
+
+    /** Default worker threads per sweep (requests may override). */
+    std::uint32_t jobs = 1;
+};
+
+class FarmService
+{
+  public:
+    explicit FarmService(ServiceConfig config);
+    ~FarmService();
+
+    /**
+     * Bind the socket and serve until a client sends {"op":"shutdown"}
+     * or stop() is called from another thread. Each connection is
+     * handled on its own thread; sweeps from different clients share
+     * the one warm cache.
+     */
+    void serve();
+
+    /**
+     * Handle one already-connected stream socket until EOF (the unit
+     * tests drive this directly over a socketpair; serve() calls it
+     * per accepted connection).
+     */
+    void handleConnection(int fd);
+
+    /** Make serve() return; safe from signal-adjacent contexts. */
+    void stop();
+
+    /** The warm cache (nullptr when cacheDir was empty). */
+    ResultCache *cache() { return store.get(); }
+
+  private:
+    bool handleLine(const std::string &line, int fd);
+    bool runSweep(const JsonValue &req, int fd);
+
+    ServiceConfig cfg;
+    std::unique_ptr<ResultCache> store;
+    std::atomic<bool> stopping{false};
+    int listenFd = -1;
+};
+
+} // namespace dbsim::exp
+
+#endif // DBSIM_EXP_SERVICE_HH

@@ -38,9 +38,52 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    idleCv.wait(lock, [this] { return queue.empty() && active == 0; });
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        idleCv.wait(lock,
+                    [this] { return queue.empty() && active == 0; });
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err) {
+        std::rethrow_exception(err);
+    }
 }
+
+namespace {
+
+/**
+ * Decrements the pool's active count on every exit path of a task —
+ * normal return or throw — so wait() can never hang on a task that
+ * escaped via an exception.
+ */
+class ActiveGuard
+{
+  public:
+    ActiveGuard(std::mutex &mu, std::size_t &active,
+                std::deque<std::function<void()>> &queue,
+                std::condition_variable &idle_cv)
+        : mu(mu), active(active), queue(queue), idleCv(idle_cv)
+    {}
+
+    ~ActiveGuard()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        --active;
+        if (queue.empty() && active == 0) {
+            idleCv.notify_all();
+        }
+    }
+
+  private:
+    std::mutex &mu;
+    std::size_t &active;
+    std::deque<std::function<void()>> &queue;
+    std::condition_variable &idleCv;
+};
+
+} // namespace
 
 void
 ThreadPool::workerLoop()
@@ -60,12 +103,16 @@ ThreadPool::workerLoop()
             queue.pop_front();
             ++active;
         }
-        task();
-        {
-            std::unique_lock<std::mutex> lock(mu);
-            --active;
-            if (queue.empty() && active == 0) {
-                idleCv.notify_all();
+        ActiveGuard guard(mu, active, queue, idleCv);
+        try {
+            task();
+        } catch (...) {
+            // Before this catch, the exception propagated out of the
+            // worker thread (std::terminate) and skipped --active, so
+            // a surviving wait() would have hung forever.
+            std::lock_guard<std::mutex> lock(mu);
+            if (!firstError) {
+                firstError = std::current_exception();
             }
         }
     }

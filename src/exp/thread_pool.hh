@@ -3,6 +3,11 @@
  * Fixed-size thread pool for the experiment runner. Each simulation
  * point owns its own System and EventQueue, so tasks are fully
  * independent; the pool only provides fan-out and a drain barrier.
+ *
+ * Exception safety: a task that throws does not kill the process and
+ * cannot deadlock wait() — the active count is decremented by an RAII
+ * guard on every exit path, the first exception is captured, and
+ * wait() rethrows it once the queue has drained.
  */
 
 #ifndef DBSIM_EXP_THREAD_POOL_HH
@@ -11,6 +16,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,7 +39,11 @@ class ThreadPool
     /** Enqueue a task. Callable from any thread. */
     void submit(std::function<void()> task);
 
-    /** Block until the queue is empty and no task is running. */
+    /**
+     * Block until the queue is empty and no task is running. If any
+     * task threw since the last wait(), rethrows the first such
+     * exception (later ones are dropped); the pool remains usable.
+     */
     void wait();
 
     std::uint32_t threadCount() const
@@ -50,6 +60,7 @@ class ThreadPool
     std::condition_variable taskCv;  ///< workers: work available / stop
     std::condition_variable idleCv;  ///< wait(): queue drained
     std::size_t active = 0;          ///< tasks currently executing
+    std::exception_ptr firstError;   ///< first task exception since wait
     bool stopping = false;
 };
 

@@ -94,15 +94,23 @@ allBenchmarks()
     return profiles;
 }
 
-const BenchProfile &
-benchmarkByName(const std::string &name)
+const BenchProfile *
+findBenchmark(const std::string &name)
 {
     for (const auto &p : allBenchmarks()) {
         if (p.name == name) {
-            return p;
+            return &p;
         }
     }
-    fatal("unknown benchmark '%s'", name.c_str());
+    return nullptr;
+}
+
+const BenchProfile &
+benchmarkByName(const std::string &name)
+{
+    const BenchProfile *p = findBenchmark(name);
+    fatal_if(!p, "unknown benchmark '%s'", name.c_str());
+    return *p;
 }
 
 } // namespace dbsim

@@ -115,5 +115,51 @@ TEST(AloneIpcCache, RealComputeIsDeterministic)
     EXPECT_EQ(a.computeCount(), 1u);
 }
 
+TEST(AloneRunConfig, PinsTheCanonicalTopology)
+{
+    SystemConfig base;
+    base.numCores = 64;
+    base.mech = Mechanism::DbiAwb;
+    base.llcSlices = 4;
+    base.dram.channels = 4;
+    base.shardHopLatency = 64;
+    base.numShards = 8;
+    base.seed = 42;
+    base.core.warmupInstrs = 123;
+
+    SystemConfig alone = aloneRunConfig(base);
+    EXPECT_EQ(alone.numCores, 1u);
+    EXPECT_EQ(alone.mech, MechanismSpec(Mechanism::Baseline));
+    EXPECT_EQ(alone.llcSlices, 1u);
+    EXPECT_EQ(alone.dram.channels, 1u);
+    EXPECT_EQ(alone.shardHopLatency, 0u);
+    EXPECT_EQ(alone.numShards, 0u);
+    // Scalar parameters are inherited untouched.
+    EXPECT_EQ(alone.seed, 42u);
+    EXPECT_EQ(alone.core.warmupInstrs, 123u);
+    EXPECT_EQ(alone.llcBytesPerCore, base.llcBytesPerCore);
+}
+
+// Regression: alone runs used to inherit llcSlices/dram.channels/
+// shardHopLatency from the shared machine, so sweeping --slices
+// silently changed the fairness-metric denominators. The alone IPC of
+// a benchmark must be one number, whatever machine the mix runs on.
+TEST(AloneIpcCache, AloneIpcDoesNotDriftWithSharedTopology)
+{
+    SystemConfig base1;
+    base1.numCores = 2;
+    base1.core.warmupInstrs = 20'000;
+    base1.core.measureInstrs = 15'000;
+
+    SystemConfig base4 = base1;
+    base4.llcSlices = 4;
+    base4.dram.channels = 4;
+    base4.shardHopLatency = 64;
+
+    AloneIpcCache at1(base1);
+    AloneIpcCache at4(base4);
+    EXPECT_EQ(at1.get("mcf"), at4.get("mcf"));
+}
+
 } // namespace
 } // namespace dbsim::exp

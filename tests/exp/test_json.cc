@@ -1,0 +1,179 @@
+/**
+ * @file
+ * JSON emission and parsing tests. Emission: jsonNumber must be
+ * locale-independent (the historical %g/sscanf implementation honored
+ * LC_NUMERIC, so a comma-decimal locale produced "0,25" — invalid
+ * JSON) and shortest-round-trip. Parsing: the strict parser behind the
+ * result cache, checkpoint manifests, and farm service — including
+ * 64-bit integer fidelity through the raw literal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "exp/json.hh"
+
+namespace dbsim::exp {
+namespace {
+
+TEST(JsonNumber, ShortestRoundTripForms)
+{
+    EXPECT_EQ(jsonNumber(0.25), "0.25");
+    EXPECT_EQ(jsonNumber(3.0), "3");
+    EXPECT_EQ(jsonNumber(-0.5), "-0.5");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(std::uint64_t(18446744073709551615ull)),
+              "18446744073709551615");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonNumber, EveryDoubleRoundTripsExactly)
+{
+    for (double v : {0.25, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                     1.7976931348623157e308, -123.456789}) {
+        JsonValue parsed;
+        ASSERT_TRUE(parseJson(jsonNumber(v), parsed)) << jsonNumber(v);
+        ASSERT_TRUE(parsed.isNumber());
+        EXPECT_EQ(parsed.number, v) << jsonNumber(v);
+    }
+}
+
+// Regression: the old "%g"-based formatter honored LC_NUMERIC. Under a
+// comma-decimal locale every fractional metric serialized as "0,25" —
+// a syntax error for any JSON consumer — and sscanf-based readback
+// misparsed dot-decimal files. std::to_chars/from_chars never consult
+// the locale.
+TEST(JsonNumber, IgnoresCommaDecimalLocale)
+{
+    const char *old = std::setlocale(LC_NUMERIC, nullptr);
+    std::string saved = old ? old : "C";
+    const char *set = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+    if (!set) {
+        set = std::setlocale(LC_NUMERIC, "de_DE");
+    }
+    if (!set) {
+        GTEST_SKIP() << "no comma-decimal locale available";
+    }
+
+    std::string formatted = jsonNumber(0.25);
+    JsonValue parsed;
+    bool ok = parseJson("0.25", parsed);
+    std::setlocale(LC_NUMERIC, saved.c_str());
+
+    EXPECT_EQ(formatted, "0.25");
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(parsed.number, 0.25);
+}
+
+TEST(JsonString, EscapesControlCharactersAndQuotes)
+{
+    EXPECT_EQ(jsonString("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(JsonParse, ObjectsKeepMemberOrder)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(R"({"b":1,"a":{"x":[1,2,3]},"c":"s"})", v));
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members.size(), 3u);
+    EXPECT_EQ(v.members[0].first, "b");
+    EXPECT_EQ(v.members[1].first, "a");
+    EXPECT_EQ(v.members[2].first, "c");
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    const JsonValue *x = a->find("x");
+    ASSERT_NE(x, nullptr);
+    ASSERT_TRUE(x->isArray());
+    ASSERT_EQ(x->elements.size(), 3u);
+    EXPECT_EQ(x->elements[2].number, 3.0);
+}
+
+TEST(JsonParse, StringEscapesDecode)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(R"("a\nb\tAé")", v));
+    EXPECT_EQ(v.text, "a\nb\tA\xc3\xa9");
+
+    // Surrogate pair: U+1F600.
+    ASSERT_TRUE(parseJson(R"("😀")", v));
+    EXPECT_EQ(v.text, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, U64FidelityThroughRawLiteral)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("{\"s\":18446744073709551615}", v));
+    std::uint64_t out = 0;
+    ASSERT_TRUE(v.find("s")->asU64(out));
+    // 2^64-1 is not representable in a double; the raw literal is.
+    EXPECT_EQ(out, 18446744073709551615ull);
+
+    ASSERT_TRUE(parseJson("1.5", v));
+    EXPECT_FALSE(v.asU64(out));
+    ASSERT_TRUE(parseJson("-3", v));
+    EXPECT_FALSE(v.asU64(out));
+}
+
+TEST(JsonParse, StrictnessRejections)
+{
+    JsonValue v;
+    EXPECT_FALSE(parseJson("", v));
+    EXPECT_FALSE(parseJson("{} trailing", v));
+    EXPECT_FALSE(parseJson("{\"a\":1,}", v));
+    EXPECT_FALSE(parseJson("[1,2,]", v));
+    EXPECT_FALSE(parseJson("NaN", v));
+    EXPECT_FALSE(parseJson("Infinity", v));
+    EXPECT_FALSE(parseJson("{'a':1}", v));
+    EXPECT_FALSE(parseJson("01", v));
+    EXPECT_FALSE(parseJson("1.", v));
+    EXPECT_FALSE(parseJson("+1", v));
+    EXPECT_FALSE(parseJson("\"unterminated", v));
+    EXPECT_FALSE(parseJson("{\"a\"}", v));
+    EXPECT_FALSE(parseJson("tru", v));
+
+    std::string err;
+    EXPECT_FALSE(parseJson("[1,", v, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, DepthCapStopsRunawayNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    JsonValue v;
+    EXPECT_FALSE(parseJson(deep, v));
+
+    std::string ok(32, '[');
+    ok += std::string(32, ']');
+    EXPECT_TRUE(parseJson(ok, v));
+}
+
+TEST(JsonParse, HugeAndTinyMagnitudesClampSanely)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("1e-999", v));
+    EXPECT_EQ(v.number, 0.0);
+    ASSERT_TRUE(parseJson("1e999", v));
+    EXPECT_TRUE(std::isinf(v.number));
+    ASSERT_TRUE(parseJson("-1e999", v));
+    EXPECT_TRUE(std::isinf(v.number));
+    EXPECT_LT(v.number, 0.0);
+}
+
+} // namespace
+} // namespace dbsim::exp

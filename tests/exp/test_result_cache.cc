@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Content-hash result cache tests: canonical-key semantics (semantic
+ * fields in, execution/observer knobs out), persistence across
+ * instances, stamp-based invalidation, corruption tolerance, and the
+ * end-to-end guarantee through the ExperimentRunner — a repeated sweep
+ * over identical content performs zero new simulations and produces
+ * bit-identical records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exp/result_cache.hh"
+#include "exp/runner.hh"
+
+namespace dbsim::exp {
+namespace {
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = ::testing::TempDir() + "dbsim_result_cache_" +
+              std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name();
+        std::filesystem::remove_all(dir);
+        // Pin the stamp: these tests exercise persistence across
+        // ResultCache instances, which requires a stable stamp.
+        ::setenv("DBSIM_CACHE_STAMP", "test-stamp-1", 1);
+    }
+
+    void TearDown() override
+    {
+        ::unsetenv("DBSIM_CACHE_STAMP");
+        std::filesystem::remove_all(dir);
+    }
+
+    std::string dir;
+};
+
+TEST(Fnv1a64, KnownVectors)
+{
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+    EXPECT_EQ(keyHex(0xcbf29ce484222325ull), "cbf29ce484222325");
+}
+
+TEST(CanonicalConfig, ExecutionKnobsAndObserversAreExcluded)
+{
+    SystemConfig a;
+    SystemConfig b = a;
+    b.numShards = 8;
+    b.auditEvery = 1;
+    b.telemetry.histograms = true;
+    EXPECT_EQ(canonicalConfig(a), canonicalConfig(b));
+}
+
+TEST(CanonicalConfig, SemanticFieldsChangeTheKey)
+{
+    SystemConfig base;
+    std::vector<SystemConfig> variants(7, base);
+    variants[0].seed = 999;
+    variants[1].numCores = 4;
+    variants[2].mech = Mechanism::DbiAwb;
+    variants[3].dbi.alpha = 0.5;
+    variants[4].dram.tCas = 9;
+    variants[5].core.measureInstrs = 1;
+    variants[6].llcSlices = 4;
+    const std::string canon = canonicalConfig(base);
+    for (const SystemConfig &v : variants) {
+        EXPECT_NE(canonicalConfig(v), canon);
+    }
+}
+
+TEST(CanonicalPoint, MixSimFoldsInThePinnedAloneConfig)
+{
+    SweepSpec spec;
+    spec.base().numCores = 2;
+    SweepPoint &p =
+        spec.addMixSim(Mechanism::Baseline, {"lbm", "mcf"});
+
+    SystemConfig alone_a = spec.aloneBase();
+    SystemConfig alone_b = alone_a;
+    alone_b.dram.tCas = 9;  // a semantic field of the alone runs
+    EXPECT_NE(canonicalPoint(p, alone_a), canonicalPoint(p, alone_b));
+
+    // The alone config is pinned before canonicalization: topology
+    // drift on the alone base must NOT change the key (that was the
+    // alone-run topology bug).
+    SystemConfig alone_c = alone_a;
+    alone_c.llcSlices = 4;
+    alone_c.dram.channels = 4;
+    alone_c.shardHopLatency = 64;
+    alone_c.numShards = 8;
+    EXPECT_EQ(canonicalPoint(p, alone_a), canonicalPoint(p, alone_c));
+}
+
+TEST(CanonicalPoint, SimPointsIgnoreTheAloneBase)
+{
+    SweepSpec spec;
+    SweepPoint &p = spec.addSim(Mechanism::Baseline, {"lbm"});
+    SystemConfig alone_a = spec.aloneBase();
+    SystemConfig alone_b = alone_a;
+    alone_b.dram.tCas = 9;
+    EXPECT_EQ(canonicalPoint(p, alone_a), canonicalPoint(p, alone_b));
+}
+
+TEST_F(ResultCacheTest, InsertThenLookupAcrossInstances)
+{
+    const std::string canon = "v1;some-canonical-content;";
+    const std::uint64_t key = fnv1a64(canon);
+
+    PointRecord rec;
+    rec.index = 7;
+    rec.experiment = "whatever";
+    rec.mechanism = "DBI+AWB";
+    rec.mix = "lbm+mcf";
+    rec.tags["axis"] = "x";
+    rec.metrics["ipc0"] = 0.25;
+    rec.metrics["nan_metric"] =
+        std::numeric_limits<double>::quiet_NaN();
+    rec.stats["big"] = 18446744073709551615ull;
+
+    {
+        ResultCache cache(dir);
+        EXPECT_EQ(cache.entryCount(), 0u);
+        PointRecord out;
+        EXPECT_FALSE(cache.lookup(key, canon, out));
+        cache.insert(key, canon, rec);
+        EXPECT_TRUE(cache.lookup(key, canon, out));
+        EXPECT_EQ(out.mechanism, "DBI+AWB");
+        EXPECT_EQ(cache.stats().hits, 1u);
+        EXPECT_EQ(cache.stats().misses, 1u);
+    }
+
+    // A fresh instance over the same directory (same stamp) reloads
+    // the entry, payload intact — including the 2^64-1 stat and the
+    // NaN metric, and excluding the presentation fields.
+    ResultCache cache(dir);
+    EXPECT_EQ(cache.entryCount(), 1u);
+    PointRecord out;
+    ASSERT_TRUE(cache.lookup(key, canon, out));
+    EXPECT_EQ(out.mechanism, "DBI+AWB");
+    EXPECT_EQ(out.mix, "lbm+mcf");
+    EXPECT_EQ(out.metrics.at("ipc0"), 0.25);
+    EXPECT_TRUE(std::isnan(out.metrics.at("nan_metric")));
+    EXPECT_EQ(out.stats.at("big"), 18446744073709551615ull);
+    EXPECT_TRUE(out.experiment.empty());
+    EXPECT_TRUE(out.tags.empty());
+}
+
+TEST_F(ResultCacheTest, HashHitWithDifferentCanonIsAMiss)
+{
+    const std::string canon = "v1;content;";
+    const std::uint64_t key = fnv1a64(canon);
+    ResultCache cache(dir);
+    PointRecord rec;
+    rec.mechanism = "m";
+    cache.insert(key, canon, rec);
+
+    // Same key, different canonical string — what an FNV collision
+    // would look like. Must degrade to a miss, never a wrong result.
+    PointRecord out;
+    EXPECT_FALSE(cache.lookup(key, "v1;other-content;", out));
+    EXPECT_TRUE(cache.lookup(key, canon, out));
+}
+
+TEST_F(ResultCacheTest, BuildStampChangeWipesTheStore)
+{
+    const std::string canon = "v1;content;";
+    const std::uint64_t key = fnv1a64(canon);
+    {
+        ResultCache cache(dir);
+        PointRecord rec;
+        rec.mechanism = "m";
+        cache.insert(key, canon, rec);
+    }
+    ::setenv("DBSIM_CACHE_STAMP", "test-stamp-2", 1);
+    {
+        // New stamp: simulator changed, stored results are stale.
+        ResultCache cache(dir);
+        EXPECT_EQ(cache.entryCount(), 0u);
+        PointRecord out;
+        EXPECT_FALSE(cache.lookup(key, canon, out));
+    }
+    ::setenv("DBSIM_CACHE_STAMP", "test-stamp-1", 1);
+    // The wipe was persistent, not just a refused load.
+    ResultCache cache(dir);
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST_F(ResultCacheTest, CorruptedAndTruncatedShardLinesAreDropped)
+{
+    const std::string canon = "v1;content;";
+    const std::uint64_t key = fnv1a64(canon);
+    std::string shard_file;
+    {
+        ResultCache cache(dir);
+        PointRecord rec;
+        rec.mechanism = "m";
+        rec.metrics["x"] = 1.0;
+        cache.insert(key, canon, rec);
+    }
+    // Find the one non-empty shard and vandalize it: garbage line,
+    // truncated JSON, an entry whose key does not hash its canon.
+    for (std::uint32_t i = 0; i < ResultCache::kNumShards; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "shard_%02x.jsonl", i);
+        std::string path = dir + "/" + name;
+        std::ifstream probe(path);
+        if (probe && probe.peek() != EOF) {
+            shard_file = path;
+        }
+    }
+    ASSERT_FALSE(shard_file.empty());
+    {
+        std::ofstream out(shard_file, std::ios::app);
+        out << "not json at all\n";
+        out << "{\"key\":\"0000000000000000\",\"canon\":\"v1;forged;\","
+               "\"mechanism\":\"evil\",\"mix\":\"\",\"metrics\":{},"
+               "\"stats\":{}}\n";
+        out << "{\"key\":\"00\",\"canon\":\"trunc\n";
+    }
+
+    ResultCache cache(dir);
+    // Only the legitimate entry survives; the forged/corrupt lines are
+    // skipped (and will simply be recomputed by whoever needs them).
+    EXPECT_EQ(cache.entryCount(), 1u);
+    PointRecord out;
+    EXPECT_TRUE(cache.lookup(key, canon, out));
+    EXPECT_EQ(out.mechanism, "m");
+    PointRecord forged;
+    EXPECT_FALSE(
+        cache.lookup(fnv1a64("v1;forged;"), "v1;forged;", forged));
+}
+
+TEST_F(ResultCacheTest, RepeatSweepIsAllHitsAndBitIdentical)
+{
+    SweepSpec spec;
+    spec.base().numCores = 2;
+    spec.base().core.warmupInstrs = 20'000;
+    spec.base().core.measureInstrs = 15'000;
+    spec.setAloneBase(spec.base());
+    for (Mechanism m : {Mechanism::Baseline, Mechanism::DbiAwbClb}) {
+        spec.addMixSim(m, {"lbm", "libquantum"});
+        spec.addSim(m, {"mcf", "bzip2"});
+    }
+
+    RunOptions opts;
+    opts.progress = false;
+    opts.experiment = "cache_test";
+    opts.cacheDir = dir;
+
+    ExperimentRunner cold(opts);
+    auto first = cold.run(spec);
+    EXPECT_EQ(cold.lastRun().cache.hits, 0u);
+    EXPECT_EQ(cold.lastRun().cache.misses, spec.points().size());
+
+    // Second run, fresh runner, same directory: zero simulations.
+    ExperimentRunner warm(opts);
+    auto second = warm.run(spec);
+    EXPECT_EQ(warm.lastRun().cache.hits, spec.points().size());
+    EXPECT_EQ(warm.lastRun().cache.misses, 0u);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].toJsonLine(), second[i].toJsonLine());
+    }
+}
+
+TEST_F(ResultCacheTest, CustomPointsBypass)
+{
+    SweepSpec spec;
+    spec.addCustom([](PointRecord &rec) { rec.metrics["x"] = 1.0; });
+
+    RunOptions opts;
+    opts.progress = false;
+    opts.cacheDir = dir;
+    ExperimentRunner runner(opts);
+    runner.run(spec);
+    EXPECT_EQ(runner.lastRun().cache.bypasses, 1u);
+    EXPECT_EQ(runner.lastRun().cache.hits, 0u);
+    EXPECT_EQ(runner.lastRun().cache.misses, 0u);
+}
+
+} // namespace
+} // namespace dbsim::exp

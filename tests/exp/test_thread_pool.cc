@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "exp/thread_pool.hh"
@@ -89,6 +90,46 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork)
         // No wait(): the destructor must finish the queue, not drop it.
     }
     EXPECT_EQ(count.load(), 32);
+}
+
+// Regression: a task that threw used to escape the worker loop without
+// decrementing the active count — std::terminate on the worker, or a
+// wait() that blocked forever. Now the exception is captured and
+// rethrown from wait(), with the active count maintained on every
+// exit path. The test completing at all (instead of hanging) is the
+// core assertion.
+TEST(ThreadPool, ThrowingTaskDoesNotDeadlockWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failure did not poison the queue: every other task still ran.
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndWaitClearsIt)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::logic_error("second"); });
+    // One thread runs the tasks in order, so the runtime_error is the
+    // first capture; the logic_error is dropped (first-error-wins).
+    try {
+        pool.wait();
+        FAIL() << "wait() must rethrow the captured exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+
+    // The pool remains usable and the stored error was consumed.
+    std::atomic<bool> again{false};
+    pool.submit([&again] { again = true; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_TRUE(again.load());
 }
 
 } // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The experiment-farm server binary: a warm process serving sweep
+ * requests over a unix socket, all clients sharing one persistent
+ * content-hash result cache. See src/exp/service.hh for the protocol.
+ *
+ *   farm_server --socket PATH [--cache-dir DIR] [--jobs N]
+ *
+ * --cache-dir defaults to $DBSIM_CACHE_DIR; with neither, the server
+ * runs without a persistent cache (each sweep still deduplicates
+ * against in-flight and completed work via the runner). Stop it with
+ * SIGINT/SIGTERM or a {"op":"shutdown"} request.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "exp/service.hh"
+
+namespace {
+
+dbsim::exp::FarmService *gService = nullptr;
+
+void
+onSignal(int)
+{
+    if (gService) {
+        gService->stop();
+    }
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--cache-dir DIR] [--jobs N]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    dbsim::exp::ServiceConfig cfg;
+    if (const char *env = std::getenv("DBSIM_CACHE_DIR")) {
+        cfg.cacheDir = env;
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s requires a value", arg);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--socket") == 0) {
+            cfg.socketPath = value();
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            cfg.cacheDir = value();
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            cfg.jobs = static_cast<std::uint32_t>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    dbsim::exp::FarmService service(cfg);
+    gService = &service;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    service.serve();
+    gService = nullptr;
+    return 0;
+}
