@@ -50,9 +50,12 @@ buildSpec(const bench::HarnessOptions &o)
         mix.push_back(mix.back());
     }
 
-    // Custom points build their own System, so the harness telemetry
-    // flags are applied here rather than by the runner.
+    // Custom points build their own System, so the harness telemetry,
+    // machine-shape, and profiling flags are applied here rather than
+    // by the runner/overrideConfigs (which only reach Sim points).
     cfg.telemetry = o.telemetryConfig("diag_run");
+    o.applySharding(cfg);
+    cfg.profile = o.profile;
 
     exp::SweepSpec spec;
     spec.addCustom([cfg, mix](exp::PointRecord &rec) {
@@ -95,6 +98,11 @@ buildSpec(const bench::HarnessOptions &o)
                 sys.dram().statDrainCycles.value());
         }
         rec.stats = r.stats;
+        // Host-profiler attribution rides in the non-deterministic
+        // host map, mirroring what the runner does for Sim points.
+        for (const auto &[k, v] : r.hostProfile) {
+            rec.host["profile." + k] = v;
+        }
     });
     return spec;
 }

@@ -4,7 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <map>
+
 #include "common/logging.hh"
+#include "telemetry/profiler.hh"
 
 namespace dbsim::bench {
 
@@ -37,7 +40,8 @@ printUsage(const char *argv0)
                 "        [--audit N] [--shards N] [--slices N] "
                 "[--channels N] [--hop N]\n"
                 "        [--sample N] [--timeseries FILE]\n"
-                "        [--trace FILE] [--hist] [--host-timers]\n"
+                "        [--trace FILE] [--hist] [--host-timers] "
+                "[--profile]\n"
                 "        [--cache-dir DIR] [--no-cache] [--no-resume]\n"
                 "        [--no-progress] [--list] [--help]\n\n"
                 "experiments in this binary:\n",
@@ -45,6 +49,34 @@ printUsage(const char *argv0)
     for (const auto &e : registry()) {
         std::printf("  %-24s %s\n", e.name.c_str(),
                     e.description.c_str());
+    }
+}
+
+/**
+ * Print the host-profiler attribution for every record that carries
+ * one. The metrics map is rebuilt from the record's flat host entries
+ * ("profile.<key>") so the printer shares HostProfiler::formatTable
+ * with everything else that renders profiles.
+ */
+void
+printProfileTables(const std::vector<exp::PointRecord> &records)
+{
+    for (const auto &rec : records) {
+        std::map<std::string, double> prof;
+        for (const auto &[k, v] : rec.host) {
+            if (k.rfind("profile.", 0) == 0) {
+                prof[k.substr(std::strlen("profile."))] = v;
+            }
+        }
+        if (prof.empty()) {
+            continue;
+        }
+        std::printf("\npoint %zu", rec.index);
+        if (!rec.mechanism.empty()) {
+            std::printf(" (%s)", rec.mechanism.c_str());
+        }
+        std::printf("\n%s",
+                    telemetry::HostProfiler::formatTable(prof).c_str());
     }
 }
 
@@ -175,6 +207,8 @@ harnessMain(int argc, char **argv)
             opts.histograms = true;
         } else if (std::strcmp(arg, "--host-timers") == 0) {
             opts.hostTimers = true;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            opts.profile = true;
         } else if (std::strcmp(arg, "--cache-dir") == 0) {
             opts.cacheDir = needValue(i);
             ++i;
@@ -218,6 +252,7 @@ harnessMain(int argc, char **argv)
         run_opts.auditEvery = opts.auditEvery;
         run_opts.telemetry = opts.telemetryConfig(e.name);
         run_opts.hostTimers = opts.hostTimers;
+        run_opts.profile = opts.profile;
         run_opts.cacheDir = opts.cacheDir;
         run_opts.resume = opts.resume;
 
@@ -229,6 +264,9 @@ harnessMain(int argc, char **argv)
         exp::ExperimentRunner runner(run_opts);
         std::vector<exp::PointRecord> records = runner.run(spec);
         e.format(records, opts);
+        if (opts.profile) {
+            printProfileTables(records);
+        }
     }
     return 0;
 }

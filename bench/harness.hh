@@ -41,6 +41,14 @@
  *           [--host-timers]           per-point wall-clock phase timings
  *                                     in the JSONL records ("host" key;
  *                                     non-deterministic, hence opt-in)
+ *           [--profile]               host profiler: attribute wall time
+ *                                     per shard to dispatch-by-component
+ *                                     vs fabric drain vs barrier stall;
+ *                                     prints a table per point and lands
+ *                                     in the JSONL "host" key as
+ *                                     profile.* (simulated results stay
+ *                                     bit-identical; the run bypasses
+ *                                     the result cache)
  *           [--cache-dir DIR]         persistent content-hash result
  *                                     cache: points already computed
  *                                     under this build (by any bench)
@@ -99,6 +107,14 @@ struct HarnessOptions
 
     /** --host-timers: wall-clock phase timings in the JSONL records. */
     bool hostTimers = false;
+
+    /**
+     * --profile: attach the host profiler to every simulated point and
+     * print its attribution table after the experiment's own table.
+     * Profiled sweeps bypass the result cache (profiling is an
+     * observer, never part of a point's identity).
+     */
+    bool profile = false;
 
     /**
      * --cache-dir DIR (default $DBSIM_CACHE_DIR): persistent result

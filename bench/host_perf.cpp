@@ -24,10 +24,12 @@
 #include <chrono>
 #include <thread>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/prof.hh"
 #include "harness.hh"
 #include "sim/system.hh"
 
@@ -86,6 +88,29 @@ makePoints()
 
 const std::vector<PerfPoint> kPoints = makePoints();
 
+/**
+ * The record's profiler attribution ("profile.*" host entries) as one
+ * JSON object, or "" when the build/profiler produced none. Keys are
+ * metric names ([A-Za-z0-9._]), so no escaping is needed.
+ */
+std::string
+hostProfileJson(const exp::PointRecord &rec)
+{
+    std::string out;
+    for (const auto &[k, v] : rec.host) {
+        if (k.rfind("profile.", 0) != 0) {
+            continue;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        if (!out.empty()) {
+            out += ", ";
+        }
+        out += "\"" + k.substr(std::strlen("profile.")) + "\": " + buf;
+    }
+    return out.empty() ? out : "{" + out + "}";
+}
+
 exp::SweepSpec
 buildSpec(const bench::HarnessOptions &o)
 {
@@ -129,6 +154,20 @@ buildSpec(const bench::HarnessOptions &o)
                 static_cast<double>(events) / best_sec;
             rec.metrics["nsPerEvent"] =
                 best_sec * 1e9 / static_cast<double>(events);
+            // One extra *profiled* run after the timed repeats: its
+            // attribution is recorded alongside the gate numbers
+            // (informational, never gated — check_perf.py only checks
+            // the schema), and it runs last so the profiler can never
+            // pollute best_sec.
+            if constexpr (prof::kEnabled) {
+                SystemConfig pcfg = cfg;
+                pcfg.profile = true;
+                System psys(pcfg, mix);
+                SimResult pr = psys.run();
+                for (const auto &[k, v] : pr.hostProfile) {
+                    rec.host["profile." + k] = v;
+                }
+            }
         });
         pt.tags["point"] = point.name;
     }
@@ -154,16 +193,23 @@ format(const std::vector<exp::PointRecord> &records,
     std::fprintf(f, "{\n  \"bench\": \"host_perf\",\n  \"points\": [\n");
     for (std::size_t i = 0; i < records.size(); ++i) {
         const auto &rec = records[i];
+        std::string prof_json = hostProfileJson(rec);
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"mechanism\": \"%s\", "
                      "\"mix\": \"%s\", \"events\": %.0f, "
                      "\"seconds\": %.6f, \"eventsPerSec\": %.0f, "
-                     "\"nsPerEvent\": %.3f}%s\n",
+                     "\"nsPerEvent\": %.3f",
                      rec.tags.at("point").c_str(), rec.mechanism.c_str(),
                      rec.mix.c_str(), rec.metric("events"),
                      rec.metric("seconds"), rec.metric("eventsPerSec"),
-                     rec.metric("nsPerEvent"),
-                     i + 1 < records.size() ? "," : "");
+                     rec.metric("nsPerEvent"));
+        if (!prof_json.empty()) {
+            // Informational: the wall-time attribution of one profiled
+            // run. check_perf.py checks shape and the work+stall
+            // accounting identity, never the (noisy) values.
+            std::fprintf(f, ", \"hostProfile\": %s", prof_json.c_str());
+        }
+        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     // The sharded pair differs only in worker threads, so the ratio of
     // their events/sec is the parallel engine's host speedup. Recorded

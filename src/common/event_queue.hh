@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "logging.hh"
+#include "prof.hh"
 #include "types.hh"
 
 namespace dbsim {
@@ -73,12 +74,14 @@ class EventQueue
     bool empty() const { return numPending == 0; }
 
     /**
-     * Schedule a callable at absolute time `when`.
+     * Schedule a callable at absolute time `when`. `comp` names the
+     * component the dispatch cost is charged to when a profiler is
+     * attached; it has no effect otherwise.
      * @pre when >= now()
      */
     template <typename F>
     void
-    schedule(Cycle when, F &&fn)
+    schedule(Cycle when, F &&fn, prof::Comp comp = prof::Other)
     {
         using Fn = std::decay_t<F>;
         static_assert(sizeof(Fn) <= kInlineCallbackBytes,
@@ -86,6 +89,8 @@ class EventQueue
                       "capture a pointer to external state instead");
         static_assert(alignof(Fn) <= alignof(std::max_align_t),
                       "over-aligned callback");
+        static_assert(alignof(CbOps) > prof::kCompMask,
+                      "CbOps alignment must leave the tag bits free");
         panic_if(when < curTime,
                  "event scheduled in the past (%" PRIu64 " < %" PRIu64 ")",
                  when, curTime);
@@ -93,6 +98,18 @@ class EventQueue
         EventNode *n = allocNode();
         ::new (static_cast<void *>(n->storage)) Fn(std::forward<F>(fn));
         n->ops = &CbOpsFor<Fn>::ops;
+#ifdef DBSIM_PROFILE
+        // Fold the component tag into the free low bits of the vtable
+        // pointer — but only when profiling, so unprofiled runs never
+        // carry (or need to strip) a tag.
+        if (prof_) {
+            n->ops = reinterpret_cast<const CbOps *>(
+                reinterpret_cast<std::uintptr_t>(n->ops) |
+                static_cast<std::uintptr_t>(comp));
+        }
+#else
+        (void)comp;
+#endif
         n->next = nullptr;
         ++numPending;
 
@@ -150,7 +167,20 @@ class EventQueue
         active->head = n->next;
         --numPending;
         ++numDispatched;
+#ifdef DBSIM_PROFILE
+        if (prof_) {
+            const auto raw = reinterpret_cast<std::uintptr_t>(n->ops);
+            const CbOps *ops =
+                reinterpret_cast<const CbOps *>(raw & ~prof::kCompMask);
+            const std::uint64_t t0 = prof::nowNs();
+            ops->invokeAndDestroy(n->storage);
+            prof_->record(raw & prof::kCompMask, prof::nowNs() - t0);
+        } else {
+            n->ops->invokeAndDestroy(n->storage);
+        }
+#else
         n->ops->invokeAndDestroy(n->storage);
+#endif
         freeNode(n);
         // The callback may have appended to the active bucket; only a
         // drained bucket is retired.
@@ -193,6 +223,25 @@ class EventQueue
      * the heap (asserted by tests/common/test_event_queue_stress.cc).
      */
     std::uint64_t slabAllocations() const { return numSlabAllocs; }
+
+    /**
+     * Attach (or detach, with nullptr) the per-component dispatch
+     * profile. Must be called before any event is scheduled and never
+     * mid-run: tag bits are written at schedule time based on whether a
+     * profile is attached, so toggling with events pending would strip
+     * or misread tags. No-op in DBSIM_PROFILE=OFF builds.
+     */
+    void
+    attachProfile(prof::QueueProfile *profile)
+    {
+#ifdef DBSIM_PROFILE
+        panic_if(numPending != 0,
+                 "attachProfile with %zu events pending", numPending);
+        prof_ = profile;
+#else
+        (void)profile;
+#endif
+    }
 
   private:
     struct CbOps
@@ -335,6 +384,18 @@ class EventQueue
         freeBuckets = b;
     }
 
+    /** The node's vtable with any profiler tag bits stripped. */
+    static const CbOps *
+    opsOf(const EventNode *n)
+    {
+#ifdef DBSIM_PROFILE
+        return reinterpret_cast<const CbOps *>(
+            reinterpret_cast<std::uintptr_t>(n->ops) & ~prof::kCompMask);
+#else
+        return n->ops;
+#endif
+    }
+
     /** Destroy the callbacks of a bucket's never-run events (dtor). */
     void
     drainBucket(Bucket *b)
@@ -343,7 +404,7 @@ class EventQueue
             return;
         }
         for (EventNode *n = b->head; n; n = n->next) {
-            n->ops->destroy(n->storage);
+            opsOf(n)->destroy(n->storage);
         }
     }
 
@@ -356,6 +417,10 @@ class EventQueue
     std::vector<Bucket *> heap;   ///< min-heap over (when, seq)
     Bucket *active = nullptr;     ///< bucket currently dispatching
     std::vector<CacheSlot> cache;
+
+#ifdef DBSIM_PROFILE
+    prof::QueueProfile *prof_ = nullptr;  ///< per-component dispatch times
+#endif
 
     EventNode *freeNodes = nullptr;
     Bucket *freeBuckets = nullptr;

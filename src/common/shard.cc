@@ -33,9 +33,18 @@ ShardFabric::deliverAll(const std::vector<EventQueue *> &queues)
                   });
         for (Message &msg : merged) {
             statMessages += 1;
+            if (observer) {
+                // src is recoverable from the flow id; Message does not
+                // carry it separately.
+                const auto src = static_cast<std::uint32_t>(
+                    (msg.flowId / numShards_) % numShards_);
+                observer->onDeliver(src, dst, msg.deliverAt, msg.flowId,
+                                    msg.kind);
+            }
             queues[dst]->schedule(
                 msg.deliverAt,
-                [fn = std::move(msg.fn), at = msg.deliverAt] { fn(at); });
+                [fn = std::move(msg.fn), at = msg.deliverAt] { fn(at); },
+                prof::Fabric);
         }
     }
     merged.clear();

@@ -49,6 +49,30 @@ namespace dbsim {
 class ShardFabric;
 
 /**
+ * Observer of cross-shard message lifecycle, for flight-recorder style
+ * tracing. Purely passive: it sees (but cannot alter) every fabric
+ * message, identified by a deterministic flow id that is unique over a
+ * run and encodes (lane sequence, src, dst).
+ *
+ * Threading contract: onSend runs on the thread currently executing
+ * shard `src` (mid-epoch), so it may touch src-shard-owned state only.
+ * onDeliver runs single-threaded at the epoch barrier (inside
+ * deliverAll), when no shard is executing.
+ */
+class FlowObserver
+{
+  public:
+    virtual ~FlowObserver() = default;
+
+    virtual void onSend(std::uint32_t src, std::uint32_t dst,
+                        Cycle send_time, Cycle deliver_time,
+                        std::uint64_t flow_id, const char *kind) = 0;
+    virtual void onDeliver(std::uint32_t src, std::uint32_t dst,
+                           Cycle deliver_time, std::uint64_t flow_id,
+                           const char *kind) = 0;
+};
+
+/**
  * The handle through which a component reaches its simulation kernel:
  * which shard it lives on, that shard's EventQueue, and the fabric for
  * cross-shard traffic (nullptr on single-shard machines).
@@ -118,15 +142,35 @@ class ShardFabric
     /**
      * Send a message from shard `src` to shard `dst` at cycle
      * `send_time`; `fn` runs on shard dst at send_time + hopLatency().
-     * Called only by the thread currently running shard src.
+     * `kind` labels the message for tracing (static string; never
+     * affects delivery). Called only by the thread currently running
+     * shard src.
      */
     void
-    send(std::uint32_t src, std::uint32_t dst, Cycle send_time, Handler fn)
+    send(std::uint32_t src, std::uint32_t dst, Cycle send_time, Handler fn,
+         const char *kind = "msg")
     {
         Lane &lane = lanes[std::size_t(src) * numShards_ + dst];
+        // Flow id: unique per run and recoverable to (src, dst). The
+        // per-lane sequence makes it deterministic regardless of which
+        // host thread runs the sending shard's epoch.
+        const std::uint64_t id =
+            (lane.nextSeq * numShards_ + src) * numShards_ + dst;
         lane.box.push_back(
-            Message{send_time + hop, lane.nextSeq++, std::move(fn)});
+            Message{send_time + hop, lane.nextSeq++, std::move(fn), id,
+                    kind});
+        if (observer) {
+            observer->onSend(src, dst, send_time, send_time + hop, id,
+                             kind);
+        }
     }
+
+    /**
+     * Attach a passive flow observer (nullptr detaches). Call before
+     * the run starts; the fabric never synchronizes observer access
+     * beyond the epoch-barrier contract documented on FlowObserver.
+     */
+    void attachFlowObserver(FlowObserver *obs) { observer = obs; }
 
     /**
      * Barrier-time delivery: schedule every in-flight message into its
@@ -155,6 +199,8 @@ class ShardFabric
         Cycle deliverAt;
         std::uint64_t seq;
         Handler fn;
+        std::uint64_t flowId;
+        const char *kind;
     };
 
     /** One (src, dst) lane. Written only by src's thread mid-epoch;
@@ -167,6 +213,7 @@ class ShardFabric
 
     std::uint32_t numShards_;
     Cycle hop;
+    FlowObserver *observer = nullptr;
     std::vector<Lane> lanes;  ///< lane (src, dst) at src*numShards+dst
     std::vector<Message> merged;  ///< deliverAll scratch (reused)
 };

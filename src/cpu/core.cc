@@ -34,7 +34,7 @@ Core::start()
 {
     panic_if(started, "core started twice");
     started = true;
-    eq.schedule(eq.now(), [this] { runAhead(); });
+    eq.schedule(eq.now(), [this] { runAhead(); }, prof::Core);
 }
 
 double
@@ -113,7 +113,7 @@ Core::runAhead()
             eq.schedule(lastIssueCycle, [this] {
                 yielded = false;
                 runAhead();
-            });
+            }, prof::Core);
             return;
         }
 

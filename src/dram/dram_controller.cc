@@ -71,7 +71,8 @@ DramController::enqueueRead(Addr block_addr, Cycle when, ReadCallback cb)
     if (writeQAddrs.count(a)) {
         ++statForwards;
         Cycle done = when + cfg.ioLatency;
-        eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        eq.schedule(done, [cb = std::move(cb), done] { cb(done); },
+                    prof::Dram);
         return;
     }
     readQ.push_back(ReadReq{a, when, std::move(cb)});
@@ -110,7 +111,7 @@ DramController::scheduleService(Cycle when)
     eq.schedule(at, [this] {
         servicePending = false;
         serviceNext();
-    });
+    }, prof::Dram);
 }
 
 template <typename Queue>
@@ -271,7 +272,8 @@ DramController::serviceNext()
         readQ.erase(readQ.begin() + idx);
         Cycle data_end = issue(req.addr, false, req.arrive, now);
         Cycle done = data_end + cfg.ioLatency;
-        eq.schedule(done, [cb = std::move(req.cb), done] { cb(done); });
+        eq.schedule(done, [cb = std::move(req.cb), done] { cb(done); },
+                    prof::Dram);
     }
 
     if (!readQ.empty() || !writeQ.empty()) {

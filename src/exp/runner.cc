@@ -73,6 +73,9 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
                                 ? opts.telemetry.withPointSuffix(p.index)
                                 : opts.telemetry;
         }
+        if (opts.profile) {
+            cfg.profile = true;
+        }
         auto t0 = HostClock::now();
         System sys(cfg, p.mix);
         auto t_built = HostClock::now();
@@ -104,6 +107,11 @@ evalPoint(const SweepPoint &p, const RunOptions &opts,
             rec.host["buildMs"] = msSince(t0, t_built);
             rec.host["runMs"] = msSince(t_built, t_ran);
             rec.host["collectMs"] = msSince(t_ran, HostClock::now());
+        }
+        // Host-profiler attribution rides in the host map: wall-clock
+        // derived, so it must stay out of the deterministic metrics.
+        for (const auto &[k, v] : r.hostProfile) {
+            rec.host["profile." + k] = v;
         }
         break;
       }
@@ -143,8 +151,11 @@ ExperimentRunner::run(const SweepSpec &spec)
     }
     const SystemConfig aloneCanonBase = spec.aloneBase();
     auto cacheable = [&](const SweepPoint &p) {
+        // Observers (telemetry, profiling) bypass: a hit would skip
+        // producing their side artifacts, and profiled host times must
+        // always be fresh measurements.
         return cache != nullptr && p.kind != PointKind::Custom &&
-               !opts.telemetry.enabled();
+               !opts.telemetry.enabled() && !opts.profile;
     };
 
     std::optional<CheckpointSink> ckpt;

@@ -70,6 +70,16 @@ struct RunOptions
     bool hostTimers = false;
 
     /**
+     * Run every simulated point with the host profiler attached
+     * (SystemConfig::profile) and surface its attribution in the
+     * record's `host` map under "profile.*" keys. Like telemetry,
+     * profiling is an observer, never a cache key: profiled sweeps
+     * bypass the result cache (a hit would skip producing the profile,
+     * and profiled wall times must never be served as cached "facts").
+     */
+    bool profile = false;
+
+    /**
      * Directory of the persistent content-hash result cache; "" (the
      * default) disables caching. Sim/MixSim points whose canonical
      * content was computed before — in any previous run of any bench

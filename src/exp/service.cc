@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
@@ -80,6 +81,19 @@ cacheStatsJson(const CacheStats &cs)
     return "{\"hits\":" + jsonNumber(cs.hits) +
            ",\"misses\":" + jsonNumber(cs.misses) +
            ",\"bypasses\":" + jsonNumber(cs.bypasses) + "}";
+}
+
+/** One Prometheus sample line: `name{labels} value` (labels optional). */
+std::string
+promLine(const std::string &name, const std::string &labels,
+         const std::string &value)
+{
+    std::string line = name;
+    if (!labels.empty()) {
+        line += "{" + labels + "}";
+    }
+    line += " " + value + "\n";
+    return line;
 }
 
 } // namespace
@@ -187,45 +201,179 @@ FarmService::handleConnection(int fd)
 }
 
 bool
+FarmService::err(int fd, const std::string &message)
+{
+    live.errors.fetch_add(1, std::memory_order_relaxed);
+    return sendError(fd, message);
+}
+
+std::string
+FarmService::statsBody() const
+{
+    double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      live.start)
+            .count();
+    std::string body = "{\"type\":\"stats\",\"cache\":";
+    if (store) {
+        body += cacheStatsJson(store->stats()) + ",\"entries\":" +
+                jsonNumber(std::uint64_t(store->entryCount()));
+    } else {
+        body += "null";
+    }
+    body += ",\"uptimeSec\":" + jsonNumber(uptime);
+    body += ",\"requests\":{\"ping\":" +
+            jsonNumber(live.pings.load()) +
+            ",\"stats\":" + jsonNumber(live.statsRequests.load()) +
+            ",\"metrics\":" + jsonNumber(live.metricsRequests.load()) +
+            ",\"sweep\":" + jsonNumber(live.sweepRequests.load()) +
+            ",\"shutdown\":" + jsonNumber(live.shutdowns.load()) +
+            ",\"errors\":" + jsonNumber(live.errors.load()) + "}";
+    std::uint64_t count, p50, p95;
+    {
+        std::lock_guard<std::mutex> lock(live.histMu);
+        count = live.sweepWallMs.count();
+        p50 = live.sweepWallMs.percentile(50);
+        p95 = live.sweepWallMs.percentile(95);
+    }
+    body += ",\"sweeps\":{\"inFlight\":" +
+            jsonNumber(live.sweepsInFlight.load()) +
+            ",\"completed\":" + jsonNumber(live.sweepsCompleted.load()) +
+            ",\"count\":" + jsonNumber(count) +
+            ",\"wallMsP50\":" + jsonNumber(p50) +
+            ",\"wallMsP95\":" + jsonNumber(p95) + "}";
+    body += "}";
+    return body;
+}
+
+std::string
+FarmService::prometheusText() const
+{
+    double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      live.start)
+            .count();
+    std::string t;
+    t += "# HELP dbsim_farm_uptime_seconds Time since the farm service "
+         "started.\n";
+    t += "# TYPE dbsim_farm_uptime_seconds gauge\n";
+    t += promLine("dbsim_farm_uptime_seconds", "", jsonNumber(uptime));
+
+    t += "# HELP dbsim_farm_requests_total Requests handled, by verb.\n";
+    t += "# TYPE dbsim_farm_requests_total counter\n";
+    t += promLine("dbsim_farm_requests_total", "op=\"ping\"",
+                  jsonNumber(live.pings.load()));
+    t += promLine("dbsim_farm_requests_total", "op=\"stats\"",
+                  jsonNumber(live.statsRequests.load()));
+    t += promLine("dbsim_farm_requests_total", "op=\"metrics\"",
+                  jsonNumber(live.metricsRequests.load()));
+    t += promLine("dbsim_farm_requests_total", "op=\"sweep\"",
+                  jsonNumber(live.sweepRequests.load()));
+    t += promLine("dbsim_farm_requests_total", "op=\"shutdown\"",
+                  jsonNumber(live.shutdowns.load()));
+
+    t += "# HELP dbsim_farm_errors_total Requests rejected with an "
+         "error response.\n";
+    t += "# TYPE dbsim_farm_errors_total counter\n";
+    t += promLine("dbsim_farm_errors_total", "",
+                  jsonNumber(live.errors.load()));
+
+    t += "# HELP dbsim_farm_sweeps_in_flight Sweeps currently "
+         "running.\n";
+    t += "# TYPE dbsim_farm_sweeps_in_flight gauge\n";
+    t += promLine("dbsim_farm_sweeps_in_flight", "",
+                  jsonNumber(live.sweepsInFlight.load()));
+    t += "# HELP dbsim_farm_sweeps_completed_total Sweeps run to "
+         "completion.\n";
+    t += "# TYPE dbsim_farm_sweeps_completed_total counter\n";
+    t += promLine("dbsim_farm_sweeps_completed_total", "",
+                  jsonNumber(live.sweepsCompleted.load()));
+
+    std::uint64_t count, p50, p95, maxv;
+    {
+        std::lock_guard<std::mutex> lock(live.histMu);
+        count = live.sweepWallMs.count();
+        p50 = live.sweepWallMs.percentile(50);
+        p95 = live.sweepWallMs.percentile(95);
+        maxv = live.sweepWallMs.max();
+    }
+    t += "# HELP dbsim_farm_sweep_wall_ms Wall time per completed "
+         "sweep, milliseconds (nearest-rank percentiles).\n";
+    t += "# TYPE dbsim_farm_sweep_wall_ms summary\n";
+    t += promLine("dbsim_farm_sweep_wall_ms", "quantile=\"0.5\"",
+                  jsonNumber(p50));
+    t += promLine("dbsim_farm_sweep_wall_ms", "quantile=\"0.95\"",
+                  jsonNumber(p95));
+    t += promLine("dbsim_farm_sweep_wall_ms", "quantile=\"1\"",
+                  jsonNumber(maxv));
+    t += promLine("dbsim_farm_sweep_wall_ms_count", "",
+                  jsonNumber(count));
+
+    if (store) {
+        CacheStats cs = store->stats();
+        t += "# HELP dbsim_farm_cache_requests_total Result-cache "
+             "traffic, by outcome.\n";
+        t += "# TYPE dbsim_farm_cache_requests_total counter\n";
+        t += promLine("dbsim_farm_cache_requests_total",
+                      "outcome=\"hit\"", jsonNumber(cs.hits));
+        t += promLine("dbsim_farm_cache_requests_total",
+                      "outcome=\"miss\"", jsonNumber(cs.misses));
+        t += promLine("dbsim_farm_cache_requests_total",
+                      "outcome=\"bypass\"", jsonNumber(cs.bypasses));
+        t += "# HELP dbsim_farm_cache_entries Entries in the result "
+             "cache.\n";
+        t += "# TYPE dbsim_farm_cache_entries gauge\n";
+        t += promLine("dbsim_farm_cache_entries", "",
+                      jsonNumber(std::uint64_t(store->entryCount())));
+    }
+    return t;
+}
+
+bool
 FarmService::handleLine(const std::string &line, int fd)
 {
     JsonValue req;
     std::string parse_error;
     if (!parseJson(line, req, &parse_error) || !req.isObject()) {
-        sendError(fd, "bad request: " + parse_error);
+        err(fd, "bad request: " + parse_error);
         return true;
     }
     const JsonValue *op = req.find("op");
     if (!op || !op->isString()) {
-        sendError(fd, "request needs a string 'op'");
+        err(fd, "request needs a string 'op'");
         return true;
     }
 
     if (op->text == "ping") {
+        live.pings.fetch_add(1, std::memory_order_relaxed);
         return sendLine(fd, "{\"type\":\"pong\",\"version\":" +
                                 jsonString(ResultCache::kVersion) + "}");
     }
     if (op->text == "stats") {
-        std::string body = "{\"type\":\"stats\",\"cache\":";
-        if (store) {
-            body += cacheStatsJson(store->stats()) +
-                    ",\"entries\":" +
-                    jsonNumber(std::uint64_t(store->entryCount()));
-        } else {
-            body += "null";
-        }
-        body += "}";
-        return sendLine(fd, body);
+        live.statsRequests.fetch_add(1, std::memory_order_relaxed);
+        return sendLine(fd, statsBody());
+    }
+    if (op->text == "metrics") {
+        live.metricsRequests.fetch_add(1, std::memory_order_relaxed);
+        // The text exposition travels inside the JSON-lines transport;
+        // a scraper sidecar unwraps "body" and serves it over HTTP.
+        return sendLine(
+            fd,
+            "{\"type\":\"metrics\",\"contentType\":"
+            "\"text/plain; version=0.0.4\",\"body\":" +
+                jsonString(prometheusText()) + "}");
     }
     if (op->text == "shutdown") {
+        live.shutdowns.fetch_add(1, std::memory_order_relaxed);
         sendLine(fd, "{\"type\":\"bye\"}");
         stop();
         return false;
     }
     if (op->text == "sweep") {
+        live.sweepRequests.fetch_add(1, std::memory_order_relaxed);
         return runSweep(req, fd);
     }
-    sendError(fd, "unknown op '" + op->text + "'");
+    err(fd, "unknown op '" + op->text + "'");
     return true;
 }
 
@@ -236,23 +384,23 @@ FarmService::runSweep(const JsonValue &req, int fd)
     const JsonValue *mechs = req.find("mechs");
     const JsonValue *mixes = req.find("mixes");
     if (!mechs || !mechs->isArray() || mechs->elements.empty()) {
-        return sendError(fd, "'mechs' must be a non-empty array of "
+        return err(fd, "'mechs' must be a non-empty array of "
                              "mechanism specs");
     }
     if (!mixes || !mixes->isArray() || mixes->elements.empty()) {
-        return sendError(fd, "'mixes' must be a non-empty array of "
+        return err(fd, "'mixes' must be a non-empty array of "
                              "benchmark-name arrays");
     }
 
     std::vector<MechanismSpec> mech_specs;
     for (const JsonValue &m : mechs->elements) {
         if (!m.isString()) {
-            return sendError(fd, "'mechs' entries must be strings");
+            return err(fd, "'mechs' entries must be strings");
         }
         std::string why;
         auto spec = tryMechanismByName(m.text, &why);
         if (!spec) {
-            return sendError(fd, why);
+            return err(fd, why);
         }
         mech_specs.push_back(*spec);
     }
@@ -261,19 +409,19 @@ FarmService::runSweep(const JsonValue &req, int fd)
     for (const JsonValue &mx : mixes->elements) {
         if (!mx.isArray() || mx.elements.empty() ||
             mx.elements.size() > 64) {
-            return sendError(fd, "each mix must be an array of 1-64 "
+            return err(fd, "each mix must be an array of 1-64 "
                                  "benchmark names");
         }
         WorkloadMix mix;
         for (const JsonValue &b : mx.elements) {
             if (!b.isString()) {
-                return sendError(fd, "mix entries must be strings");
+                return err(fd, "mix entries must be strings");
             }
             // File traces ("@path") would let clients read arbitrary
             // host files through the server; only named profiles are
             // accepted.
             if (!findBenchmark(b.text)) {
-                return sendError(fd,
+                return err(fd,
                                  "unknown benchmark '" + b.text + "'");
             }
             mix.push_back(b.text);
@@ -285,7 +433,7 @@ FarmService::runSweep(const JsonValue &req, int fd)
     if (const JsonValue *k = req.find("kind")) {
         if (!k->isString() ||
             (k->text != "sim" && k->text != "mix")) {
-            return sendError(fd, "'kind' must be \"sim\" or \"mix\"");
+            return err(fd, "'kind' must be \"sim\" or \"mix\"");
         }
         kind = k->text == "mix" ? PointKind::MixSim : PointKind::Sim;
     }
@@ -302,6 +450,11 @@ FarmService::runSweep(const JsonValue &req, int fd)
         !optU64(req, "hop", hop, fd, &sent) ||
         !optU64(req, "shards", shards, fd, &sent) ||
         !optU64(req, "jobs", jobs, fd, &sent)) {
+        if (sent) {
+            // optU64 sent the error itself; count it here so every
+            // error response increments the metric exactly once.
+            live.errors.fetch_add(1, std::memory_order_relaxed);
+        }
         return sent;  // error already reported; keep the connection
     }
 
@@ -309,11 +462,11 @@ FarmService::runSweep(const JsonValue &req, int fd)
     // checked here non-fatally so a bad machine shape is a request
     // error, not a dead server.
     if (slices && (!isPow2(slices) || slices > 64)) {
-        return sendError(fd, "'slices' must be a power of two in "
+        return err(fd, "'slices' must be a power of two in "
                              "[1,64]");
     }
     if (channels && (!isPow2(channels) || channels > 64)) {
-        return sendError(fd, "'channels' must be a power of two in "
+        return err(fd, "'channels' must be a power of two in "
                              "[1,64]");
     }
     if (hop != 0) {
@@ -330,7 +483,7 @@ FarmService::runSweep(const JsonValue &req, int fd)
                                      : (mix.size() <= 8 ? 1 : derived);
             std::uint64_t c = channels ? channels : s;
             if (s == 1 && c == 1) {
-                return sendError(
+                return err(
                     fd, "'hop' is set but a mix of " +
                             jsonNumber(std::uint64_t(mix.size())) +
                             " cores resolves to one slice and one "
@@ -342,7 +495,7 @@ FarmService::runSweep(const JsonValue &req, int fd)
     std::string experiment = "farm";
     if (const JsonValue *e = req.find("experiment")) {
         if (!e->isString()) {
-            return sendError(fd, "'experiment' must be a string");
+            return err(fd, "'experiment' must be a string");
         }
         experiment = e->text;
     }
@@ -405,8 +558,20 @@ FarmService::runSweep(const JsonValue &req, int fd)
         }
     };
 
+    live.sweepsInFlight.fetch_add(1, std::memory_order_relaxed);
+    auto sweep_begin = std::chrono::steady_clock::now();
     ExperimentRunner runner(run_opts);
     runner.run(spec);
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - sweep_begin)
+                         .count();
+    live.sweepsInFlight.fetch_sub(1, std::memory_order_relaxed);
+    live.sweepsCompleted.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(live.histMu);
+        live.sweepWallMs.record(
+            static_cast<std::uint64_t>(wall_ms + 0.5));
+    }
     const RunStats &rs = runner.lastRun();
 
     std::string done = "{\"type\":\"done\",\"points\":" +

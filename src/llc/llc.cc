@@ -135,7 +135,8 @@ Llc::normalRead(Addr block_addr, std::uint32_t core, Cycle when,
                 telem->readLatency(telemetry::ReadClass::Hit, done - when);
             }
         }
-        eq.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        eq.schedule(done, [cb = std::move(cb), done] { cb(done); },
+                    prof::Llc);
         return;
     }
 

@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "ecc/ecc_index.hh"
 #include "model/storage_model.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/trace_merge.hh"
 
 namespace dbsim {
 
@@ -102,9 +104,11 @@ class ShardLlcPort : public LlcPort
                               [f, src, dst, cb](Cycle done) {
                                   // Response hop back to the core's
                                   // shard.
-                                  f->send(dst, src, done, cb);
+                                  f->send(dst, src, done, cb,
+                                          "llcReadResp");
                               });
-                });
+                },
+                "llcRead");
     }
 
     void
@@ -119,7 +123,7 @@ class ShardLlcPort : public LlcPort
         }
         fab.send(part, dst, when, [llc, block_addr, core](Cycle at) {
             llc->writeback(block_addr, core, at);
-        });
+        }, "llcWriteback");
     }
 
   private:
@@ -163,9 +167,11 @@ class ShardMemRouter : public MemRouter
                  dst](Cycle at) {
                     dc->enqueueRead(block_addr, at,
                                     [f, src, dst, cb](Cycle done) {
-                                        f->send(dst, src, done, cb);
+                                        f->send(dst, src, done, cb,
+                                                "dramReadResp");
                                     });
-                });
+                },
+                "dramRead");
     }
 
     void
@@ -180,7 +186,7 @@ class ShardMemRouter : public MemRouter
         }
         fab.send(part, dst, when, [dc, block_addr](Cycle at) {
             dc->enqueueWrite(block_addr, at);
-        });
+        }, "dramWrite");
     }
 
   private:
@@ -188,6 +194,48 @@ class ShardMemRouter : public MemRouter
     ShardFabric &fab;
     const std::vector<std::unique_ptr<DramController>> &chans;
     std::uint32_t part;
+};
+
+/**
+ * Routes fabric message lifecycle into the per-shard telemetry sinks,
+ * turning every cross-shard message into a flow arrow in the merged
+ * trace. Threading follows the FlowObserver contract: a send is
+ * recorded by the sending shard's sink on the thread running that
+ * shard's epoch (each sink is owned by its shard), a delivery by the
+ * destination's sink at the single-threaded barrier.
+ */
+class ShardFlowTracer : public FlowObserver
+{
+  public:
+    explicit ShardFlowTracer(
+        std::vector<std::unique_ptr<telemetry::SimTelemetry>> &sinks)
+        : telems(sinks)
+    {
+    }
+
+    void
+    onSend(std::uint32_t src, std::uint32_t dst, Cycle send_time,
+           Cycle deliver_time, std::uint64_t flow_id,
+           const char *kind) override
+    {
+        if (src < telems.size() && telems[src]) {
+            telems[src]->fabricSend(kind, src, dst, send_time,
+                                    deliver_time, flow_id);
+        }
+    }
+
+    void
+    onDeliver(std::uint32_t src, std::uint32_t dst, Cycle deliver_time,
+              std::uint64_t flow_id, const char *kind) override
+    {
+        if (dst < telems.size() && telems[dst]) {
+            telems[dst]->fabricDeliver(kind, src, dst, deliver_time,
+                                       flow_id);
+        }
+    }
+
+  private:
+    std::vector<std::unique_ptr<telemetry::SimTelemetry>> &telems;
 };
 
 System::System(const SystemConfig &config, const WorkloadMix &mix)
@@ -205,6 +253,21 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
     }
     if (topo.sharded()) {
         fab = std::make_unique<ShardFabric>(P, topo.hopLatency);
+    }
+
+    // The profiler attaches before any component exists: schedule()
+    // tags events only while a profile is attached, so attaching after
+    // the first schedule would mix tagged and untagged nodes.
+    if (cfg.profile) {
+        if constexpr (!prof::kEnabled) {
+            warn("profiling requested but this build has DBSIM_PROFILE "
+                 "off; ignoring");
+        } else {
+            profiler = std::make_unique<telemetry::HostProfiler>(P);
+            for (std::uint32_t p = 0; p < P; ++p) {
+                queues[p]->attachProfile(profiler->queueProfile(p));
+            }
+        }
     }
 
     DramConfig dram_cfg = cfg.dram;
@@ -306,6 +369,10 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
         } else {
             for (std::uint32_t p = 0; p < P; ++p) {
                 setupTelemetry(p);
+            }
+            if (fab && !cfg.telemetry.tracePath.empty()) {
+                flowTracer = std::make_unique<ShardFlowTracer>(telems);
+                fab->attachFlowObserver(flowTracer.get());
             }
         }
     }
@@ -469,6 +536,7 @@ System::runSingle()
     // same-cycle FIFO ordering, breaking run/no-run identity.
     telemetry::StatSampler *sampler =
         !telems.empty() && telems[0] ? telems[0]->sampler() : nullptr;
+    const std::uint64_t prof_begin = profiler ? prof::nowNs() : 0;
     while (eq.step()) {
         if constexpr (telemetry::kEnabled) {
             if (sampler) {
@@ -479,6 +547,11 @@ System::runSingle()
             fatal("simulation exceeded %llu cycles: likely deadlock",
                   static_cast<unsigned long long>(cfg.maxCycles));
         }
+    }
+    if (profiler) {
+        // The whole run is one "epoch" of shard 0: all work, no stall.
+        profiler->recordEpoch(0, prof::nowNs() - prof_begin,
+                              eq.dispatched());
     }
     panic_if(doneCount != cfg.numCores,
              "event queue drained before all cores finished");
@@ -514,6 +587,18 @@ System::runSharded()
     const Cycle W = topo.hopLatency;
     ShardWorkers pool(topo.workers);
 
+    // Per-epoch profiling scratch. A span is written by the worker
+    // thread running that shard's epoch and read by the main thread
+    // after the pool.run() join (which orders the accesses); padding
+    // keeps neighboring shards off each other's cache lines.
+    struct alignas(64) EpochSpan
+    {
+        std::uint64_t beginNs = 0;
+        std::uint64_t endNs = 0;
+    };
+    std::vector<EpochSpan> spans(profiler ? P : 0);
+    std::vector<std::uint64_t> dispatchedBase(profiler ? P : 0, 0);
+
     // Conservative time-window loop. Epoch k runs every shard
     // independently over [epochBase, epochBase+W); messages they send
     // deliver >= one full window later (send time + hop, hop == W), so
@@ -525,14 +610,28 @@ System::runSharded()
                  "simulation exceeded %llu cycles: likely deadlock",
                  static_cast<unsigned long long>(cfg.maxCycles));
         const Cycle limit = epoch_base + W - 1;
+        const std::uint64_t iter_begin = profiler ? prof::nowNs() : 0;
         pool.run([&](std::uint32_t w) {
             // Static shard->worker assignment; any assignment yields
             // the same simulation, this one just balances load.
             for (std::uint32_t p = w; p < P; p += pool.count()) {
-                runShardEpoch(p, limit);
+                if (profiler) {
+                    const std::uint64_t b = prof::nowNs();
+                    runShardEpoch(p, limit);
+                    spans[p].beginNs = b;
+                    spans[p].endNs = prof::nowNs();
+                } else {
+                    runShardEpoch(p, limit);
+                }
             }
         });
-        fab->deliverAll(queuePtrs);
+        if (profiler) {
+            const std::uint64_t d0 = prof::nowNs();
+            fab->deliverAll(queuePtrs);
+            profiler->addFabricDrain(prof::nowNs() - d0);
+        } else {
+            fab->deliverAll(queuePtrs);
+        }
 
         // Barrier-time milestone processing (single-threaded, so the
         // cross-shard stat snapshot and the halt are race-free and land
@@ -556,6 +655,24 @@ System::runSharded()
             }
             doneCount = done;
             haltIssued = true;
+        }
+
+        if (profiler) {
+            // Work is each shard's measured epoch span; stall is the
+            // rest of the iteration (waiting for the slowest shard,
+            // fabric drain, milestones), so work + stall sums to the
+            // engine's wall time per shard by measurement.
+            const std::uint64_t iter_end = prof::nowNs();
+            for (std::uint32_t p = 0; p < P; ++p) {
+                const std::uint64_t work =
+                    spans[p].endNs - spans[p].beginNs;
+                const std::uint64_t disp = queuePtrs[p]->dispatched();
+                profiler->recordEpoch(p, work,
+                                      disp - dispatchedBase[p]);
+                dispatchedBase[p] = disp;
+                const std::uint64_t span = iter_end - iter_begin;
+                profiler->recordStall(p, span > work ? span - work : 0);
+            }
         }
 
         Cycle min_next = kCycleMax;
@@ -628,6 +745,17 @@ System::assembleResult()
                 res.telemetry[prefix + key] = value;
             }
         }
+        // All per-shard trace documents are closed: fold them into one
+        // trace at the un-suffixed path (pid == shard id throughout).
+        if (topo.sharded() && !cfg.telemetry.tracePath.empty() &&
+            !telems.empty()) {
+            telemetry::mergeShardTraces(cfg.telemetry.tracePath,
+                                        topo.partitions);
+        }
+    }
+
+    if (profiler) {
+        res.hostProfile = profiler->metrics();
     }
 
     for (std::size_t i = 0; i < metaIndexes.size(); ++i) {
@@ -661,6 +789,9 @@ System::assembleResult()
 SimResult
 System::run()
 {
+    if (profiler) {
+        profiler->beginRun();
+    }
     for (auto &core : cores) {
         core->start();
     }
@@ -668,6 +799,9 @@ System::run()
         runSharded();
     } else {
         runSingle();
+    }
+    if (profiler) {
+        profiler->endRun();
     }
     return assembleResult();
 }

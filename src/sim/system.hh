@@ -129,6 +129,17 @@ struct SystemConfig
      */
     telemetry::TelemetryConfig telemetry;
 
+    /**
+     * Host-side profiling (src/telemetry/profiler.hh): attribute wall
+     * time per shard to event dispatch by component vs. fabric drain
+     * vs. epoch-barrier stall, plus per-epoch occupancy counters.
+     * Surfaced as SimResult::hostProfile. Purely an observer of *host*
+     * time: simulated state and statistics are bit-identical with it
+     * on or off. Requesting it in a build configured with
+     * -DDBSIM_PROFILE=OFF draws a warning and is ignored.
+     */
+    bool profile = false;
+
     /** Hard simulation cap; exceeded means a deadlock bug. */
     Cycle maxCycles = 20'000'000'000ull;
 
@@ -178,10 +189,25 @@ struct SimResult
      * set per slice and prefix each slice's entries "s<k>.".
      */
     std::map<std::string, double> metadata;
+
+    /**
+     * Host-profiler attribution ("runMs", "fabricDrainMs", "shards",
+     * "s<k>.workMs" / "s<k>.stallMs" / "s<k>.comp.<name>.ms", ...)
+     * when the run was profiled (SystemConfig::profile); empty
+     * otherwise. Host wall-clock derived, therefore NON-deterministic —
+     * never fold into cached or golden-compared data (the JSONL layer
+     * keeps it in the separate "host" object for the same reason).
+     */
+    std::map<std::string, double> hostProfile;
 };
 
 class ShardLlcPort;
 class ShardMemRouter;
+class ShardFlowTracer;
+
+namespace telemetry {
+class HostProfiler;
+} // namespace telemetry
 
 /**
  * One simulated machine: cores + private caches + sliced shared LLC
@@ -308,6 +334,8 @@ class System
     std::vector<std::uint32_t> metaSlices;  ///< owning slice per index
     std::vector<std::unique_ptr<audit::InvariantAuditor>> auditors;
     std::vector<std::unique_ptr<dbsim::telemetry::SimTelemetry>> telems;
+    std::unique_ptr<ShardFlowTracer> flowTracer;      ///< sharded traces
+    std::unique_ptr<dbsim::telemetry::HostProfiler> profiler;
     std::vector<std::unique_ptr<TraceSource>> traces;
     std::vector<std::unique_ptr<CoreMemory>> mems;
     std::vector<std::unique_ptr<Core>> cores;

@@ -4,11 +4,8 @@
 
 namespace dbsim::telemetry {
 
-namespace {
-
-/** "dir/base.ext" -> "dir/base.pt<i>.ext"; no-ext names get appended. */
 std::string
-suffixPath(const std::string &path, const std::string &tag)
+suffixedPath(const std::string &path, const std::string &tag)
 {
     if (path.empty()) {
         return path;
@@ -21,6 +18,8 @@ suffixPath(const std::string &path, const std::string &tag)
     }
     return path.substr(0, dot) + tag + path.substr(dot);
 }
+
+namespace {
 
 void
 addHistMetrics(std::map<std::string, double> &out, const Histogram &h)
@@ -44,8 +43,8 @@ TelemetryConfig::withPointSuffix(std::size_t index) const
 {
     TelemetryConfig c = *this;
     std::string tag = ".pt" + std::to_string(index);
-    c.timeseriesPath = suffixPath(timeseriesPath, tag);
-    c.tracePath = suffixPath(tracePath, tag);
+    c.timeseriesPath = suffixedPath(timeseriesPath, tag);
+    c.tracePath = suffixedPath(tracePath, tag);
     return c;
 }
 
@@ -54,15 +53,21 @@ TelemetryConfig::withShardSuffix(std::uint32_t shard) const
 {
     TelemetryConfig c = *this;
     std::string tag = ".s" + std::to_string(shard);
-    c.timeseriesPath = suffixPath(timeseriesPath, tag);
-    c.tracePath = suffixPath(tracePath, tag);
+    c.timeseriesPath = suffixedPath(timeseriesPath, tag);
+    c.tracePath = suffixedPath(tracePath, tag);
+    // The merged document groups tracks by process: pid == shard id.
+    c.tracePid = static_cast<int>(shard);
+    c.traceProcessName = "shard " + std::to_string(shard);
     return c;
 }
 
 SimTelemetry::SimTelemetry(const TelemetryConfig &config) : cfg(config)
 {
     if (!cfg.tracePath.empty()) {
-        trace_ = std::make_unique<TraceWriter>(cfg.tracePath);
+        trace_ = std::make_unique<TraceWriter>(cfg.tracePath, cfg.tracePid);
+        if (!cfg.traceProcessName.empty()) {
+            trace_->processName(cfg.traceProcessName);
+        }
     }
     if (cfg.sampleEvery > 0) {
         sampler_ =
@@ -140,6 +145,48 @@ SimTelemetry::clbDecision(Addr block_addr, Cycle when, bool dbi_dirty)
 }
 
 void
+SimTelemetry::fabricSend(const char *kind, std::uint32_t src,
+                         std::uint32_t dst, Cycle send_time,
+                         Cycle deliver_time, std::uint64_t flow_id)
+{
+    ++fabricSends;
+    if (!trace_) {
+        return;
+    }
+    // A transit slice on the source's fabric lane [send, deliver], with
+    // the flow-begin at the same (tid, ts) so the arrow binds to it.
+    const std::string name =
+        std::string(kind) + "→s" + std::to_string(dst);
+    trace_->complete("fabric", name, TraceWriter::kTidFabric, send_time,
+                     deliver_time,
+                     {{"src", traceArgNumber(std::uint64_t(src))},
+                      {"dst", traceArgNumber(std::uint64_t(dst))},
+                      {"flow", traceArgNumber(flow_id)}});
+    trace_->flowBegin("fabric", kind, TraceWriter::kTidFabric, send_time,
+                      flow_id);
+}
+
+void
+SimTelemetry::fabricDeliver(const char *kind, std::uint32_t src,
+                            std::uint32_t dst, Cycle deliver_time,
+                            std::uint64_t flow_id)
+{
+    ++fabricDelivers;
+    if (!trace_) {
+        return;
+    }
+    const std::string name =
+        std::string(kind) + "←s" + std::to_string(src);
+    trace_->complete("fabric", name, TraceWriter::kTidFabric,
+                     deliver_time, deliver_time,
+                     {{"src", traceArgNumber(std::uint64_t(src))},
+                      {"dst", traceArgNumber(std::uint64_t(dst))},
+                      {"flow", traceArgNumber(flow_id)}});
+    trace_->flowEnd("fabric", kind, TraceWriter::kTidFabric, deliver_time,
+                    flow_id);
+}
+
+void
 SimTelemetry::onDrainStart(Cycle)
 {
     // The window is recorded on close, when its extent is known.
@@ -182,6 +229,11 @@ SimTelemetry::finish(Cycle now)
     if (trace_) {
         trace_->setTotal("telemetry.drainWindows", drainWindows);
         trace_->setTotal("telemetry.drainCyclesTraced", drainCycleSum);
+        if (fabricSends || fabricDelivers) {
+            trace_->setTotal("telemetry.fabricFlowsBegun", fabricSends);
+            trace_->setTotal("telemetry.fabricFlowsBound",
+                             fabricDelivers);
+        }
         trace_->finish();
     }
 }

@@ -64,6 +64,12 @@ struct TelemetryConfig
     /** Collect latency/drain/dirty-row histograms. */
     bool histograms = false;
 
+    /** Trace-level process id; withShardSuffix sets it to the shard. */
+    int tracePid = TraceWriter::kPid;
+
+    /** Trace process_name metadata (empty: none emitted). */
+    std::string traceProcessName;
+
     bool
     enabled() const
     {
@@ -85,6 +91,13 @@ struct TelemetryConfig
      */
     TelemetryConfig withShardSuffix(std::uint32_t shard) const;
 };
+
+/**
+ * "dir/base.ext" -> "dir/base<tag>.ext" (tag before the last
+ * extension; no-ext names get it appended). Shared by the
+ * point/shard-suffix helpers above and the shard-trace merger.
+ */
+std::string suffixedPath(const std::string &path, const std::string &tag);
 
 /** Request classes the LLC read path distinguishes (latency hists). */
 enum class ReadClass : std::uint8_t
@@ -142,6 +155,23 @@ class SimTelemetry : public DramObserver
      */
     void clbDecision(Addr block_addr, Cycle when, bool dbi_dirty);
 
+    // ---- fabric hooks (sharded runs; see FlowObserver contract) ----
+
+    /**
+     * A cross-shard message left this shard at `send_time`, bound for
+     * `dst` at `deliver_time`. Emits a transit slice on the fabric
+     * lane plus a flow-begin carrying `flow_id`; the matching
+     * fabricDeliver on dst's sink closes the arrow.
+     */
+    void fabricSend(const char *kind, std::uint32_t src,
+                    std::uint32_t dst, Cycle send_time,
+                    Cycle deliver_time, std::uint64_t flow_id);
+
+    /** The matching delivery on the destination shard's sink. */
+    void fabricDeliver(const char *kind, std::uint32_t src,
+                       std::uint32_t dst, Cycle deliver_time,
+                       std::uint64_t flow_id);
+
     // ---- DramObserver ---------------------------------------------
 
     void onDrainStart(Cycle when) override;
@@ -177,6 +207,10 @@ class SimTelemetry : public DramObserver
     std::uint64_t drainCyclesTraced() const { return drainCycleSum; }
     std::uint64_t drainWindowsTraced() const { return drainWindows; }
 
+    /** Fabric flows traced from / delivered to this shard's sink. */
+    std::uint64_t fabricFlowsBegun() const { return fabricSends; }
+    std::uint64_t fabricFlowsBound() const { return fabricDelivers; }
+
   private:
     TelemetryConfig cfg;
     std::unique_ptr<StatSampler> sampler_;
@@ -192,6 +226,8 @@ class SimTelemetry : public DramObserver
 
     std::uint64_t drainCycleSum = 0;
     std::uint64_t drainWindows = 0;
+    std::uint64_t fabricSends = 0;
+    std::uint64_t fabricDelivers = 0;
     bool finished = false;
 };
 

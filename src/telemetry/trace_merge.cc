@@ -1,0 +1,118 @@
+#include "trace_merge.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "telemetry/telemetry.hh"
+
+namespace dbsim::telemetry {
+
+namespace {
+
+constexpr const char *kPrefix =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+constexpr const char *kFooterMark = "\n],\"otherData\":{";
+
+struct ShardDoc
+{
+    std::string events;     ///< event lines, no trailing separator
+    std::string otherData;  ///< inner "k":v list, no braces
+};
+
+bool
+readShardDoc(const std::string &path, ShardDoc &doc)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("trace merge: cannot open '%s'", path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    const std::string prefix = kPrefix;
+    if (text.rfind(prefix, 0) != 0) {
+        warn("trace merge: '%s' lacks the TraceWriter prefix",
+             path.c_str());
+        return false;
+    }
+    const std::size_t footer = text.rfind(kFooterMark);
+    if (footer == std::string::npos || footer < prefix.size()) {
+        warn("trace merge: '%s' lacks the TraceWriter footer",
+             path.c_str());
+        return false;
+    }
+    doc.events = text.substr(prefix.size(), footer - prefix.size());
+
+    const std::size_t od = footer + std::string(kFooterMark).size();
+    const std::size_t odEnd = text.find("}}", od);
+    if (odEnd == std::string::npos) {
+        warn("trace merge: '%s' has an unterminated otherData",
+             path.c_str());
+        return false;
+    }
+    doc.otherData = text.substr(od, odEnd - od);
+    return true;
+}
+
+} // namespace
+
+bool
+mergeShardTraces(const std::string &base_path, std::uint32_t num_shards)
+{
+    std::string events;
+    std::string otherData;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+        const std::string path =
+            suffixedPath(base_path, ".s" + std::to_string(s));
+        ShardDoc doc;
+        if (!readShardDoc(path, doc)) {
+            return false;
+        }
+        if (!doc.events.empty()) {
+            if (!events.empty()) {
+                events += ",\n";
+            }
+            events += doc.events;
+        }
+        // Re-key the shard's totals as "s<k>.<key>": the values stay
+        // per-shard (summing across shards is the checker's job).
+        std::size_t pos = 0;
+        const std::string tag = "s" + std::to_string(s) + ".";
+        while (pos < doc.otherData.size()) {
+            std::size_t next = doc.otherData.find(",\"", pos);
+            std::string item =
+                next == std::string::npos
+                    ? doc.otherData.substr(pos)
+                    : doc.otherData.substr(pos, next - pos);
+            if (!item.empty()) {
+                if (!otherData.empty()) {
+                    otherData += ",";
+                }
+                otherData += "\"" + tag + item.substr(1);
+            }
+            if (next == std::string::npos) {
+                break;
+            }
+            pos = next + 1;
+        }
+    }
+
+    std::FILE *out = std::fopen(base_path.c_str(), "w");
+    if (!out) {
+        warn("trace merge: cannot open output '%s'", base_path.c_str());
+        return false;
+    }
+    std::fputs(kPrefix, out);
+    std::fputs(events.c_str(), out);
+    std::fputs(kFooterMark, out);
+    std::fputs(otherData.c_str(), out);
+    std::fputs("}}\n", out);
+    std::fclose(out);
+    return true;
+}
+
+} // namespace dbsim::telemetry

@@ -94,7 +94,7 @@ traceArgHex(Addr addr)
     return buf;
 }
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(const std::string &path, int pid) : pid_(pid)
 {
     out = std::fopen(path.c_str(), "w");
     fatal_if(!out, "cannot open trace output '%s'", path.c_str());
@@ -103,6 +103,7 @@ TraceWriter::TraceWriter(const std::string &path)
     threadName(kTidLlc, "llc");
     threadName(kTidDbi, "dbi");
     threadName(kTidClb, "clb");
+    threadName(kTidFabric, "fabric");
 }
 
 TraceWriter::~TraceWriter()
@@ -129,7 +130,18 @@ TraceWriter::threadName(int tid, const std::string &name)
     std::snprintf(buf, sizeof(buf),
                   "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
-                  kPid, tid, escape(name).c_str());
+                  pid_, tid, escape(name).c_str());
+    emit(buf);
+}
+
+void
+TraceWriter::processName(const std::string &name)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                  pid_, escape(name).c_str());
     emit(buf);
 }
 
@@ -141,7 +153,7 @@ TraceWriter::complete(const std::string &cat, const std::string &name,
     Cycle dur = end > start ? end - start : 0;
     std::string ev = "{\"ph\":\"X\",\"cat\":\"" + escape(cat) +
                      "\",\"name\":\"" + escape(name) +
-                     "\",\"pid\":" + std::to_string(kPid) +
+                     "\",\"pid\":" + std::to_string(pid_) +
                      ",\"tid\":" + std::to_string(tid) +
                      ",\"ts\":" + std::to_string(start) +
                      ",\"dur\":" + std::to_string(dur) +
@@ -155,7 +167,7 @@ TraceWriter::instant(const std::string &cat, const std::string &name,
 {
     std::string ev = "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"" +
                      escape(cat) + "\",\"name\":\"" + escape(name) +
-                     "\",\"pid\":" + std::to_string(kPid) +
+                     "\",\"pid\":" + std::to_string(pid_) +
                      ",\"tid\":" + std::to_string(tid) +
                      ",\"ts\":" + std::to_string(ts) +
                      ",\"args\":" + argsJson(args) + "}";
@@ -167,9 +179,35 @@ TraceWriter::counter(const std::string &name, Cycle ts,
                      const TraceArgs &series)
 {
     std::string ev = "{\"ph\":\"C\",\"name\":\"" + escape(name) +
-                     "\",\"pid\":" + std::to_string(kPid) +
+                     "\",\"pid\":" + std::to_string(pid_) +
                      ",\"ts\":" + std::to_string(ts) +
                      ",\"args\":" + argsJson(series) + "}";
+    emit(ev);
+}
+
+void
+TraceWriter::flowBegin(const std::string &cat, const std::string &name,
+                       int tid, Cycle ts, std::uint64_t id)
+{
+    std::string ev = "{\"ph\":\"s\",\"cat\":\"" + escape(cat) +
+                     "\",\"name\":\"" + escape(name) +
+                     "\",\"id\":" + std::to_string(id) +
+                     ",\"pid\":" + std::to_string(pid_) +
+                     ",\"tid\":" + std::to_string(tid) +
+                     ",\"ts\":" + std::to_string(ts) + "}";
+    emit(ev);
+}
+
+void
+TraceWriter::flowEnd(const std::string &cat, const std::string &name,
+                     int tid, Cycle ts, std::uint64_t id)
+{
+    std::string ev = "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"" +
+                     escape(cat) + "\",\"name\":\"" + escape(name) +
+                     "\",\"id\":" + std::to_string(id) +
+                     ",\"pid\":" + std::to_string(pid_) +
+                     ",\"tid\":" + std::to_string(tid) +
+                     ",\"ts\":" + std::to_string(ts) + "}";
     emit(ev);
 }
 

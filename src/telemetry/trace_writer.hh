@@ -40,22 +40,34 @@ std::string traceArgHex(Addr addr);
 class TraceWriter
 {
   public:
-    /** Opens `path` and writes the stream prefix; fatal() on failure. */
-    explicit TraceWriter(const std::string &path);
+    /**
+     * Opens `path` and writes the stream prefix; fatal() on failure.
+     * `pid` is the trace-level process id every event carries — one
+     * process per shard in sharded runs (pid == shard id), so the
+     * post-run merger can concatenate shard streams into one document
+     * with per-shard track groups.
+     */
+    explicit TraceWriter(const std::string &path, int pid = kPid);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Track identifiers: one fake pid, one tid per subsystem lane. */
+    /** Track identifiers: default pid, one tid per subsystem lane. */
     static constexpr int kPid = 1;
     static constexpr int kTidDram = 1;
     static constexpr int kTidLlc = 2;
     static constexpr int kTidDbi = 3;
     static constexpr int kTidClb = 4;
+    static constexpr int kTidFabric = 5;
+
+    int pid() const { return pid_; }
 
     /** Name a thread lane (ph "M" thread_name metadata). */
     void threadName(int tid, const std::string &name);
+
+    /** Name this writer's process track group (process_name metadata). */
+    void processName(const std::string &name);
 
     /** Complete ("X") duration event spanning [start, end]. */
     void complete(const std::string &cat, const std::string &name,
@@ -73,6 +85,18 @@ class TraceWriter
     void counter(const std::string &name, Cycle ts,
                  const TraceArgs &series);
 
+    /**
+     * Flow events ("s"/"f"): a directed arrow between two slices that
+     * share `id`, possibly across processes (shards). Emit each right
+     * after a slice at the same (pid, tid, ts) so viewers bind the
+     * arrow to that slice; the end uses "bp":"e" (bind to enclosing
+     * slice) per the trace-event spec.
+     */
+    void flowBegin(const std::string &cat, const std::string &name,
+                   int tid, Cycle ts, std::uint64_t id);
+    void flowEnd(const std::string &cat, const std::string &name,
+                 int tid, Cycle ts, std::uint64_t id);
+
     /** Whole-run total surfaced in the trailing otherData object. */
     void setTotal(const std::string &key, std::uint64_t value);
 
@@ -85,6 +109,7 @@ class TraceWriter
     void emit(const std::string &event_json);
 
     std::FILE *out = nullptr;
+    int pid_ = kPid;
     bool firstEvent = true;
     bool finished = false;
     std::uint64_t events = 0;

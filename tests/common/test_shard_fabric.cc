@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -226,6 +227,128 @@ TEST(ShardFabric, NoMessageLossUnderRandomTraffic)
                    << repro;
         }
     }
+}
+
+// ---- flow-observer (flight recorder) accounting ---------------------
+
+/** Records every flow id seen on both sides of the fabric seam. */
+struct CollectObserver : FlowObserver
+{
+    struct Flow
+    {
+        std::uint32_t src, dst;
+        Cycle sendAt, deliverAt;
+        std::string kind;
+    };
+    std::map<std::uint64_t, Flow> sent;
+    std::map<std::uint64_t, Flow> delivered;
+    std::uint64_t duplicateSends = 0;
+    std::uint64_t duplicateDeliveries = 0;
+
+    void
+    onSend(std::uint32_t src, std::uint32_t dst, Cycle send_time,
+           Cycle deliver_time, std::uint64_t flow_id,
+           const char *kind) override
+    {
+        if (!sent.emplace(flow_id,
+                          Flow{src, dst, send_time, deliver_time, kind})
+                 .second) {
+            ++duplicateSends;
+        }
+    }
+
+    void
+    onDeliver(std::uint32_t src, std::uint32_t dst, Cycle deliver_time,
+              std::uint64_t flow_id, const char *kind) override
+    {
+        if (!delivered
+                 .emplace(flow_id,
+                          Flow{src, dst, deliver_time, deliver_time,
+                               kind})
+                 .second) {
+            ++duplicateDeliveries;
+        }
+    }
+};
+
+TEST(ShardFabric, FlowObserverSeesEveryMessageExactlyOnce)
+{
+    const Cycle hop = 16;
+    CollectObserver obs;
+    Rng rng(0xF10);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        std::vector<Msg> msgs;
+        for (int i = 0; i < 200; ++i) {
+            Msg m;
+            m.src = static_cast<std::uint32_t>(rng.below(4));
+            m.dst = static_cast<std::uint32_t>(rng.below(4));
+            m.sendAt = rng.below(hop);
+            m.epoch = static_cast<std::uint32_t>(rng.below(10));
+            msgs.push_back(m);
+        }
+
+        Mesh mesh(4, hop);
+        mesh.fab.attachFlowObserver(&obs);
+        obs = CollectObserver{};
+        std::size_t deliveredCbs = 0;
+        std::uint32_t lastEpoch = 0;
+        for (const Msg &m : msgs) {
+            lastEpoch = std::max(lastEpoch, m.epoch);
+        }
+        for (std::uint32_t e = 0; e <= lastEpoch + 2; ++e) {
+            const Cycle base = static_cast<Cycle>(e) * hop;
+            for (const Msg &m : msgs) {
+                if (m.epoch == e) {
+                    mesh.fab.send(m.src, m.dst, base + (m.sendAt % hop),
+                                  [&deliveredCbs](Cycle) {
+                                      ++deliveredCbs;
+                                  },
+                                  "test");
+                }
+            }
+            mesh.epoch(base + hop - 1);
+        }
+
+        // Every message begun exactly one flow and bound exactly one.
+        EXPECT_EQ(obs.duplicateSends, 0u);
+        EXPECT_EQ(obs.duplicateDeliveries, 0u);
+        EXPECT_EQ(obs.sent.size(), msgs.size());
+        EXPECT_EQ(obs.delivered.size(), deliveredCbs);
+        ASSERT_EQ(deliveredCbs, msgs.size());
+
+        for (const auto &[id, send] : obs.sent) {
+            auto it = obs.delivered.find(id);
+            ASSERT_NE(it, obs.delivered.end())
+                << "flow " << id << " begun but never bound";
+            // deliverAll recovers src from the id alone; it must agree
+            // with what the sender reported, as must everything else.
+            EXPECT_EQ(it->second.src, send.src);
+            EXPECT_EQ(it->second.dst, send.dst);
+            EXPECT_EQ(it->second.deliverAt, send.deliverAt);
+            EXPECT_EQ(it->second.deliverAt, send.sendAt + hop);
+            EXPECT_EQ(it->second.kind, "test");
+        }
+    }
+}
+
+TEST(ShardFabric, FlowIdsEncodeSourceAndDestination)
+{
+    Mesh mesh(4, 8);
+    CollectObserver obs;
+    mesh.fab.attachFlowObserver(&obs);
+    for (std::uint32_t src = 0; src < 4; ++src) {
+        for (std::uint32_t dst = 0; dst < 4; ++dst) {
+            mesh.fab.send(src, dst, 0, [](Cycle) {});
+        }
+    }
+    ASSERT_EQ(obs.sent.size(), 16u);
+    for (const auto &[id, f] : obs.sent) {
+        EXPECT_EQ((id / 4) % 4, f.src) << "id " << id;
+        EXPECT_EQ(id % 4, f.dst) << "id " << id;
+    }
+    mesh.epoch(7);
+    mesh.epoch(15);
+    EXPECT_EQ(obs.delivered.size(), 16u);
 }
 
 TEST(ShardFabric, SingleShardHopStillDelaysSelfMessages)

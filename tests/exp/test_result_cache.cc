@@ -67,6 +67,7 @@ TEST(CanonicalConfig, ExecutionKnobsAndObserversAreExcluded)
     b.numShards = 8;
     b.auditEvery = 1;
     b.telemetry.histograms = true;
+    b.profile = true;
     EXPECT_EQ(canonicalConfig(a), canonicalConfig(b));
 }
 
@@ -296,6 +297,52 @@ TEST_F(ResultCacheTest, CustomPointsBypass)
     EXPECT_EQ(runner.lastRun().cache.bypasses, 1u);
     EXPECT_EQ(runner.lastRun().cache.hits, 0u);
     EXPECT_EQ(runner.lastRun().cache.misses, 0u);
+}
+
+TEST_F(ResultCacheTest, ProfiledSweepsBypassButStayDeterministic)
+{
+    // Profiling is an observer: it must never be a cache key (the
+    // canonical content ignores it) AND a profiled sweep must never be
+    // served from — or insert into — the cache, because a hit would
+    // skip producing the attribution and a cached profile would replay
+    // stale wall-clock "facts".
+    SweepSpec spec;
+    spec.base().core.warmupInstrs = 20'000;
+    spec.base().core.measureInstrs = 15'000;
+    spec.setAloneBase(spec.base());
+    spec.addSim(Mechanism::Baseline, {"mcf"});
+    spec.addSim(Mechanism::DbiAwbClb, {"lbm"});
+
+    RunOptions opts;
+    opts.progress = false;
+    opts.experiment = "profile_bypass";
+    opts.cacheDir = dir;
+
+    ExperimentRunner cold(opts);
+    auto plain = cold.run(spec);
+    EXPECT_EQ(cold.lastRun().cache.misses, spec.points().size());
+
+    RunOptions popts = opts;
+    popts.profile = true;
+    ExperimentRunner profiled(popts);
+    auto prof = profiled.run(spec);
+    EXPECT_EQ(profiled.lastRun().cache.hits, 0u);
+    EXPECT_EQ(profiled.lastRun().cache.misses, 0u);
+    EXPECT_EQ(profiled.lastRun().cache.bypasses, spec.points().size());
+
+    // Same deterministic simulation either way; only the host map
+    // (excluded from metrics) differs.
+    ASSERT_EQ(plain.size(), prof.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].metrics, prof[i].metrics);
+        EXPECT_EQ(plain[i].stats, prof[i].stats);
+    }
+
+    // The profiled run left the cache untouched: a warm plain run is
+    // still all hits from the cold run's inserts.
+    ExperimentRunner warm(opts);
+    warm.run(spec);
+    EXPECT_EQ(warm.lastRun().cache.hits, spec.points().size());
 }
 
 } // namespace

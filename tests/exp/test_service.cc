@@ -264,6 +264,129 @@ TEST_F(FarmServiceTest, RepeatSweepIsServedFromTheWarmCache)
     EXPECT_EQ(second_records, 2u);
 }
 
+TEST_F(FarmServiceTest, MetricsVerbEmitsPrometheusText)
+{
+    FarmService svc(cfg);
+    FarmClient client(svc);
+    client.send(R"({"op":"ping"})");
+    EXPECT_EQ(client.type(client.recv()), "pong");
+    client.send(R"({"op":"ping"})");
+    EXPECT_EQ(client.type(client.recv()), "pong");
+
+    client.send(R"({"op":"metrics"})");
+    JsonValue resp = client.recv();
+    EXPECT_EQ(client.type(resp), "metrics");
+    const JsonValue *ct = resp.find("contentType");
+    ASSERT_NE(ct, nullptr);
+    EXPECT_EQ(ct->text, "text/plain; version=0.0.4");
+    const JsonValue *body = resp.find("body");
+    ASSERT_NE(body, nullptr);
+    ASSERT_TRUE(body->isString());
+    const std::string &text = body->text;
+    EXPECT_NE(text.find("# TYPE dbsim_farm_uptime_seconds gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("dbsim_farm_requests_total{op=\"ping\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dbsim_farm_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("dbsim_farm_errors_total 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("dbsim_farm_sweeps_in_flight 0\n"),
+              std::string::npos);
+    // The cache is configured, so its traffic is exported too.
+    EXPECT_NE(text.find("dbsim_farm_cache_entries"), std::string::npos);
+}
+
+TEST_F(FarmServiceTest, CountersAdvanceAcrossConcurrentClients)
+{
+    FarmService svc(cfg);
+    const std::string sweep =
+        R"({"op":"sweep","mechs":["Baseline"],"mixes":[["lbm"]],)"
+        R"("warmup":20000,"measure":15000})";
+
+    // Two clients, each on its own connection thread, sweeping at the
+    // same time: every counter below is touched from both threads.
+    auto drain = [&](FarmClient &c) {
+        while (true) {
+            JsonValue resp = c.recv();
+            std::string t = c.type(resp);
+            if (t == "done") {
+                return;
+            }
+            ASSERT_TRUE(t == "record" || t == "progress") << t;
+        }
+    };
+    {
+        FarmClient a(svc), b(svc);
+        a.send(sweep);
+        b.send(sweep);
+        drain(a);
+        drain(b);
+    }
+
+    FarmClient c(svc);
+    c.send(R"({"op":"stats"})");
+    JsonValue stats = c.recv();
+    EXPECT_EQ(c.type(stats), "stats");
+
+    const JsonValue *reqs = stats.find("requests");
+    ASSERT_NE(reqs, nullptr);
+    std::uint64_t sweeps = 0, errors = 99;
+    ASSERT_TRUE(reqs->find("sweep")->asU64(sweeps));
+    ASSERT_TRUE(reqs->find("errors")->asU64(errors));
+    EXPECT_EQ(sweeps, 2u);
+    EXPECT_EQ(errors, 0u);
+
+    const JsonValue *sw = stats.find("sweeps");
+    ASSERT_NE(sw, nullptr);
+    std::uint64_t in_flight = 99, completed = 0, count = 0, p50 = 0;
+    ASSERT_TRUE(sw->find("inFlight")->asU64(in_flight));
+    ASSERT_TRUE(sw->find("completed")->asU64(completed));
+    ASSERT_TRUE(sw->find("count")->asU64(count));
+    ASSERT_TRUE(sw->find("wallMsP50")->asU64(p50));
+    EXPECT_EQ(in_flight, 0u);
+    EXPECT_EQ(completed, 2u);
+    EXPECT_EQ(count, 2u);
+    EXPECT_GT(p50, 0u);
+
+    EXPECT_NE(stats.find("uptimeSec"), nullptr);
+
+    // The same totals through the Prometheus surface.
+    c.send(R"({"op":"metrics"})");
+    JsonValue m = c.recv();
+    const std::string &text = m.find("body")->text;
+    EXPECT_NE(text.find("dbsim_farm_sweeps_completed_total 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("dbsim_farm_requests_total{op=\"sweep\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("dbsim_farm_sweep_wall_ms_count 2\n"),
+              std::string::npos);
+}
+
+TEST_F(FarmServiceTest, MalformedMetricsRequestIsNonFatal)
+{
+    FarmService svc(cfg);
+    FarmClient client(svc);
+
+    // Truncated JSON on the metrics verb: an error line, not a dead
+    // server, and the error shows up in the error counter.
+    client.send(R"({"op":"metrics",)");
+    EXPECT_EQ(client.type(client.recv()), "error");
+    client.send(R"({"op":5})");
+    EXPECT_EQ(client.type(client.recv()), "error");
+
+    client.send(R"({"op":"metrics"})");
+    JsonValue resp = client.recv();
+    EXPECT_EQ(client.type(resp), "metrics");
+    const std::string &text = resp.find("body")->text;
+    EXPECT_NE(text.find("dbsim_farm_errors_total 2\n"),
+              std::string::npos);
+
+    // And the connection still serves other verbs.
+    client.send(R"({"op":"ping"})");
+    EXPECT_EQ(client.type(client.recv()), "pong");
+}
+
 TEST_F(FarmServiceTest, ShutdownSaysByeAndClosesTheConnection)
 {
     FarmService svc(cfg);

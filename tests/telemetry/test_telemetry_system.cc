@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/prof.hh"
 #include "sim/system.hh"
 
 namespace dbsim {
@@ -190,6 +191,96 @@ TEST(TelemetrySystem, PointSuffixSplicesBeforeExtension)
     bare.tracePath = "noext";
     EXPECT_EQ(bare.withPointSuffix(0).tracePath, "noext.pt0");
     EXPECT_EQ(bare.withPointSuffix(0).timeseriesPath, "");
+}
+
+TEST(TelemetrySystem, ShardedFlightRecorderIsAnObserver)
+{
+    // The full flight recorder on a 4-shard machine — per-shard trace
+    // streams, cross-shard flow events, the sampler, histograms, and
+    // the host profiler all attached — must leave the simulation
+    // bit-identical to a bare run of the same machine.
+    SystemConfig plain = quickConfig(Mechanism::DbiAwbClb, 4);
+    plain.core.warmupInstrs = 60'000;
+    plain.core.measureInstrs = 60'000;
+    plain.llcSlices = 4;
+    plain.dram.channels = 4;
+    plain.numShards = 4;
+    WorkloadMix mix{"lbm", "libquantum", "mcf", "stream"};
+    SimResult a = runWorkload(plain, mix);
+
+    std::string trace = ::testing::TempDir() + "fr_neutral.trace.json";
+    SystemConfig observed = plain;
+    observed.telemetry.tracePath = trace;
+    observed.telemetry.sampleEvery = 10'000;
+    observed.telemetry.histograms = true;
+    observed.profile = true;
+    SimResult b = runWorkload(observed, mix);
+
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_EQ(a.stats, b.stats);
+
+    // The observers did report: flow totals in the trace-run telemetry,
+    // host attribution in hostProfile (when the profiler is built in),
+    // and the *merged* trace document at the base path.
+    EXPECT_TRUE(a.hostProfile.empty());
+    if (prof::kEnabled) {
+        EXPECT_FALSE(b.hostProfile.empty());
+        EXPECT_EQ(b.hostProfile.at("shards"), 4.0);
+        EXPECT_GT(b.hostProfile.at("runMs"), 0.0);
+        for (int s = 0; s < 4; ++s) {
+            std::string k = "s" + std::to_string(s);
+            EXPECT_GE(b.hostProfile.at(k + ".workMs"), 0.0);
+            EXPECT_GE(b.hostProfile.at(k + ".stallMs"), 0.0);
+            EXPECT_GT(b.hostProfile.at(k + ".epochs"), 0.0);
+        }
+    } else {
+        EXPECT_TRUE(b.hostProfile.empty());
+    }
+
+    std::ifstream merged(trace);
+    ASSERT_TRUE(merged.good());
+    std::stringstream ss;
+    ss << merged.rdbuf();
+    std::string doc = ss.str();
+    // Flow begin/end events and every shard's process track made it
+    // into the single merged document.
+    EXPECT_NE(doc.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(doc.find("shard 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"s0.telemetry.fabricFlowsBegun\""),
+              std::string::npos);
+
+    std::remove(trace.c_str());
+    for (int s = 0; s < 4; ++s) {
+        std::string shard_path = telemetry::suffixedPath(
+            trace, "s" + std::to_string(s));
+        std::remove(shard_path.c_str());
+    }
+}
+
+TEST(TelemetrySystem, ProfileAloneKeepsResultsAndSkipsTelemetry)
+{
+    // --profile without telemetry: results identical, no telemetry
+    // metrics, hostProfile populated iff the profiler is compiled in.
+    SystemConfig plain = quickConfig(Mechanism::TaDip);
+    SimResult a = runWorkload(plain, {"mcf"});
+
+    SystemConfig prof_cfg = plain;
+    prof_cfg.profile = true;
+    SimResult b = runWorkload(prof_cfg, {"mcf"});
+
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.windowCycles, b.windowCycles);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_TRUE(b.telemetry.empty());
+    if (prof::kEnabled) {
+        EXPECT_FALSE(b.hostProfile.empty());
+        // Single-partition machine: one lane, all epochs in shard 0.
+        EXPECT_EQ(b.hostProfile.at("shards"), 1.0);
+        EXPECT_GT(b.hostProfile.at("s0.events"), 0.0);
+    }
 }
 
 TEST(TelemetrySystem, DisabledConfigAttachesNothing)

@@ -38,6 +38,56 @@ def run_bench(binary, workdir):
     return {p["name"]: p for p in doc["points"]}
 
 
+def check_host_profile(current):
+    """Schema-check the informational hostProfile blocks.
+
+    Profiled attribution rides along with the gate numbers but is never
+    gated: wall-time values are noisy by nature. What IS checked (and
+    fails) is the shape — a point that carries a hostProfile must name
+    its run time, shard count, and per-shard work/stall/dispatch — since
+    a malformed block means a code bug, not a slow host. The work+stall
+    accounting identity is reported as a warning only.
+    """
+    errors = []
+    for name, point in sorted(current.items()):
+        prof = point.get("hostProfile")
+        if prof is None:
+            continue  # profiler compiled out: fine
+        for key in ("runMs", "shards"):
+            if not isinstance(prof.get(key), (int, float)):
+                errors.append(f"{name}: hostProfile.{key} missing")
+        shards = int(prof.get("shards", 0))
+        if shards < 1:
+            errors.append(f"{name}: hostProfile.shards = {shards}")
+            continue
+        attributed = 0.0
+        for s in range(shards):
+            for key in (f"s{s}.workMs", f"s{s}.stallMs",
+                        f"s{s}.events", f"s{s}.epochs",
+                        f"s{s}.dispatchMs"):
+                if not isinstance(prof.get(key), (int, float)):
+                    errors.append(f"{name}: hostProfile.{key} missing")
+            attributed += prof.get(f"s{s}.workMs", 0.0)
+            attributed += prof.get(f"s{s}.stallMs", 0.0)
+        run_ms = float(prof.get("runMs", 0.0))
+        # Every shard accounts its slice of every epoch iteration, so
+        # total attributed time ~= runMs * shards. Warn-only: a loaded
+        # host can legitimately stretch the gap.
+        expect = run_ms * shards
+        if expect > 0 and abs(attributed - expect) > 0.3 * expect + 5.0:
+            print(f"  note: {name} hostProfile work+stall "
+                  f"{attributed:.1f} ms vs run*shards {expect:.1f} ms "
+                  f"(loaded host?)")
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return False
+    profiled = sum(1 for p in current.values() if "hostProfile" in p)
+    print(f"host-profile schema: ok ({profiled}/{len(current)} points "
+          f"carry attribution)")
+    return True
+
+
 def main():
     if len(sys.argv) != 4:
         print(__doc__, file=sys.stderr)
@@ -59,6 +109,9 @@ def main():
         if missing:
             print(f"FAIL: baseline points missing from bench output: "
                   f"{', '.join(missing)}", file=sys.stderr)
+            return 1
+
+        if attempt == 1 and not check_host_profile(current):
             return 1
 
         failures = []

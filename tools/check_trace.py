@@ -14,6 +14,21 @@ checks the three artifacts against their schemas:
   3. the epoch time-series JSONL (one parseable row per epoch, epochs
      contiguous and strictly ordered, all registered channels present).
 
+Then runs a second, *sharded* leg — the flight-recorder check: the same
+binary at --slices 4 --channels 4 --shards 4 with --trace and --profile,
+which must produce ONE merged trace (the per-shard .s<k> streams folded
+together, pid = shard) whose cross-shard flow arrows pair up exactly:
+
+  4. every flow-begin ("s") has exactly one flow-end ("f") with the same
+     id on a *different* shard's process track, every pair is separated
+     by the machine's single hop latency, the pair count matches the
+     footer's fabricFlowsBegun/Bound totals, and every shard contributes
+     process_name metadata and a fabric track;
+  5. the profiler attribution in the JSONL record accounts for the run:
+     per shard, workMs + stallMs lands within tolerance of profile.runMs
+     (the identity holds by construction — both sides are measured by
+     the same engine — so the tolerance only absorbs setup/teardown).
+
 Exit code 0 means every check passed. Used as a ctest target
 (telemetry_trace_check); runnable standalone:
 
@@ -108,11 +123,14 @@ def check_trace_file(path, rec):
     thread_names = set()
     for e in events:
         ph = e.get("ph")
-        check(ph in ("M", "X", "i", "C"), f"unknown event phase {ph!r}")
+        check(ph in ("M", "X", "i", "C", "s", "f"),
+              f"unknown event phase {ph!r}")
         check("name" in e and "pid" in e, f"event missing name/pid: {e}")
         if ph == "M":
-            check(e["name"] == "thread_name", "unexpected metadata event")
-            thread_names.add(e["args"]["name"])
+            check(e["name"] in ("thread_name", "process_name"),
+                  "unexpected metadata event")
+            if e["name"] == "thread_name":
+                thread_names.add(e["args"]["name"])
         if ph in ("X", "i", "C"):
             check(e.get("ts", -1) >= 0, f"event missing/negative ts: {e}")
         if ph == "X":
@@ -165,6 +183,145 @@ def check_timeseries(path):
     check(total_writes > 0, "no DRAM writes sampled over the whole run")
 
 
+SHARDS = 4
+
+
+def check_trace_schema_only(path):
+    """Generic event-schema pass (no drain bookkeeping), any trace."""
+    doc = json.loads(path.read_text())
+    for key in ("traceEvents", "otherData", "displayTimeUnit"):
+        check(key in doc, f"trace missing top-level {key}")
+    for e in doc["traceEvents"]:
+        ph = e.get("ph")
+        check(ph in ("M", "X", "i", "C", "s", "f"),
+              f"unknown event phase {ph!r}")
+        check("name" in e and "pid" in e, f"event missing name/pid: {e}")
+        if ph in ("X", "i", "C", "s", "f"):
+            check(e.get("ts", -1) >= 0, f"event missing/negative ts: {e}")
+        if ph == "X":
+            check(e.get("dur", -1) >= 0, f"X event bad dur: {e}")
+
+
+def run_diag_sharded(binary, workdir):
+    """The flight-recorder leg: sharded machine, tracing + profiling."""
+    paths = {
+        "record": workdir / "check_fr.jsonl",
+        "trace": workdir / "check_fr.trace.json",
+    }
+    cmd = [
+        str(binary),  # default mech/mix: DBI+AWB+CLB, 2 cores
+        "--slices", str(SHARDS), "--channels", str(SHARDS),
+        "--shards", str(SHARDS),
+        "--instrs", "100000",
+        "--trace", str(paths["trace"]),
+        "--profile",
+        "--json", str(paths["record"]),
+        "--no-progress",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"sharded diag_run exited {proc.returncode}")
+    return paths
+
+
+def check_merged_trace(path):
+    """Checks 4: the merged trace's flow arrows pair across shards."""
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    other = doc["otherData"]
+
+    pids = {e["pid"] for e in events}
+    check(pids == set(range(SHARDS)),
+          f"merged trace pids {sorted(pids)} != shards "
+          f"{list(range(SHARDS))}")
+
+    proc_names = {}
+    fabric_tracks = set()
+    begins = {}
+    ends = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M" and e["name"] == "process_name":
+            proc_names[e["pid"]] = e["args"]["name"]
+        if ph == "M" and e["name"] == "thread_name" \
+                and e["args"]["name"] == "fabric":
+            fabric_tracks.add(e["pid"])
+        if ph in ("s", "f"):
+            check("id" in e, f"flow event without id: {e}")
+            side = begins if ph == "s" else ends
+            check(e["id"] not in side,
+                  f"duplicate flow-{ph} for id {e['id']}")
+            side[e["id"]] = e
+
+    for s in range(SHARDS):
+        check(proc_names.get(s) == f"shard {s}",
+              f"pid {s} process_name is {proc_names.get(s)!r}")
+        check(s in fabric_tracks, f"shard {s} has no fabric track")
+
+    check(len(begins) > 0, "merged trace has no cross-shard flows")
+    check(set(begins) == set(ends),
+          f"{len(set(begins) ^ set(ends))} flow ids missing their "
+          f"other half")
+    hops = set()
+    cross = 0
+    for fid, b in begins.items():
+        e = ends.get(fid)
+        if e is None:
+            continue
+        if b["pid"] != e["pid"]:
+            cross += 1
+        hops.add(e["ts"] - b["ts"])
+    check(cross == len(begins),
+          f"only {cross}/{len(begins)} flows cross shards")
+    check(len(hops) == 1 and min(hops) > 0,
+          f"flow latencies not one positive hop: {sorted(hops)[:5]}")
+
+    begun = sum(other.get(f"s{s}.telemetry.fabricFlowsBegun", 0)
+                for s in range(SHARDS))
+    bound = sum(other.get(f"s{s}.telemetry.fabricFlowsBound", 0)
+                for s in range(SHARDS))
+    check(begun == len(begins),
+          f"footer fabricFlowsBegun {begun} != {len(begins)} flow-begin "
+          f"events")
+    check(bound == len(ends),
+          f"footer fabricFlowsBound {bound} != {len(ends)} flow-end "
+          f"events")
+    return len(begins)
+
+
+def check_profile(record_path):
+    """Check 5: profiler work+stall accounts for the run, per shard."""
+    rec = json.loads(record_path.read_text().splitlines()[0])
+    host = rec.get("host", {})
+    prof = {k[len("profile."):]: v for k, v in host.items()
+            if k.startswith("profile.")}
+    if not prof:
+        # Profiler compiled out (DBSIM_PROFILE=OFF): nothing to check.
+        print("check_trace: no profile data (profiler compiled out)")
+        return 0
+    check(prof.get("shards") == SHARDS,
+          f"profile.shards {prof.get('shards')} != {SHARDS}")
+    run_ms = prof.get("runMs", 0)
+    check(run_ms > 0, "profile.runMs missing or zero")
+    for s in range(SHARDS):
+        work = prof.get(f"s{s}.workMs")
+        stall = prof.get(f"s{s}.stallMs")
+        check(work is not None and stall is not None,
+              f"profile missing s{s}.workMs/stallMs")
+        if work is None or stall is None or run_ms <= 0:
+            continue
+        gap = abs((work + stall) - run_ms)
+        check(gap <= 0.35 * run_ms + 10.0,
+              f"s{s} work+stall {work + stall:.1f} ms vs runMs "
+              f"{run_ms:.1f} ms: identity violated")
+        check(prof.get(f"s{s}.epochs", 0) > 0, f"s{s} saw no epochs")
+    check(prof.get("fabricDrainMs") is not None,
+          "profile missing fabricDrainMs")
+    return run_ms
+
+
 def main():
     if len(sys.argv) < 2:
         sys.exit(__doc__)
@@ -184,11 +341,23 @@ def main():
     check_trace_file(paths["trace"], rec)
     check_timeseries(paths["timeseries"])
 
+    fr_paths = run_diag_sharded(binary, workdir)
+    for name, p in fr_paths.items():
+        check(p.exists(), f"sharded diag_run produced no {name} at {p}")
+    flows = 0
+    if fr_paths["trace"].exists():
+        flows = check_merged_trace(fr_paths["trace"])
+        # The merged doc must still satisfy the generic trace schema.
+        check_trace_schema_only(fr_paths["trace"])
+    if fr_paths["record"].exists():
+        check_profile(fr_paths["record"])
+
     if _failures:
         sys.exit(f"{len(_failures)} check(s) failed")
     print(f"check_trace: all checks passed "
           f"({rec['metrics']['drainWindowsTraced']:.0f} drain windows, "
-          f"{rec['metrics']['drainCyclesTraced']:.0f} drain cycles)")
+          f"{rec['metrics']['drainCyclesTraced']:.0f} drain cycles, "
+          f"{flows} cross-shard flows)")
 
 
 if __name__ == "__main__":
