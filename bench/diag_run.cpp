@@ -55,6 +55,7 @@ buildSpec(const bench::HarnessOptions &o)
     // by the runner/overrideConfigs (which only reach Sim points).
     cfg.telemetry = o.telemetryConfig("diag_run");
     o.applySharding(cfg);
+    o.applyDCache(cfg);
     cfg.profile = o.profile;
 
     exp::SweepSpec spec;

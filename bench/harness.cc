@@ -39,6 +39,8 @@ printUsage(const char *argv0)
                 "[--measure N] [--instrs K]\n"
                 "        [--audit N] [--shards N] [--slices N] "
                 "[--channels N] [--hop N]\n"
+                "        [--dcache] [--dcache-mb N] [--dcache-rows N] "
+                "[--dcache-tags]\n"
                 "        [--sample N] [--timeseries FILE]\n"
                 "        [--trace FILE] [--hist] [--host-timers] "
                 "[--profile]\n"
@@ -101,6 +103,22 @@ MechanismSpec
 HarnessOptions::mechOr(const MechanismSpec &def) const
 {
     return mechSpec ? mechanismByName(*mechSpec) : def;
+}
+
+void
+HarnessOptions::applyDCache(SystemConfig &cfg) const
+{
+    if (!dcache) {
+        return;
+    }
+    cfg.dcache.enable = true;
+    if (dcacheMb) {
+        cfg.dcache.sizeBytes = *dcacheMb << 20;
+    }
+    if (dcacheRows) {
+        cfg.dcache.indexEntries = *dcacheRows;
+    }
+    cfg.dcache.dirtyInTags = dcacheTags;
 }
 
 void
@@ -194,6 +212,17 @@ harnessMain(int argc, char **argv)
         } else if (std::strcmp(arg, "--hop") == 0) {
             opts.hopLatency = parseUint(arg, needValue(i));
             ++i;
+        } else if (std::strcmp(arg, "--dcache") == 0) {
+            opts.dcache = true;
+        } else if (std::strcmp(arg, "--dcache-mb") == 0) {
+            opts.dcacheMb = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--dcache-rows") == 0) {
+            opts.dcacheRows = static_cast<std::uint32_t>(
+                parseUint(arg, needValue(i)));
+            ++i;
+        } else if (std::strcmp(arg, "--dcache-tags") == 0) {
+            opts.dcacheTags = true;
         } else if (std::strcmp(arg, "--sample") == 0) {
             opts.sampleEvery = parseUint(arg, needValue(i));
             ++i;
@@ -259,8 +288,10 @@ harnessMain(int argc, char **argv)
         exp::SweepSpec spec = e.spec(opts);
         // Machine-shape flags are applied centrally, so every bench
         // honors them without knowing about sharding.
-        spec.overrideConfigs(
-            [&opts](SystemConfig &cfg) { opts.applySharding(cfg); });
+        spec.overrideConfigs([&opts](SystemConfig &cfg) {
+            opts.applySharding(cfg);
+            opts.applyDCache(cfg);
+        });
         exp::ExperimentRunner runner(run_opts);
         std::vector<exp::PointRecord> records = runner.run(spec);
         e.format(records, opts);

@@ -28,6 +28,23 @@
  *                                     0 = one per LLC slice)
  *           [--hop N]                 cross-shard hop latency in cycles
  *                                     (simulated machine; 0 = derive)
+ *           [--dcache]                interpose the die-stacked DRAM
+ *                                     cache between the LLC and backing
+ *                                     DDR (simulated machine; default
+ *                                     off — disabled runs are
+ *                                     bit-identical to builds without
+ *                                     the tier)
+ *           [--dcache-mb N]           DRAM-cache capacity in MB,
+ *                                     machine-wide (default 64; split
+ *                                     evenly across LLC slices)
+ *           [--dcache-rows N]         SRAM dirty-index rows per slice
+ *                                     (default 2048; one row tracks one
+ *                                     DRAM-cache page)
+ *           [--dcache-tags]           ablation: track dirtiness as one
+ *                                     per-page bit in the in-DRAM tags
+ *                                     instead of the SRAM dirty index
+ *                                     (dirty evictions write back every
+ *                                     valid block)
  *           [--sample N]              telemetry: sample the stat channels
  *                                     every N simulated cycles
  *           [--timeseries FILE]       epoch samples as JSONL (default
@@ -139,6 +156,20 @@ struct HarnessOptions
 
     /** Apply the sharding flags (those given) to `cfg`. */
     void applySharding(SystemConfig &cfg) const;
+
+    /**
+     * DRAM-cache tier flags (--dcache / --dcache-mb / --dcache-rows /
+     * --dcache-tags), applied centrally like the sharding flags; all
+     * change the simulated machine. Without --dcache the others are
+     * inert and every config keeps the tier disabled.
+     */
+    bool dcache = false;
+    std::optional<std::uint64_t> dcacheMb;
+    std::optional<std::uint32_t> dcacheRows;
+    bool dcacheTags = false;
+
+    /** Apply the DRAM-cache flags (those given) to `cfg`. */
+    void applyDCache(SystemConfig &cfg) const;
 
     /** --mech override (raw spelling; resolve with mechOr()). */
     std::optional<std::string> mechSpec;

@@ -54,6 +54,16 @@ struct PerfPoint
 
     /** Per-point instr-count override (sharded points run shorter). */
     std::uint64_t instrs = 0;
+
+    /** Interpose the DRAM-cache tier (capacity-bound configuration). */
+    bool dcache = false;
+
+    /**
+     * Gate this point in check_perf.py. New points enter the baseline
+     * ungated ("gate": false) for one re-baseline cycle so the gate
+     * never compares against a number frozen on different code.
+     */
+    bool gate = true;
 };
 
 /**
@@ -83,6 +93,13 @@ makePoints()
                    30'000});
     pts.push_back({"sharded_64c4s4ch_shards4", "DBI", 64, big, 4, 4, 4,
                    30'000});
+    // The interposed DRAM-cache tier, capacity-bound so its hot path
+    // (tag probe, fill, page eviction, dirty-index maintenance) carries
+    // the run. Ungated until the next re-baseline freezes its speed.
+    PerfPoint dc{"dcache_dbi_stream", "DBI", 1, {"stream"}};
+    dc.dcache = true;
+    dc.gate = false;
+    pts.push_back(dc);
     return pts;
 }
 
@@ -130,6 +147,11 @@ buildSpec(const bench::HarnessOptions &o)
             cfg.core.warmupInstrs = o.warmupOr(point.instrs);
             cfg.core.measureInstrs = o.measureOr(point.instrs);
         }
+        if (point.dcache) {
+            cfg.dcache.enable = true;
+            cfg.dcache.sizeBytes = 4ull << 20;
+            cfg.dcache.indexEntries = 512;
+        }
         WorkloadMix mix = point.mix;
 
         auto &pt = spec.addCustom([cfg, mix](exp::PointRecord &rec) {
@@ -170,6 +192,7 @@ buildSpec(const bench::HarnessOptions &o)
             }
         });
         pt.tags["point"] = point.name;
+        pt.tags["gate"] = point.gate ? "true" : "false";
     }
     return spec;
 }
@@ -196,12 +219,13 @@ format(const std::vector<exp::PointRecord> &records,
         std::string prof_json = hostProfileJson(rec);
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"mechanism\": \"%s\", "
-                     "\"mix\": \"%s\", \"events\": %.0f, "
+                     "\"mix\": \"%s\", \"gate\": %s, \"events\": %.0f, "
                      "\"seconds\": %.6f, \"eventsPerSec\": %.0f, "
                      "\"nsPerEvent\": %.3f",
                      rec.tags.at("point").c_str(), rec.mechanism.c_str(),
-                     rec.mix.c_str(), rec.metric("events"),
-                     rec.metric("seconds"), rec.metric("eventsPerSec"),
+                     rec.mix.c_str(), rec.tags.at("gate").c_str(),
+                     rec.metric("events"), rec.metric("seconds"),
+                     rec.metric("eventsPerSec"),
                      rec.metric("nsPerEvent"));
         if (!prof_json.empty()) {
             // Informational: the wall-time attribution of one profiled

@@ -62,6 +62,7 @@ run $B/table3_fairness 8 8 6
 run $B/fig8_scurve 16
 run $B/table7_cache_size 5
 run $B/ablation_drrip 4
+run $B/dcache_writeback
 run $B/diag_run
 
 if ((${#FAILED[@]})); then

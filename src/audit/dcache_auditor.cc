@@ -1,0 +1,180 @@
+#include "dcache_auditor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dbsim::audit {
+
+DCacheAuditor::DCacheAuditor(DramCache &dcache, const AuditConfig &config)
+    : subject(dcache), cfg(config)
+{
+    subject.attachObserver(this);
+}
+
+DCacheAuditor::~DCacheAuditor()
+{
+    subject.attachObserver(nullptr);
+}
+
+void
+DCacheAuditor::fail(const char *what, Addr addr)
+{
+    panic("dcache audit divergence on shard %u after %llu events "
+          "(%llu checks): %s (block 0x%llx; shadow dirty=%zu "
+          "resident=%zu)",
+          cfg.shardId, static_cast<unsigned long long>(events),
+          static_cast<unsigned long long>(checks), what,
+          static_cast<unsigned long long>(addr), dirty.size(),
+          resident.size());
+}
+
+void
+DCacheAuditor::onFill(Addr block_addr, Cycle)
+{
+    if (dirty.count(block_addr)) {
+        // A dirty block is by definition resident; fetching it from
+        // DDR means the cache lost track of it.
+        fail("dirty block refetched from backing DDR", block_addr);
+    }
+    resident.insert(block_addr);
+}
+
+void
+DCacheAuditor::onWritebackIn(Addr block_addr, Cycle)
+{
+    resident.insert(block_addr);
+    dirty.insert(block_addr);
+}
+
+void
+DCacheAuditor::onBlockCleaned(Addr block_addr, Cycle)
+{
+    if (subject.dirtyExact() && !dirty.count(block_addr)) {
+        // D5: the exact index must never spend DDR bandwidth writing
+        // back a block whose data memory already has.
+        fail("clean block written back in index mode", block_addr);
+    }
+    dirty.erase(block_addr);
+}
+
+void
+DCacheAuditor::onPageEvict(Addr page_base, Cycle)
+{
+    const std::uint64_t page_bytes = subject.config().pageBytes;
+    for (Addr a = page_base; a < page_base + page_bytes;
+         a += kBlockBytes) {
+        if (dirty.count(a)) {
+            // D4: the eviction's writebacks (onBlockCleaned) have
+            // already fired, so any dirty survivor is lost data.
+            fail("page evicted with an unwritten dirty block", a);
+        }
+        resident.erase(a);
+    }
+}
+
+void
+DCacheAuditor::onOperationEnd()
+{
+    ++events;
+    if (cfg.checkEvery == 0) {
+        return;
+    }
+    if (++sinceCheck >= cfg.checkEvery) {
+        sinceCheck = 0;
+        checkNow();
+    }
+}
+
+void
+DCacheAuditor::checkNow()
+{
+    ++checks;
+    for (Addr a : dirty) {
+        if (!subject.probeDirty(a)) {
+            fail("shadow-dirty block not dirty in the mechanism", a);
+        }
+        if (!subject.probeResident(a)) {
+            fail("shadow-dirty block not resident (D2)", a);
+        }
+    }
+    if (subject.countValidBlocks() != resident.size()) {
+        fail("resident-block census disagrees (D3)", 0);
+    }
+    if (subject.dirtyExact()) {
+        if (subject.countDirtyBlocks() != dirty.size()) {
+            fail("dirty-block census disagrees (D1)", 0);
+        }
+    } else {
+        // Per-page bit: the mechanism's dirty-page footprint must match
+        // the shadow's exactly (the bit is set iff some block of the
+        // page was dirtied since install and not yet evicted).
+        std::unordered_set<std::uint64_t> shadow_pages;
+        const std::uint64_t page_bytes = subject.config().pageBytes;
+        for (Addr a : dirty) {
+            shadow_pages.insert(a / page_bytes);
+        }
+        std::uint64_t mech_pages = 0;
+        bool extra = false;
+        Addr extra_page = 0;
+        subject.forEachDirtyPage([&](Addr base) {
+            ++mech_pages;
+            if (!shadow_pages.count(base / page_bytes)) {
+                extra = true;
+                extra_page = base;
+            }
+        });
+        if (extra) {
+            fail("mechanism dirty page with no shadow-dirty block",
+                 extra_page);
+        }
+        if (mech_pages != shadow_pages.size()) {
+            fail("dirty-page census disagrees (D1, tags mode)", 0);
+        }
+    }
+}
+
+void
+DCacheAuditor::checkFinal()
+{
+    checkNow();
+    std::vector<Addr> flush = mechanismFlushBlocks();
+    std::vector<Addr> truth = shadowDirtyBlocks();
+    if (subject.dirtyExact()) {
+        if (flush != truth) {
+            fail("final flush set diverges from ground truth",
+                 flush.size() > truth.size() ? flush.back()
+                                             : (truth.empty()
+                                                    ? 0
+                                                    : truth.back()));
+        }
+        return;
+    }
+    // Tags mode: the flush set is an over-approximation (every valid
+    // block of each dirty page) but must still contain every truly
+    // dirty block.
+    for (Addr a : truth) {
+        if (!std::binary_search(flush.begin(), flush.end(), a)) {
+            fail("final flush set misses a dirty block", a);
+        }
+    }
+}
+
+std::vector<Addr>
+DCacheAuditor::mechanismFlushBlocks() const
+{
+    std::vector<Addr> v;
+    subject.forEachFlushBlock([&](Addr a) { v.push_back(a); });
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+std::vector<Addr>
+DCacheAuditor::shadowDirtyBlocks() const
+{
+    std::vector<Addr> v(dirty.begin(), dirty.end());
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+} // namespace dbsim::audit

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DCacheAuditor: the shadow model's second dirty level. The LLC's
+ * InvariantAuditor certifies dirty bookkeeping between the private
+ * levels and the LLC; with a DRAM cache interposed below, a block's
+ * latest data can additionally live in the stacked DRAM without having
+ * reached backing DDR. This auditor replays the DramCache's raw event
+ * stream into its own shadow sets and cross-checks the mechanism's
+ * dirty/residency state at operation boundaries:
+ *
+ *   D1. a block is dcache-dirty in the mechanism <=> the shadow says
+ *       its latest data has not reached backing DDR (exact in index
+ *       mode; page-level in the dirty-in-tags ablation, whose per-page
+ *       bit cannot distinguish blocks);
+ *   D2. every shadow-dirty block is resident in the DRAM cache;
+ *   D3. residency agrees in aggregate (valid-block census);
+ *   D4. no page is ever evicted while a shadow-dirty block inside it
+ *       has not been written back (its update would be lost) — checked
+ *       per eviction event;
+ *   D5. in index mode, no clean block is ever written back (the exact
+ *       index never generates redundant DDR traffic).
+ *
+ * Like every observer in the codebase it is strictly passive: audited
+ * and unaudited runs are cycle- and stat-identical.
+ */
+
+#ifndef DBSIM_AUDIT_DCACHE_AUDITOR_HH
+#define DBSIM_AUDIT_DCACHE_AUDITOR_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "audit/auditor.hh"
+#include "dcache/dcache.hh"
+
+namespace dbsim::audit {
+
+class DCacheAuditor : public DCacheObserver
+{
+  public:
+    /** Attaches itself to `dcache`; detaches on destruction. */
+    explicit DCacheAuditor(DramCache &dcache,
+                           const AuditConfig &config = {});
+    ~DCacheAuditor() override;
+
+    DCacheAuditor(const DCacheAuditor &) = delete;
+    DCacheAuditor &operator=(const DCacheAuditor &) = delete;
+
+    // DCacheObserver
+    void onFill(Addr block_addr, Cycle when) override;
+    void onWritebackIn(Addr block_addr, Cycle when) override;
+    void onBlockCleaned(Addr block_addr, Cycle when) override;
+    void onPageEvict(Addr page_base, Cycle when) override;
+    void onOperationEnd() override;
+
+    /** Run the full cross-check now; panics on divergence. */
+    void checkNow();
+
+    /**
+     * End-of-run differential: the mechanism's flush set must cover the
+     * shadow dirty set exactly (index mode) or as a superset whose
+     * dirty-page footprint matches (tags mode). Panics on divergence.
+     */
+    void checkFinal();
+
+    /** Blocks a full flush would write back, as the mechanism sees it,
+     *  sorted. */
+    std::vector<Addr> mechanismFlushBlocks() const;
+
+    /** Ground-truth dcache-dirty blocks, sorted. */
+    std::vector<Addr> shadowDirtyBlocks() const;
+
+    std::uint64_t eventsObserved() const { return events; }
+    std::uint64_t checksRun() const { return checks; }
+
+  private:
+    [[noreturn]] void fail(const char *what, Addr addr);
+
+    DramCache &subject;
+    AuditConfig cfg;
+
+    /** Blocks whose latest data is in the dcache but not backing DDR. */
+    std::unordered_set<Addr> dirty;
+    /** Blocks resident (valid) in the dcache. */
+    std::unordered_set<Addr> resident;
+
+    std::uint64_t events = 0;
+    std::uint64_t sinceCheck = 0;
+    std::uint64_t checks = 0;
+};
+
+} // namespace dbsim::audit
+
+#endif // DBSIM_AUDIT_DCACHE_AUDITOR_HH

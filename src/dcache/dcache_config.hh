@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Die-stacked DRAM-cache configuration (the first interposed
+ * BackingPort level). Defaults follow the Gemini-style organization:
+ * page-granular set-mapped allocation with tags stored in the stacked
+ * DRAM itself, plus a small SRAM row-granular dirty index (one
+ * DBI-style entry per DRAM-cache page) driving batched dirty writeback
+ * to backing DDR. `dirtyInTags` is the ablation the paper's argument
+ * predicts against: a single dirty bit kept with the in-DRAM page tags,
+ * which forces whole-page writeback on dirty eviction.
+ */
+
+#ifndef DBSIM_DCACHE_DCACHE_CONFIG_HH
+#define DBSIM_DCACHE_DCACHE_CONFIG_HH
+
+#include <cstdint>
+
+namespace dbsim {
+
+struct DCacheConfig
+{
+    /** Off by default: the machine is bit-identical to one without the
+     *  level wired in at all. */
+    bool enable = false;
+
+    /** Machine-wide data capacity; System divides it across slices the
+     *  same way LLC capacity is divided. */
+    std::uint64_t sizeBytes = 64ull << 20;
+
+    /** Allocation unit (a "page"): power of two, >= one block, and it
+     *  must divide dram.rowBytes so a page never straddles the
+     *  DRAM-row-granular slice/channel interleave (resolveTopology
+     *  enforces this). */
+    std::uint32_t pageBytes = 2048;
+
+    /** Pages per set (set-mapped placement). */
+    std::uint32_t assoc = 4;
+
+    /**
+     * Ablation switch. false (default): dirty blocks are tracked
+     * exactly in the SRAM dirty index and written back in row-local
+     * batches. true: only a per-page dirty bit lives with the in-DRAM
+     * tags, so evicting a dirty page writes back every valid block.
+     */
+    bool dirtyInTags = false;
+
+    /** SRAM dirty-index rows (entries) per slice; each entry tracks one
+     *  page. Power of two, >= indexAssoc. Ignored when dirtyInTags. */
+    std::uint32_t indexEntries = 2048;
+
+    /** Dirty-index associativity (power of two). */
+    std::uint32_t indexAssoc = 16;
+
+    /** Stacked-DRAM tag probe latency in cycles (tags-in-DRAM: paid by
+     *  every access before hit/miss is known). */
+    std::uint32_t tagLatency = 12;
+
+    /** Stacked-DRAM data access latency after a tag hit. */
+    std::uint32_t dataLatency = 12;
+
+    std::uint64_t seed = 23;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_DCACHE_DCACHE_CONFIG_HH

@@ -24,6 +24,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_config.hh"
+#include "mem/backing_port.hh"
 
 namespace dbsim {
 
@@ -66,19 +67,21 @@ class DramObserver
 };
 
 /**
- * The memory controller. Reads complete through a callback carrying the
+ * The memory controller: the terminal BackingPort of every hierarchy
+ * composition. Reads complete through a callback carrying the
  * completion cycle; writes are fire-and-forget into the write buffer.
  */
-class DramController
+class DramController : public BackingPort
 {
   public:
-    using ReadCallback = std::function<void(Cycle)>;
+    using ReadCallback = BackingPort::ReadCallback;
 
     /**
      * @param context the shard this channel lives on. Implicitly
      *        constructible from a bare EventQueue& for unsharded use.
      */
     DramController(const DramConfig &config, ShardContext context);
+    ~DramController() override = default;
 
     /** Enqueue a block read arriving at cycle `when`. */
     void enqueueRead(Addr block_addr, Cycle when, ReadCallback cb);
@@ -86,19 +89,33 @@ class DramController
     /** Enqueue a block writeback arriving at cycle `when`. */
     void enqueueWrite(Addr block_addr, Cycle when);
 
+    // -- BackingPort -----------------------------------------------------
+
+    void
+    read(Addr block_addr, Cycle when, ReadCallback cb) override
+    {
+        enqueueRead(block_addr, when, std::move(cb));
+    }
+
+    void
+    write(Addr block_addr, Cycle when) override
+    {
+        enqueueWrite(block_addr, when);
+    }
+
     /** Number of buffered (unserviced) writes. */
-    std::size_t pendingWrites() const { return writeQ.size(); }
+    std::size_t pendingWrites() const override { return writeQ.size(); }
 
     /** Number of waiting (unserviced) reads. */
     std::size_t pendingReads() const { return readQ.size(); }
 
     /** True while a write drain is in progress. */
-    bool draining() const { return drainMode; }
+    bool draining() const override { return drainMode; }
 
     /** Attach (or detach, with nullptr) a passive drain observer. */
     void attachObserver(DramObserver *observer) { obs = observer; }
 
-    const DramAddrMap &addrMap() const { return map; }
+    const DramAddrMap &addrMap() const override { return map; }
     const DramConfig &config() const { return cfg; }
 
     /** Row hit rate over serviced reads since the last stat snapshot. */

@@ -81,6 +81,24 @@ canonicalConfig(const SystemConfig &cfg)
     kv(s, "seed", cfg.seed);
     kv(s, "maxCycles", cfg.maxCycles);
 
+    // The dcache block is serialized only when the tier is enabled:
+    // dcache.enable=false configs keep byte-identical canonical strings
+    // (and therefore content keys) to records written before the tier
+    // existed, so no stored sweep result is invalidated by the refactor.
+    if (cfg.dcache.enable) {
+        kv(s, "dcache.enable", cfg.dcache.enable);
+        kv(s, "dcache.bytes", cfg.dcache.sizeBytes);
+        kv(s, "dcache.pageBytes", std::uint64_t(cfg.dcache.pageBytes));
+        kv(s, "dcache.assoc", std::uint64_t(cfg.dcache.assoc));
+        kv(s, "dcache.dirtyInTags", cfg.dcache.dirtyInTags);
+        kv(s, "dcache.indexEntries",
+           std::uint64_t(cfg.dcache.indexEntries));
+        kv(s, "dcache.indexAssoc", std::uint64_t(cfg.dcache.indexAssoc));
+        kv(s, "dcache.tagLat", std::uint64_t(cfg.dcache.tagLatency));
+        kv(s, "dcache.dataLat", std::uint64_t(cfg.dcache.dataLatency));
+        kv(s, "dcache.seed", cfg.dcache.seed);
+    }
+
     kv(s, "dbi.alpha", cfg.dbi.alpha);
     kv(s, "dbi.gran", std::uint64_t(cfg.dbi.granularity));
     kv(s, "dbi.assoc", std::uint64_t(cfg.dbi.assoc));

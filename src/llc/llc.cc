@@ -6,11 +6,11 @@
 
 namespace dbsim {
 
-Llc::Llc(const LlcConfig &config, DramController &dram_ctrl,
+Llc::Llc(const LlcConfig &config, BackingPort &backing_port,
          ShardContext context, std::unique_ptr<DirtyStore> dirty_store,
          std::unique_ptr<WritebackPolicy> writeback_policy,
          std::unique_ptr<LookupPolicy> lookup_policy)
-    : cfg(config), dram(dram_ctrl), ctx(context), eq(context.queue()),
+    : cfg(config), backing(backing_port), ctx(context), eq(context.queue()),
       store(CacheGeometry{config.sizeBytes, config.assoc, config.repl,
                           config.numCores, config.seed}),
       dirtyStorePtr(dirty_store ? std::move(dirty_store)
@@ -165,7 +165,7 @@ Llc::wrapReadLatency(telemetry::ReadClass cls, Cycle when, Callback cb)
 std::uint64_t
 Llc::countStoreDirtyInRow(Addr block_addr) const
 {
-    const DramAddrMap &map = dram.addrMap();
+    const DramAddrMap &map = backing.addrMap();
     Addr base = map.rowBase(block_addr);
     std::uint64_t dirty = 0;
     for (std::uint32_t i = 0; i < map.blocksPerRow(); ++i) {

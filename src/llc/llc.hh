@@ -4,7 +4,7 @@
  * all modify: a set-associative tag store with serial tag+data access,
  * a single tag port whose contention is first-class (every lookup —
  * demand, writeback, or sweep — occupies it), TA-DIP/LRU/DRRIP
- * insertion, and a connection to the DRAM controller.
+ * insertion, and a connection to backing memory through a BackingPort.
  *
  * The Llc is one concrete class composed from three policy components
  * (llc/policies.hh): a DirtyStore (where dirty metadata lives), a
@@ -30,7 +30,7 @@
 #include "common/shard.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "dram/dram_controller.hh"
+#include "mem/backing_port.hh"
 #include "llc/metadata_index.hh"
 #include "llc/policies.hh"
 #include "telemetry/telemetry.hh"
@@ -104,25 +104,6 @@ class LlcPort
 };
 
 /**
- * Where an LLC slice's memory traffic goes. By default (no router) the
- * slice talks directly and synchronously to its home DramController;
- * on multi-channel machines the System installs a router that
- * dispatches each block to its owning channel, crossing shards through
- * the fabric when the channel lives elsewhere.
- */
-class MemRouter
-{
-  public:
-    using ReadCallback = DramController::ReadCallback;
-
-    virtual ~MemRouter() = default;
-
-    virtual void dramRead(Addr block_addr, Cycle when,
-                          ReadCallback cb) = 0;
-    virtual void dramWrite(Addr block_addr, Cycle when) = 0;
-};
-
-/**
  * The shared LLC. Reads complete through a callback with the
  * completion cycle; writebacks from the private levels are
  * fire-and-forget. Policy components act on the cache through the
@@ -140,10 +121,12 @@ class Llc : public LlcPort
      * the conventional writeback cache: in-tag dirty bits, evict-order
      * writebacks, no bypassing. Policies are bound to this cache here
      * and must be freshly constructed (not shared between caches).
-     * `dram_ctrl` is the slice's home channel (same shard); see
-     * setMemRouter() for multi-channel machines.
+     * `backing_port` is the level below this slice — a DramController
+     * on single-channel machines, a ShardMemRouter on multi-channel
+     * ones, or a DramCache interposed in front of either. The caller
+     * keeps ownership and the port must outlive the cache.
      */
-    Llc(const LlcConfig &config, DramController &dram_ctrl,
+    Llc(const LlcConfig &config, BackingPort &backing_port,
         ShardContext context,
         std::unique_ptr<DirtyStore> dirty_store = nullptr,
         std::unique_ptr<WritebackPolicy> writeback_policy = nullptr,
@@ -216,52 +199,34 @@ class Llc : public LlcPort
     TagStore &tags() { return store; }
     const TagStore &tags() const { return store; }
 
-    /** The slice's home (same-shard) channel. Policy code should use
-     *  dramRead()/dramWrite()/addrMap() instead so multi-channel
-     *  routing is honored. */
-    DramController &dramController() { return dram; }
-
     /** The shard this slice lives on. */
     const ShardContext &context() const { return ctx; }
 
-    /**
-     * Install (or remove, with nullptr) the memory router. Without one
-     * every DRAM access goes synchronously to the home channel — the
-     * single-channel machine. The caller keeps ownership.
-     */
-    void setMemRouter(MemRouter *router) { memRouter = router; }
+    /** The level below this slice. */
+    BackingPort &backingPort() { return backing; }
 
     /**
-     * Issue a block read to memory, routed to the owning channel.
-     * Every DRAM read in every composition goes through here.
+     * Issue a block read to memory through the backing port. Every
+     * memory read in every composition goes through here.
      */
     void
-    dramRead(Addr block_addr, Cycle when, DramController::ReadCallback cb)
+    dramRead(Addr block_addr, Cycle when, BackingPort::ReadCallback cb)
     {
-        if (memRouter) {
-            memRouter->dramRead(block_addr, when, std::move(cb));
-        } else {
-            dram.enqueueRead(block_addr, when, std::move(cb));
-        }
+        backing.read(block_addr, when, std::move(cb));
     }
 
-    /** Issue a block write to memory, routed to the owning channel. */
+    /** Issue a block write to memory through the backing port. */
     void
     dramWrite(Addr block_addr, Cycle when)
     {
-        if (memRouter) {
-            memRouter->dramWrite(block_addr, when);
-        } else {
-            dram.enqueueWrite(block_addr, when);
-        }
+        backing.write(block_addr, when);
     }
 
     /**
-     * The machine's DRAM address map. Identical for every channel (the
-     * map is machine-wide), so the home channel's copy is authoritative
-     * even when accesses route elsewhere.
+     * The machine's DRAM address map, as reported by the backing port
+     * (the map is machine-wide, identical at every level and channel).
      */
-    const DramAddrMap &addrMap() const { return dram.addrMap(); }
+    const DramAddrMap &addrMap() const { return backing.addrMap(); }
 
     DirtyStore &dirtyStore() { return *dirtyStorePtr; }
     const DirtyStore &dirtyStore() const { return *dirtyStorePtr; }
@@ -359,10 +324,9 @@ class Llc : public LlcPort
                     Callback cb);
 
     LlcConfig cfg;
-    DramController &dram;
+    BackingPort &backing;
     ShardContext ctx;
     EventQueue &eq;
-    MemRouter *memRouter = nullptr;
     TagStore store;
     Cycle portFreeAt = 0;
     LlcAuditObserver *auditor = nullptr;

@@ -115,4 +115,35 @@ StorageModel::cacheReduction() const
                      static_cast<double>(base.totalBits());
 }
 
+DCacheMetaBits
+dcacheMetaBits(const DCacheMetaParams &params)
+{
+    const DCacheMetaParams &p = params;
+    fatal_if(p.pageBytes < kBlockBytes || !isPowerOf2(p.pageBytes),
+             "dcache page size must be a power of two >= one block");
+    fatal_if(p.sliceBytes % p.pageBytes != 0,
+             "dcache slice capacity not page aligned");
+    DCacheMetaBits m;
+    m.slicePages = p.sliceBytes / p.pageBytes;
+    m.indexPages = p.indexEntries;
+
+    const std::uint64_t blocks_per_page = p.pageBytes / kBlockBytes;
+    const std::uint64_t page_offset_bits = floorLog2(p.pageBytes);
+    const std::uint64_t index_sets =
+        std::uint64_t(p.indexEntries) / p.indexAssoc;
+    const std::uint64_t set_bits = floorLog2(index_sets);
+    const std::uint64_t page_tag =
+        p.physAddrBits - page_offset_bits - set_bits;
+    const std::uint64_t repl = floorLog2(p.indexAssoc);
+    m.indexSramBits = std::uint64_t(p.indexEntries) *
+                      (1 /*valid*/ + page_tag + blocks_per_page + repl);
+
+    // The ablation keeps one dirty bit with each page frame's in-DRAM
+    // tag: no SRAM at all, but a tag bit per frame in stacked DRAM and
+    // whole-page writebacks on dirty eviction (the traffic cost the
+    // simulator measures).
+    m.tagDirtyBits = m.slicePages;
+    return m;
+}
+
 } // namespace dbsim

@@ -89,6 +89,39 @@ class StorageModel
     std::uint64_t nDbiSets;
 };
 
+/** One DRAM-cache slice's dirty-metadata design point. */
+struct DCacheMetaParams
+{
+    std::uint64_t sliceBytes = 64ull << 20;  ///< per-slice data capacity
+    std::uint32_t pageBytes = 2048;
+    std::uint32_t indexEntries = 2048;       ///< SRAM dirty-index rows
+    std::uint32_t indexAssoc = 16;
+    std::uint32_t physAddrBits = 40;
+};
+
+/**
+ * Metadata bit accounting for the DRAM-cache dirty-tracking ablation
+ * (the dcache analog of Table 4): the SRAM row-granular dirty index
+ * versus one dirty bit per page kept with the in-DRAM tags.
+ */
+struct DCacheMetaBits
+{
+    /** SRAM bits of the dirty index (index mode): per entry a valid
+     *  bit, page tag, per-block dirty vector, and LRW state. */
+    std::uint64_t indexSramBits = 0;
+
+    /** Stacked-DRAM tag bits spent on per-page dirty flags (tags
+     *  mode): one bit per page frame. */
+    std::uint64_t tagDirtyBits = 0;
+
+    /** Pages the index can track concurrently vs pages in the slice. */
+    std::uint64_t indexPages = 0;
+    std::uint64_t slicePages = 0;
+};
+
+/** Compute both organizations' metadata costs for one design point. */
+DCacheMetaBits dcacheMetaBits(const DCacheMetaParams &params);
+
 } // namespace dbsim
 
 #endif // DBSIM_MODEL_STORAGE_MODEL_HH

@@ -357,7 +357,7 @@ allMechanisms()
 
 std::unique_ptr<Llc>
 makeLlc(const MechanismSpec &spec, const LlcConfig &llc_cfg,
-        const DbiConfig &dbi_cfg, DramController &dram, ShardContext ctx,
+        const DbiConfig &dbi_cfg, BackingPort &backing, ShardContext ctx,
         std::shared_ptr<MissPredictor> predictor)
 {
     std::unique_ptr<DirtyStore> store;
@@ -402,7 +402,7 @@ makeLlc(const MechanismSpec &spec, const LlcConfig &llc_cfg,
         break;
     }
 
-    return std::make_unique<Llc>(llc_cfg, dram, ctx, std::move(store),
+    return std::make_unique<Llc>(llc_cfg, backing, ctx, std::move(store),
                                  std::move(wb), std::move(lookup));
 }
 

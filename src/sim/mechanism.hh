@@ -162,7 +162,7 @@ const std::vector<Mechanism> &allMechanisms();
 std::unique_ptr<Llc> makeLlc(const MechanismSpec &spec,
                              const LlcConfig &llc_cfg,
                              const DbiConfig &dbi_cfg,
-                             DramController &dram, ShardContext ctx,
+                             BackingPort &backing, ShardContext ctx,
                              std::shared_ptr<MissPredictor> predictor);
 
 } // namespace dbsim

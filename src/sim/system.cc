@@ -66,6 +66,7 @@ SystemConfig::topology() const
     spec.rowBytes = dram.rowBytes;
     spec.llcTotalBytes = llcBytesPerCore * numCores;
     spec.llcAssoc = resolveLlc().assoc;
+    spec.dcachePageBytes = dcache.enable ? dcache.pageBytes : 0;
     return resolveTopology(spec);
 }
 
@@ -137,9 +138,11 @@ class ShardLlcPort : public LlcPort
  * Routes one LLC slice's memory traffic to the channel owning each
  * address: a direct call for the shard-local channel, a fabric
  * round-trip otherwise (slice->channel traffic is the second kind of
- * cross-shard message the tentpole names).
+ * cross-shard message the tentpole names). A BackingPort like every
+ * other level, so anything composed on top of it (the LLC directly, or
+ * an interposed DramCache) is oblivious to the routing.
  */
-class ShardMemRouter : public MemRouter
+class ShardMemRouter : public BackingPort
 {
   public:
     ShardMemRouter(const ShardTopology &topology, ShardFabric &fabric,
@@ -150,8 +153,15 @@ class ShardMemRouter : public MemRouter
     {
     }
 
+    const DramAddrMap &
+    addrMap() const override
+    {
+        // Machine-wide map: every channel's copy is identical.
+        return chans[0]->addrMap();
+    }
+
     void
-    dramRead(Addr block_addr, Cycle when, ReadCallback cb) override
+    read(Addr block_addr, Cycle when, ReadCallback cb) override
     {
         std::uint32_t c = topo.channelOf(block_addr);
         std::uint32_t dst = topo.partitionOfChannel(c);
@@ -175,7 +185,7 @@ class ShardMemRouter : public MemRouter
     }
 
     void
-    dramWrite(Addr block_addr, Cycle when) override
+    write(Addr block_addr, Cycle when) override
     {
         std::uint32_t c = topo.channelOf(block_addr);
         std::uint32_t dst = topo.partitionOfChannel(c);
@@ -287,6 +297,38 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
     SkipPredictorConfig pc = cfg.pred;
     pc.numThreads = cfg.numCores;
 
+    // Compose each slice's backing chain bottom-up before the slice
+    // itself exists, so the final port is injected through the Llc
+    // constructor: channel -> [router] -> [dcache] -> slice.
+    if (topo.sharded()) {
+        for (std::uint32_t s = 0; s < topo.slices; ++s) {
+            memRouters.push_back(std::make_unique<ShardMemRouter>(
+                topo, *fab, chans, topo.partitionOfSlice(s)));
+        }
+    }
+    if (cfg.dcache.enable) {
+        DCacheConfig dc_cfg = cfg.dcache;
+        fatal_if(topo.slices > 1 &&
+                 dc_cfg.sizeBytes % topo.slices != 0,
+                 "dcache capacity %llu is not divisible into %u slices",
+                 static_cast<unsigned long long>(dc_cfg.sizeBytes),
+                 topo.slices);
+        dc_cfg.sizeBytes /= topo.slices;
+        for (std::uint32_t s = 0; s < topo.slices; ++s) {
+            DCacheConfig slice_dc = dc_cfg;
+            slice_dc.seed = cfg.seed + 3023 + 104729ull * s;
+            std::uint32_t p = topo.partitionOfSlice(s);
+            BackingPort &below =
+                topo.sharded()
+                    ? static_cast<BackingPort &>(*memRouters[s])
+                    : static_cast<BackingPort &>(
+                          *chans[s % topo.channels]);
+            dcaches.push_back(std::make_unique<DramCache>(
+                slice_dc, below,
+                ShardContext(p, *queues[p], fab.get())));
+        }
+    }
+
     for (std::uint32_t s = 0; s < topo.slices; ++s) {
         LlcConfig slice_cfg = llc_cfg;
         slice_cfg.seed = llc_cfg.seed + 7919ull * s;
@@ -303,8 +345,14 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
         predictors.push_back(pred);
 
         std::uint32_t p = topo.partitionOfSlice(s);
-        slices.push_back(makeLlc(cfg.mech, slice_cfg, dbi_cfg,
-                                 *chans[s % topo.channels],
+        BackingPort &backing =
+            cfg.dcache.enable
+                ? static_cast<BackingPort &>(*dcaches[s])
+                : (topo.sharded()
+                       ? static_cast<BackingPort &>(*memRouters[s])
+                       : static_cast<BackingPort &>(
+                             *chans[s % topo.channels]));
+        slices.push_back(makeLlc(cfg.mech, slice_cfg, dbi_cfg, backing,
                                  ShardContext(p, *queues[p], fab.get()),
                                  pred));
 
@@ -347,15 +395,15 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
             ac.shardId = topo.partitionOfSlice(s);
             auditors.push_back(std::make_unique<audit::InvariantAuditor>(
                 *slices[s], ac));
+            if (cfg.dcache.enable) {
+                dcacheAuditors.push_back(
+                    std::make_unique<audit::DCacheAuditor>(*dcaches[s],
+                                                           ac));
+            }
         }
     }
 
     if (topo.sharded()) {
-        for (std::uint32_t s = 0; s < topo.slices; ++s) {
-            memRouters.push_back(std::make_unique<ShardMemRouter>(
-                topo, *fab, chans, topo.partitionOfSlice(s)));
-            slices[s]->setMemRouter(memRouters.back().get());
-        }
         for (std::uint32_t p = 0; p < P; ++p) {
             corePorts.push_back(std::make_unique<ShardLlcPort>(
                 topo, *fab, slices, p));
@@ -379,6 +427,9 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
 
     for (auto &slice : slices) {
         slice->registerStats(statSet);
+    }
+    for (auto &dc : dcaches) {
+        dc->registerStats(statSet);
     }
     for (auto &chan : chans) {
         chan->registerStats(statSet);
@@ -772,6 +823,25 @@ System::assembleResult()
         }
     }
 
+    if (cfg.dcache.enable && !dcaches.empty()) {
+        // Storage accounting for the dirty-tracking ablation: what the
+        // SRAM index costs vs the per-page bits the tags-mode keeps in
+        // stacked DRAM (machine totals across slices).
+        DCacheMetaParams mp;
+        mp.sliceBytes = dcaches[0]->config().sizeBytes;
+        mp.pageBytes = cfg.dcache.pageBytes;
+        mp.indexEntries = cfg.dcache.indexEntries;
+        mp.indexAssoc = cfg.dcache.indexAssoc;
+        const DCacheMetaBits mb = dcacheMetaBits(mp);
+        res.metadata["dcache.indexSramBits"] =
+            static_cast<double>(mb.indexSramBits * topo.slices);
+        res.metadata["dcache.tagDirtyBits"] =
+            static_cast<double>(mb.tagDirtyBits * topo.slices);
+        res.metadata["dcache.indexCoverage"] =
+            static_cast<double>(mb.indexPages) /
+            static_cast<double>(mb.slicePages);
+    }
+
     for (auto &slice : slices) {
         slice->checkInvariants();
     }
@@ -782,6 +852,11 @@ System::assembleResult()
         watch->checkNow();
         panic_if(watch->finalImage() != watch->shadow().finalImage(),
                  "final memory image diverges from ground truth");
+    }
+    for (auto &watch : dcacheAuditors) {
+        // Second dirty level: the DRAM cache's flush set must cover
+        // exactly the blocks whose data never reached backing DDR.
+        watch->checkFinal();
     }
     return res;
 }

@@ -26,11 +26,13 @@
 #include <vector>
 
 #include "audit/auditor.hh"
+#include "audit/dcache_auditor.hh"
 #include "common/event_queue.hh"
 #include "common/shard.hh"
 #include "cpu/core.hh"
 #include "cpu/core_memory.hh"
 #include "dbi/dbi.hh"
+#include "dcache/dcache.hh"
 #include "dram/dram_controller.hh"
 #include "llc/llc.hh"
 #include "pred/miss_predictor.hh"
@@ -96,6 +98,15 @@ struct SystemConfig
 
     DbiConfig dbi;
     DramConfig dram;
+
+    /**
+     * Die-stacked DRAM-cache tier interposed between each LLC slice and
+     * its backing DDR path (src/dcache). Off by default; a disabled
+     * dcache leaves the machine bit-identical to one without the level
+     * wired in at all. Part of the simulated machine: changes stats.
+     */
+    DCacheConfig dcache;
+
     CoreConfig core;
     CoreMemoryConfig mem;
     SkipPredictorConfig pred;
@@ -267,6 +278,26 @@ class System
     /** DRAM channel `c`. */
     DramController &dramChannel(std::uint32_t c) { return *chans.at(c); }
 
+    /** The interposed DRAM cache — slice 0's when enabled, nullptr
+     *  otherwise. */
+    DramCache *dcache() { return dcaches.empty() ? nullptr : dcaches[0].get(); }
+
+    /** Slice `s`'s DRAM cache (nullptr when the tier is disabled). */
+    DramCache *
+    dcacheSlice(std::uint32_t s)
+    {
+        return dcaches.empty() ? nullptr : dcaches.at(s).get();
+    }
+
+    /** Slice `s`'s DRAM-cache auditor (nullptr when auditing is off or
+     *  the tier is disabled). */
+    audit::DCacheAuditor *
+    dcacheAuditor(std::uint32_t s)
+    {
+        return dcacheAuditors.empty() ? nullptr
+                                      : dcacheAuditors.at(s).get();
+    }
+
     /** The cross-shard mailbox (nullptr on single-shard machines). */
     const ShardFabric *fabric() const { return fab.get(); }
 
@@ -326,9 +357,14 @@ class System
     std::vector<EventQueue *> queuePtrs;
     std::unique_ptr<ShardFabric> fab;                 ///< sharded only
     std::vector<std::unique_ptr<DramController>> chans;
+    // Backing chain declared bottom-up: each level holds a reference to
+    // the one below, so destruction (reverse order) tears the chain
+    // down top-first.
+    std::vector<std::unique_ptr<ShardMemRouter>> memRouters;  ///< per slice
+    std::vector<std::unique_ptr<DramCache>> dcaches;  ///< per slice (opt)
     std::vector<std::shared_ptr<MissPredictor>> predictors;  ///< per slice
     std::vector<std::unique_ptr<Llc>> slices;
-    std::vector<std::unique_ptr<ShardMemRouter>> memRouters;  ///< per slice
+    std::vector<std::unique_ptr<audit::DCacheAuditor>> dcacheAuditors;
     std::vector<std::unique_ptr<ShardLlcPort>> corePorts;     ///< per shard
     std::vector<std::unique_ptr<MetadataIndex>> metaIndexes;
     std::vector<std::uint32_t> metaSlices;  ///< owning slice per index

@@ -64,6 +64,21 @@ resolveTopology(const TopologySpec &spec)
     fatal_if(slice_bytes < std::uint64_t(spec.llcAssoc) * kBlockBytes,
              "an LLC slice of %llu bytes cannot hold one %u-way set",
              static_cast<unsigned long long>(slice_bytes), spec.llcAssoc);
+    if (spec.dcachePageBytes != 0) {
+        fatal_if(!isPowerOf2(spec.dcachePageBytes) ||
+                 spec.dcachePageBytes < kBlockBytes,
+                 "dcache.pageBytes (%llu) must be a power of two >= one "
+                 "block",
+                 static_cast<unsigned long long>(spec.dcachePageBytes));
+        fatal_if(spec.dcachePageBytes > spec.rowBytes ||
+                 spec.rowBytes % spec.dcachePageBytes != 0,
+                 "dcache.pageBytes (%llu) must divide dram.rowBytes "
+                 "(%llu): slices and channels interleave at DRAM-row "
+                 "granularity, so a coarser page would straddle the "
+                 "slice/channel interleave",
+                 static_cast<unsigned long long>(spec.dcachePageBytes),
+                 static_cast<unsigned long long>(spec.rowBytes));
+    }
     fatal_if(t.sharded() && t.hopLatency < 1,
              "a sliced machine needs hopLatency >= 1 (the epoch window)");
     fatal_if(!t.sharded() && spec.hopLatency != 0,

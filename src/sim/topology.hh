@@ -40,6 +40,16 @@ struct TopologySpec
     std::uint64_t rowBytes = 8192;
     std::uint64_t llcTotalBytes = 2ull << 20;
     std::uint32_t llcAssoc = 16;
+
+    /**
+     * Allocation granularity of an interposed backing level (the
+     * DRAM-cache page), 0 when no level is interposed. Must divide
+     * rowBytes: addresses interleave across slices and channels at
+     * DRAM-row granularity, so any coarser or non-dividing granularity
+     * would let one page straddle two slices' address partitions
+     * (mirroring the DBI-rows-never-straddle-slices guarantee).
+     */
+    std::uint64_t dcachePageBytes = 0;
 };
 
 /** The resolved, validated machine partitioning. */

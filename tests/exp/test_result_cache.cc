@@ -88,6 +88,40 @@ TEST(CanonicalConfig, SemanticFieldsChangeTheKey)
     }
 }
 
+TEST(CanonicalConfig, DCacheFieldsAppearOnlyWhenEnabled)
+{
+    // A disabled DRAM-cache tier must keep canonical strings (and
+    // content keys) byte-identical to records written before the tier
+    // existed — and its parameters must be inert while disabled.
+    SystemConfig off;
+    const std::string off_canon = canonicalConfig(off);
+    EXPECT_EQ(off_canon.find("dcache"), std::string::npos);
+
+    SystemConfig off_tweaked = off;
+    off_tweaked.dcache.pageBytes = 4096;
+    off_tweaked.dcache.sizeBytes = 128ull << 20;
+    EXPECT_EQ(canonicalConfig(off_tweaked), off_canon);
+
+    SystemConfig on = off;
+    on.dcache.enable = true;
+    const std::string on_canon = canonicalConfig(on);
+    EXPECT_NE(on_canon, off_canon);
+    EXPECT_NE(on_canon.find("dcache.enable"), std::string::npos);
+
+    // Every semantic dcache knob perturbs the enabled key.
+    std::vector<SystemConfig> variants(7, on);
+    variants[0].dcache.sizeBytes = 128ull << 20;
+    variants[1].dcache.pageBytes = 4096;
+    variants[2].dcache.assoc = 8;
+    variants[3].dcache.dirtyInTags = true;
+    variants[4].dcache.indexEntries = 4096;
+    variants[5].dcache.tagLatency = 20;
+    variants[6].dcache.seed = 77;
+    for (const SystemConfig &v : variants) {
+        EXPECT_NE(canonicalConfig(v), on_canon);
+    }
+}
+
 TEST(CanonicalPoint, MixSimFoldsInThePinnedAloneConfig)
 {
     SweepSpec spec;

@@ -148,6 +148,25 @@ TEST(ShardIdentity, HopLatencyChangesStatsButNotIdentity)
     }
 }
 
+TEST(ShardIdentity, DCacheTierIsThreadCountInvariantInBothModes)
+{
+    // The interposed DRAM-cache level adds per-slice state below the
+    // LLC (and, in index mode, a second DBI-style structure). Both
+    // dirty-tracking modes must preserve the execution-knob guarantee.
+    for (bool tags : {false, true}) {
+        SystemConfig cfg = slicedConfig(Mechanism::Dbi);
+        cfg.dcache.enable = true;
+        cfg.dcache.sizeBytes = 2ull << 20;  // 512KB/slice: real evictions
+        cfg.dcache.indexEntries = 64;
+        cfg.dcache.dirtyInTags = tags;
+        SimResult serial = runWithShards(cfg, kMixes[1], 1);
+        SimResult parallel = runWithShards(cfg, kMixes[1], 4);
+        expectIdentical(serial, parallel,
+                        tags ? "dirty-in-tags" : "dirty-index");
+        EXPECT_GT(serial.stats.at("dcache.reads"), 0u);
+    }
+}
+
 TEST(ShardIdentity, EventCountIsThreadCountInvariant)
 {
     SystemConfig cfg = slicedConfig(Mechanism::Dbi);

@@ -153,6 +153,58 @@ TEST(TopologyDeath, SystemConfigValidatesThroughTheSameChoke)
     EXPECT_DEATH(cfg.topology(), "power of two");
 }
 
+TEST(Topology, DCachePagesNeverStraddleSlicesOrChannels)
+{
+    // An interposed DRAM-cache page must be wholly owned by one slice
+    // and one channel (the same rule DBI rows obey): accepted exactly
+    // when the page size divides the DRAM row.
+    TopologySpec spec;
+    spec.numCores = 4;
+    spec.llcSlices = 4;
+    spec.dramChannels = 2;
+    spec.llcTotalBytes = 8ull << 20;
+    spec.llcAssoc = 32;
+
+    for (std::uint64_t page : {64ull, 2048ull, 8192ull}) {
+        spec.dcachePageBytes = page;
+        ShardTopology t = resolveTopology(spec);
+        for (Addr base = 0; base < 64 * page; base += page) {
+            for (Addr off = 0; off < page; off += kBlockBytes) {
+                EXPECT_EQ(t.sliceOf(base + off), t.sliceOf(base));
+                EXPECT_EQ(t.channelOf(base + off), t.channelOf(base));
+            }
+        }
+    }
+}
+
+TEST(TopologyDeath, RejectsDCachePagesStraddlingTheInterleave)
+{
+    TopologySpec spec;
+    spec.numCores = 4;
+    spec.llcSlices = 4;
+    spec.llcTotalBytes = 8ull << 20;
+    spec.llcAssoc = 32;
+
+    TopologySpec bad = spec;
+    bad.dcachePageBytes = 16384;  // coarser than the 8KB row interleave
+    EXPECT_DEATH(resolveTopology(bad), "straddle");
+
+    bad = spec;
+    bad.dcachePageBytes = 3072;  // fits in a row but does not divide it
+    EXPECT_DEATH(resolveTopology(bad), "power of two|straddle");
+
+    bad = spec;
+    bad.dcachePageBytes = 32;  // smaller than one block
+    EXPECT_DEATH(resolveTopology(bad), "power of two");
+
+    // The System choke point applies the same rule.
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.dcache.enable = true;
+    cfg.dcache.pageBytes = 16384;
+    EXPECT_DEATH(cfg.topology(), "straddle");
+}
+
 // ---- the System façade on sliced machines ---------------------------
 
 TEST(ShardedSystem, FacadeExposesSlicesChannelsAndFabric)
