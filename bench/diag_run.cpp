@@ -56,6 +56,7 @@ buildSpec(const bench::HarnessOptions &o)
     cfg.telemetry = o.telemetryConfig("diag_run");
     o.applySharding(cfg);
     o.applyDCache(cfg);
+    o.applyTrace(cfg);
     cfg.profile = o.profile;
 
     exp::SweepSpec spec;

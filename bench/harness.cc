@@ -41,8 +41,10 @@ printUsage(const char *argv0)
                 "[--channels N] [--hop N]\n"
                 "        [--dcache] [--dcache-mb N] [--dcache-rows N] "
                 "[--dcache-tags]\n"
+                "        [--trace FILE] [--ff N] [--sample-ops W] "
+                "[--period P]\n"
                 "        [--sample N] [--timeseries FILE]\n"
-                "        [--trace FILE] [--hist] [--host-timers] "
+                "        [--trace-out FILE] [--hist] [--host-timers] "
                 "[--profile]\n"
                 "        [--cache-dir DIR] [--no-cache] [--no-resume]\n"
                 "        [--no-progress] [--list] [--help]\n\n"
@@ -119,6 +121,17 @@ HarnessOptions::applyDCache(SystemConfig &cfg) const
         cfg.dcache.indexEntries = *dcacheRows;
     }
     cfg.dcache.dirtyInTags = dcacheTags;
+}
+
+void
+HarnessOptions::applyTrace(SystemConfig &cfg) const
+{
+    if (!traceFile.empty()) {
+        cfg.traceFile = traceFile;
+    }
+    cfg.sampling.ffOps = ffOps;
+    cfg.sampling.sampleOps = sampleOps;
+    cfg.sampling.periodOps = periodOps;
 }
 
 void
@@ -230,6 +243,18 @@ harnessMain(int argc, char **argv)
             opts.timeseriesPath = needValue(i);
             ++i;
         } else if (std::strcmp(arg, "--trace") == 0) {
+            opts.traceFile = needValue(i);
+            ++i;
+        } else if (std::strcmp(arg, "--ff") == 0) {
+            opts.ffOps = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--sample-ops") == 0) {
+            opts.sampleOps = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--period") == 0) {
+            opts.periodOps = parseUint(arg, needValue(i));
+            ++i;
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
             opts.tracePath = needValue(i);
             ++i;
         } else if (std::strcmp(arg, "--hist") == 0) {
@@ -291,6 +316,7 @@ harnessMain(int argc, char **argv)
         spec.overrideConfigs([&opts](SystemConfig &cfg) {
             opts.applySharding(cfg);
             opts.applyDCache(cfg);
+            opts.applyTrace(cfg);
         });
         exp::ExperimentRunner runner(run_opts);
         std::vector<exp::PointRecord> records = runner.run(spec);

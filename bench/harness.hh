@@ -45,12 +45,32 @@
  *                                     instead of the SRAM dirty index
  *                                     (dirty evictions write back every
  *                                     valid block)
+ *           [--trace FILE]            trace-driven run: every core
+ *                                     replays FILE instead of the
+ *                                     experiment's synthetic profiles.
+ *                                     ChampSim binary (".champsim"/
+ *                                     ".bin", optionally ".gz"/".xz")
+ *                                     or native text (".trace"/".txt");
+ *                                     unknown extensions are sniffed.
+ *                                     Streamed with bounded memory.
+ *           [--ff N]                  fast-forward: functionally warm N
+ *                                     trace ops per core (caches, DBI,
+ *                                     predictors move; no events, no
+ *                                     timing, no stats) before detailed
+ *                                     simulation begins
+ *           [--sample-ops W]          SMARTS sampling: measure W
+ *                                     detailed ops out of every
+ *                                     --period P ops, functionally
+ *                                     warming the other P-W (requires
+ *                                     --period; sampled runs execute
+ *                                     single-threaded)
+ *           [--period P]              the SMARTS sampling period
  *           [--sample N]              telemetry: sample the stat channels
  *                                     every N simulated cycles
  *           [--timeseries FILE]       epoch samples as JSONL (default
  *                                     <experiment>_timeseries.jsonl when
  *                                     --sample is given)
- *           [--trace FILE]            Chrome trace-event JSON (load in
+ *           [--trace-out FILE]        Chrome trace-event JSON (load in
  *                                     Perfetto / chrome://tracing)
  *           [--hist]                  latency/drain/dirty-row histograms
  *                                     (summaries land in the JSONL
@@ -116,11 +136,26 @@ struct HarnessOptions
      */
     std::uint64_t auditEvery = 0;
 
-    /** Telemetry flags: --sample N / --timeseries / --trace / --hist. */
+    /** Telemetry flags: --sample N / --timeseries / --trace-out /
+     *  --hist. */
     std::uint64_t sampleEvery = 0;
     std::string timeseriesPath;
     std::string tracePath;
     bool histograms = false;
+
+    /**
+     * Trace-driven input (--trace FILE) and SMARTS sampling knobs
+     * (--ff / --sample-ops / --period); see SystemConfig::traceFile and
+     * SystemConfig::sampling. All change the simulated run and are part
+     * of a point's cache identity (the trace by content hash).
+     */
+    std::string traceFile;
+    std::uint64_t ffOps = 0;
+    std::uint64_t sampleOps = 0;
+    std::uint64_t periodOps = 0;
+
+    /** Apply the trace/sampling flags (those given) to `cfg`. */
+    void applyTrace(SystemConfig &cfg) const;
 
     /** --host-timers: wall-clock phase timings in the JSONL records. */
     bool hostTimers = false;

@@ -60,6 +60,18 @@ CoreMemory::fillL2(Addr block_addr, bool dirty, Cycle when)
     }
 }
 
+void
+CoreMemory::functionalAccess(Addr addr, bool is_write)
+{
+    // Long-history structures only: every warmed op reaches the LLC's
+    // functional port unfiltered. The L1/L2 filter would thin the
+    // stream the LLC sees, but on fast-forward spans (millions of ops)
+    // the LLC recency and DBI dirty state it converges to is the same,
+    // and skipping two private-tag-store updates per op is most of the
+    // fast-forward speedup.
+    llc.functionalAccess(blockAlign(addr), coreId, is_write);
+}
+
 Cycle
 CoreMemory::llcAccessTime(Cycle when) const
 {

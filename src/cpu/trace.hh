@@ -36,6 +36,12 @@ class TraceSource
 
     /** Produce the next record. Traces never end. */
     virtual TraceOp next() = 0;
+
+    /**
+     * Ops handed out so far, for ingest-throughput accounting. Sources
+     * that don't track it (synthetic generators) report 0.
+     */
+    virtual std::uint64_t opsEmitted() const { return 0; }
 };
 
 } // namespace dbsim

@@ -161,9 +161,11 @@ Dbi::drainEntry(const Entry &entry) const
 }
 
 std::vector<Addr>
-Dbi::setDirty(Addr block_addr)
+Dbi::setDirty(Addr block_addr, bool account)
 {
-    ++statUpdates;
+    if (account) {
+        ++statUpdates;
+    }
     std::uint64_t tag = regionMap.regionTag(block_addr);
     std::uint32_t bit = regionMap.blockIndex(block_addr);
 
@@ -193,8 +195,10 @@ Dbi::setDirty(Addr block_addr)
         way = victimWay(set);
         Entry &victim = at(set, way);
         evicted_wbs = drainEntry(victim);
-        ++statEvictions;
-        statEvictionWbs += evicted_wbs.size();
+        if (account) {
+            ++statEvictions;
+            statEvictionWbs += evicted_wbs.size();
+        }
         dirtyBits -= evicted_wbs.size();
     }
 
@@ -206,7 +210,9 @@ Dbi::setDirty(Addr block_addr)
     ne.rrpv = kRrpvMax - 1;
     ++dirtyBits;
     tagMirror[static_cast<std::size_t>(set) * cfg.assoc + way] = tag;
-    ++statInserts;
+    if (account) {
+        ++statInserts;
+    }
 
     if (cfg.repl == DbiReplPolicy::LrwBip && !rng.chance(kBipEpsilon)) {
         ne.lastWrite = 0;  // insert at LRW position
@@ -217,9 +223,11 @@ Dbi::setDirty(Addr block_addr)
 }
 
 void
-Dbi::clearDirty(Addr block_addr)
+Dbi::clearDirty(Addr block_addr, bool account)
 {
-    ++statUpdates;
+    if (account) {
+        ++statUpdates;
+    }
     Entry *e = findEntry(regionMap.regionTag(block_addr));
     if (!e) {
         return;

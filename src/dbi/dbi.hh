@@ -98,18 +98,22 @@ class Dbi
 
     /**
      * Mark a block dirty (on a writeback request into the cache,
-     * Section 2.2.2). May trigger a DBI eviction.
+     * Section 2.2.2). May trigger a DBI eviction. With `account` false
+     * the state change is identical but no counters move — the
+     * functional-warming variant, so fast-forwarded ops never leak into
+     * registered statistics.
      * @return block addresses the caller must write back to memory
      *         because their entry was evicted (usually empty).
      */
-    std::vector<Addr> setDirty(Addr block_addr);
+    std::vector<Addr> setDirty(Addr block_addr, bool account = true);
 
     /**
      * Mark a block clean (after its writeback, Section 2.2.3). If it was
      * the last dirty block of its entry, the entry is invalidated.
-     * No-op if the block is not marked dirty.
+     * No-op if the block is not marked dirty. `account` as in
+     * setDirty().
      */
-    void clearDirty(Addr block_addr);
+    void clearDirty(Addr block_addr, bool account = true);
 
     /**
      * All blocks currently marked dirty in the region containing

@@ -260,6 +260,104 @@ DramCache::markDirty(Addr block_addr, Cycle when)
     }
 }
 
+void
+DramCache::functionalAccess(Addr block_addr, bool is_write)
+{
+    const Cycle now = eq.now();
+    const std::uint64_t tag = block_addr / cfg.pageBytes;
+    Page *pg = findPage(tag);
+    if (!pg) {
+        // A read miss would fetch-and-install; a write allocates
+        // without fetching. Either way the page ends up resident.
+        pg = &functionalAllocPage(tag);
+    }
+    pg->lastUse = useClock++;
+    const std::uint32_t bi = blockIndexOf(block_addr);
+    if (is_write) {
+        pg->blocks.set(bi);
+        if (obs) {
+            obs->onWritebackIn(block_addr, now);
+        }
+        functionalMarkDirty(block_addr);
+    } else if (!pg->blocks.test(bi)) {
+        pg->blocks.set(bi);
+        if (obs) {
+            obs->onFill(block_addr, now);
+        }
+    }
+    endAuditOp();
+}
+
+DramCache::Page &
+DramCache::functionalAllocPage(std::uint64_t page_tag)
+{
+    Page *base = &pages[std::uint64_t(setOf(page_tag)) * cfg.assoc];
+    Page *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim || base[w].lastUse < victim->lastUse) {
+            victim = &base[w];
+        }
+    }
+    if (victim->valid) {
+        functionalEvictPage(*victim);
+    }
+    victim->valid = true;
+    victim->tag = page_tag;
+    victim->blocks.clear();
+    victim->dirty = false;
+    victim->lastUse = useClock++;
+    return *victim;
+}
+
+void
+DramCache::functionalEvictPage(Page &pg)
+{
+    const Cycle now = eq.now();
+    const Addr base = pg.tag * cfg.pageBytes;
+    if (index) {
+        for (Addr a : index->dirtyBlocksInRegion(base)) {
+            index->clearDirty(a, /*account=*/false);
+            if (obs) {
+                obs->onBlockCleaned(a, now);
+            }
+        }
+    } else if (pg.dirty) {
+        pg.blocks.forEachSet([&](std::uint32_t idx) {
+            const Addr a = base + static_cast<Addr>(idx) * kBlockBytes;
+            if (obs) {
+                obs->onBlockCleaned(a, now);
+            }
+        });
+    }
+    if (obs) {
+        obs->onPageEvict(base, now);
+    }
+    pg.valid = false;
+    pg.dirty = false;
+    pg.blocks.clear();
+}
+
+void
+DramCache::functionalMarkDirty(Addr block_addr)
+{
+    if (!index) {
+        Page *pg = findPage(block_addr / cfg.pageBytes);
+        pg->dirty = true;
+        return;
+    }
+    std::vector<Addr> spilled = index->setDirty(block_addr,
+                                                /*account=*/false);
+    for (Addr a : spilled) {
+        if (obs) {
+            obs->onBlockCleaned(a, eq.now());
+        }
+    }
+}
+
 bool
 DramCache::probeResident(Addr block_addr) const
 {

@@ -98,6 +98,15 @@ class DramCache : public BackingPort
     void write(Addr block_addr, Cycle when) override;
     const DramAddrMap &addrMap() const override { return down.addrMap(); }
 
+    /**
+     * Functional-warming access (see BackingPort): mirrors the state
+     * change of read()/write() — residency, dirty index, LRU — with no
+     * events, no backing-DDR traffic, and no registered-counter
+     * movement. The audit observer stays in the loop so the shadow
+     * model tracks warmed state.
+     */
+    void functionalAccess(Addr block_addr, bool is_write) override;
+
     const DCacheConfig &config() const { return cfg; }
     std::uint32_t numSets() const { return nSets; }
     std::uint32_t blocksPerPage() const { return blocksPer; }
@@ -208,6 +217,12 @@ class DramCache : public BackingPort
 
     /** Record a block dirty; index evictions batch-clean here. */
     void markDirty(Addr block_addr, Cycle when);
+
+    // Quiet twins of allocPage/evictPage/markDirty for the functional
+    // path: same state transitions, no stats, no DDR writes.
+    Page &functionalAllocPage(std::uint64_t page_tag);
+    void functionalEvictPage(Page &pg);
+    void functionalMarkDirty(Addr block_addr);
 
     void
     endAuditOp()

@@ -24,6 +24,27 @@ fnv1a64(const std::string &s)
     return h;
 }
 
+std::uint64_t
+fnv1a64File(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "cannot read trace file '%s' for cache hashing",
+             path.c_str());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    unsigned char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            h ^= buf[i];
+            h *= 0x100000001b3ull;
+        }
+    }
+    fatal_if(std::ferror(f), "read error hashing trace file '%s'",
+             path.c_str());
+    std::fclose(f);
+    return h;
+}
+
 std::string
 keyHex(std::uint64_t key)
 {
@@ -148,6 +169,22 @@ canonicalConfig(const SystemConfig &cfg)
     kv(s, "pred.epoch", cfg.pred.epochCycles);
     kv(s, "pred.sample", std::uint64_t(cfg.pred.sampleInterval));
     kv(s, "pred.threads", std::uint64_t(cfg.pred.numThreads));
+
+    // Trace input and sampling serialize only when in use, keeping
+    // synthetic-workload configs byte-identical (same keys) to records
+    // written before trace ingest existed. The trace participates by
+    // *content* hash: rewriting the file in place flips the key even
+    // though the path is unchanged, so a changed trace can never be
+    // served a stale result.
+    if (!cfg.traceFile.empty()) {
+        kv(s, "trace.file", cfg.traceFile);
+        kv(s, "trace.hash", keyHex(fnv1a64File(cfg.traceFile)));
+    }
+    if (cfg.sampling.enabled()) {
+        kv(s, "sample.ff", cfg.sampling.ffOps);
+        kv(s, "sample.ops", cfg.sampling.sampleOps);
+        kv(s, "sample.period", cfg.sampling.periodOps);
+    }
     return s;
 }
 
@@ -172,6 +209,14 @@ canonicalPoint(const SweepPoint &p, const SystemConfig &alone_base)
         break;
     }
     kv(s, "mix", mixLabel(p.mix));
+    // "@<path>" mix entries replay trace files: fold their content in
+    // so an edited per-core trace is a miss, not a stale hit.
+    for (const std::string &entry : p.mix) {
+        if (!entry.empty() && entry[0] == '@') {
+            kv(s, ("mix.hash." + entry.substr(1)).c_str(),
+               keyHex(fnv1a64File(entry.substr(1))));
+        }
+    }
     s += canonicalConfig(p.cfg);
     if (p.kind == PointKind::MixSim) {
         s += "alone{";

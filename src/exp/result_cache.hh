@@ -37,6 +37,14 @@ namespace dbsim::exp {
 /** FNV-1a/64 of `s`. */
 std::uint64_t fnv1a64(const std::string &s);
 
+/**
+ * FNV-1a/64 over the raw bytes of the file at `path`, streamed in
+ * chunks (never materialized). Folds a trace file's *content* into a
+ * point's cache identity: rewriting the file in place must flip the
+ * key even when the path is unchanged. Fatal if the file can't be read.
+ */
+std::uint64_t fnv1a64File(const std::string &path);
+
 /** 16-digit lowercase hex form of a key. */
 std::string keyHex(std::uint64_t key);
 

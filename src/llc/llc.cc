@@ -83,6 +83,78 @@ Llc::writeback(Addr block_addr, std::uint32_t core, Cycle when)
 }
 
 void
+Llc::functionalAccess(Addr block_addr, std::uint32_t core, bool is_write)
+{
+    Addr a = blockAlign(block_addr);
+    Cycle now = eq.now();
+
+    // Demand access: train the predictor with the true outcome, then
+    // touch or warm-fill. Misses also warm the level below.
+    bool hit = store.contains(a);
+    lookupPol->recordOutcome(a, core, hit, now);
+    if (hit) {
+        store.touch(a, core);
+    } else {
+        functionalFill(a, core, false);
+        backing.functionalAccess(a, false);
+    }
+
+    if (is_write) {
+        // A store being warmed dirties the block here directly — the
+        // unwarmed L1/L2 would have delivered it as a writeback
+        // eventually. functionalWritebackIn() re-allocates if the fill
+        // above was itself evicted (single-set pathologies).
+        if (auditor) {
+            auditor->onWritebackIn(a, now);
+        }
+        dirtyStorePtr->functionalWritebackIn(a, core);
+    }
+    endAuditOp();
+}
+
+void
+Llc::functionalFill(Addr block_addr, std::uint32_t core, bool dirty)
+{
+    Cycle now = eq.now();
+    if (store.contains(block_addr)) {
+        store.touch(block_addr, core);
+        if (dirty) {
+            store.markDirty(block_addr);
+        }
+        if (auditor) {
+            auditor->onFill(block_addr, dirty, now);
+        }
+        return;
+    }
+    TagStore::Eviction ev = store.insert(block_addr, core, dirty);
+    if (auditor) {
+        auditor->onFill(block_addr, dirty, now);
+    }
+    if (ev.valid) {
+        if (dirtyStorePtr->functionalVictimDirty(ev.block, ev.dirty)) {
+            // Dirty functional eviction: the data reaches memory and
+            // the metadata is dropped, exactly like the timed path —
+            // minus the WritebackPolicy's proactive row sweep, which
+            // is a timing optimization warming deliberately skips.
+            functionalWbToDram(ev.block);
+            dirtyStorePtr->functionalVictimWrittenBack(ev.block);
+        }
+        if (auditor) {
+            auditor->onEviction(ev.block, now);
+        }
+    }
+}
+
+void
+Llc::functionalWbToDram(Addr block_addr)
+{
+    if (auditor) {
+        auditor->onWbToDram(block_addr, eq.now());
+    }
+    backing.functionalAccess(block_addr, true);
+}
+
+void
 Llc::writebackToDram(Addr block_addr, Cycle when)
 {
     dramWrite(block_addr, when);

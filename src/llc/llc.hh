@@ -101,6 +101,19 @@ class LlcPort
     /** Writeback request from a private L2 arriving at cycle `when`. */
     virtual void writeback(Addr block_addr, std::uint32_t core,
                            Cycle when) = 0;
+
+    /**
+     * Zero-time functional access for fast-forward warming: update the
+     * level's tag/dirty/replacement/predictor state with no events, no
+     * port contention, and no registered-counter traffic. Both kinds
+     * are demand accesses (allocate-on-miss, train the predictor);
+     * `is_write` additionally dirties the block, standing in for the
+     * writeback the unwarmed private levels would eventually deliver.
+     * Routers forward to the owning slice directly — never through the
+     * fabric.
+     */
+    virtual void functionalAccess(Addr block_addr, std::uint32_t core,
+                                  bool is_write) = 0;
 };
 
 /**
@@ -145,6 +158,19 @@ class Llc : public LlcPort
      */
     void writeback(Addr block_addr, std::uint32_t core,
                    Cycle when) override;
+
+    /**
+     * Functional-warming access (see LlcPort). Final cache/DBI state
+     * matches what the timed path would produce for the same request,
+     * with documented estimator exceptions: no WritebackPolicy sweeps
+     * run (their proactive writebacks are a timing optimization), and
+     * metadata indexes are not notified (their counters are registered
+     * statistics, which warming must never move). The auditor and the
+     * miss predictor ARE kept in the loop — the shadow model must track
+     * warmed state, and predictor training is the point of warming.
+     */
+    void functionalAccess(Addr block_addr, std::uint32_t core,
+                          bool is_write) override;
 
     /**
      * Attach (or detach, with nullptr) a dirty-state observer. The
@@ -270,6 +296,19 @@ class Llc : public LlcPort
     /** The non-bypassed read path (tag lookup onward). */
     void normalRead(Addr block_addr, std::uint32_t core, Cycle when,
                     Callback cb);
+
+    /**
+     * Functional fillBlock(): insert or touch with no port, event, or
+     * registered-counter traffic; evictions route through the quiet
+     * DirtyStore variants and skip the WritebackPolicy.
+     */
+    void functionalFill(Addr block_addr, std::uint32_t core, bool dirty);
+
+    /**
+     * Functional writebackToDram(): the auditor sees the block reach
+     * memory and the level below warms, but nothing is accounted.
+     */
+    void functionalWbToDram(Addr block_addr);
 
     /**
      * Wrap a read-completion callback so the request's latency lands in

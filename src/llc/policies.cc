@@ -23,6 +23,18 @@ TagDirtyStore::writebackIn(Addr block_addr, std::uint32_t core, Cycle when)
     }
 }
 
+void
+TagDirtyStore::functionalWritebackIn(Addr block_addr, std::uint32_t core)
+{
+    // writebackIn() minus the port/stat traffic: mark or
+    // writeback-allocate dirty.
+    if (llc->tags().contains(block_addr)) {
+        llc->tags().markDirty(block_addr);
+    } else {
+        llc->functionalFill(block_addr, core, true);
+    }
+}
+
 bool
 TagDirtyStore::isDirty(Addr block_addr) const
 {
@@ -70,6 +82,15 @@ WriteThroughStore::writebackIn(Addr block_addr, std::uint32_t core,
     // and the write goes straight to memory. No write-allocate.
     Cycle start = llc->occupyPort(when);
     llc->writebackToDram(block_addr, start + llc->config().tagLatency);
+}
+
+void
+WriteThroughStore::functionalWritebackIn(Addr block_addr,
+                                         std::uint32_t core)
+{
+    (void)core;
+    // Write-through: the data goes straight down; nothing allocates.
+    llc->functionalWbToDram(block_addr);
 }
 
 // ---------------------------------------------------------------------
@@ -140,6 +161,25 @@ DbiDirtyStore::drainDbiEviction(const std::vector<Addr> &blocks, Cycle when)
     }
 }
 
+void
+DbiDirtyStore::functionalWritebackIn(Addr block_addr, std::uint32_t core)
+{
+    // Mirror writebackIn(): allocate clean if absent, then mark dirty
+    // in the DBI. A DBI eviction still drains its blocks (they become
+    // clean), but with no lookups, cycles, or counters accounted.
+    if (!llc->tags().contains(block_addr)) {
+        llc->functionalFill(block_addr, core, false);
+    }
+    std::vector<Addr> drained = index->setDirty(block_addr,
+                                                /*account=*/false);
+    for (Addr b : drained) {
+        panic_if(!llc->tags().contains(b),
+                 "DBI invariant violated: dirty block %llx not cached",
+                 static_cast<unsigned long long>(b));
+        llc->functionalWbToDram(b);
+    }
+}
+
 bool
 DbiDirtyStore::isDirty(Addr block_addr) const
 {
@@ -169,6 +209,19 @@ void
 DbiDirtyStore::onVictimWrittenBack(Addr block_addr)
 {
     index->clearDirty(block_addr);
+}
+
+bool
+DbiDirtyStore::functionalVictimDirty(Addr block_addr, bool tag_dirty)
+{
+    panic_if(tag_dirty, "DBI cache must not use tag-store dirty bits");
+    return index->probeDirty(block_addr);
+}
+
+void
+DbiDirtyStore::functionalVictimWrittenBack(Addr block_addr)
+{
+    index->clearDirty(block_addr, /*account=*/false);
 }
 
 std::uint64_t

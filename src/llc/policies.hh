@@ -72,6 +72,14 @@ class DirtyStore
                              Cycle when) = 0;
 
     /**
+     * Functional (zero-time) form of writebackIn() for fast-forward
+     * warming: produces the same final tag/dirty state but arbitrates
+     * no port, schedules no events, and moves no registered counters.
+     */
+    virtual void functionalWritebackIn(Addr block_addr,
+                                       std::uint32_t core) = 0;
+
+    /**
      * Is this block dirty? Authoritative query — a DBI-backed store
      * accounts it as a DBI lookup, exactly like the access path.
      */
@@ -101,6 +109,23 @@ class DirtyStore
     virtual void onVictimWrittenBack(Addr block_addr) { (void)block_addr; }
 
     /**
+     * Stat-free victimDirty() for functional evictions. The default
+     * (trust the evicted tag bit) is right for in-tag and write-through
+     * stores; the DBI store probes its index quietly.
+     */
+    virtual bool functionalVictimDirty(Addr block_addr, bool tag_dirty)
+    {
+        (void)block_addr;
+        return tag_dirty;
+    }
+
+    /** Stat-free onVictimWrittenBack() for functional evictions. */
+    virtual void functionalVictimWrittenBack(Addr block_addr)
+    {
+        (void)block_addr;
+    }
+
+    /**
      * Dirty blocks in the victim's DRAM row, as sampled for telemetry's
      * Fig. 2 histogram (stat-free; includes the victim itself).
      */
@@ -127,6 +152,8 @@ class TagDirtyStore final : public DirtyStore
     const char *name() const override { return "tag"; }
     void writebackIn(Addr block_addr, std::uint32_t core,
                      Cycle when) override;
+    void functionalWritebackIn(Addr block_addr,
+                               std::uint32_t core) override;
     bool isDirty(Addr block_addr) const override;
     bool probeDirty(Addr block_addr) const override;
     void clean(Addr block_addr) override;
@@ -149,6 +176,8 @@ class WriteThroughStore final : public DirtyStore
     const char *name() const override { return "wt"; }
     void writebackIn(Addr block_addr, std::uint32_t core,
                      Cycle when) override;
+    void functionalWritebackIn(Addr block_addr,
+                               std::uint32_t core) override;
     bool isDirty(Addr) const override { return false; }
     bool probeDirty(Addr) const override { return false; }
     void clean(Addr) override {}
@@ -174,11 +203,15 @@ class DbiDirtyStore final : public DirtyStore
     const char *name() const override { return "dbi"; }
     void writebackIn(Addr block_addr, std::uint32_t core,
                      Cycle when) override;
+    void functionalWritebackIn(Addr block_addr,
+                               std::uint32_t core) override;
     bool isDirty(Addr block_addr) const override;
     bool probeDirty(Addr block_addr) const override;
     void clean(Addr block_addr) override;
     bool victimDirty(Addr block_addr, bool tag_dirty) override;
     void onVictimWrittenBack(Addr block_addr) override;
+    bool functionalVictimDirty(Addr block_addr, bool tag_dirty) override;
+    void functionalVictimWrittenBack(Addr block_addr) override;
     std::uint64_t dirtyInVictimRow(Addr block_addr) const override;
     Dbi *dbiIndex() override { return index.get(); }
     const Dbi *dbiIndex() const override { return index.get(); }

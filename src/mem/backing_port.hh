@@ -44,6 +44,19 @@ class BackingPort
     virtual void write(Addr block_addr, Cycle when) = 0;
 
     /**
+     * Zero-time functional access for fast-forward warming. Stateful
+     * interposed levels (the DRAM cache) mirror the state change the
+     * timed path would make, quietly; stateless levels (controllers,
+     * routers — DRAM rows carry no warmable state worth modeling) keep
+     * this default no-op.
+     */
+    virtual void functionalAccess(Addr block_addr, bool is_write)
+    {
+        (void)block_addr;
+        (void)is_write;
+    }
+
+    /**
      * The machine's DRAM address map. The map is machine-wide (identical
      * for every channel), so any level of the chain can answer with its
      * terminal controller's copy.

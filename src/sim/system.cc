@@ -1,6 +1,9 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
 
 #include "coherence/directory_index.hh"
 #include "common/logging.hh"
@@ -8,6 +11,8 @@
 #include "model/storage_model.hh"
 #include "telemetry/profiler.hh"
 #include "telemetry/trace_merge.hh"
+#include "workload/champsim_trace.hh"
+#include "workload/trace_decode.hh"
 
 namespace dbsim {
 
@@ -63,12 +68,80 @@ SystemConfig::topology() const
     spec.dramChannels = dram.channels;
     spec.hopLatency = shardHopLatency;
     spec.numShards = numShards;
+    if (sampling.enabled()) {
+        // Functional warming reaches remote slices by direct call,
+        // outside the epoch-barrier protocol, so sampled runs execute
+        // single-threaded. Worker count never changes statistics
+        // (the sharding golden invariant), so results are unaffected.
+        spec.numShards = 1;
+    }
     spec.rowBytes = dram.rowBytes;
     spec.llcTotalBytes = llcBytesPerCore * numCores;
     spec.llcAssoc = resolveLlc().assoc;
     spec.dcachePageBytes = dcache.enable ? dcache.pageBytes : 0;
     return resolveTopology(spec);
 }
+
+namespace {
+
+bool
+endsWith(const std::string &str, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return str.size() >= n &&
+           str.compare(str.size() - n, n, suffix) == 0;
+}
+
+/**
+ * Open a trace file as the right TraceSource for its format. Extension
+ * decides when it can: ".champsim"/".bin" (with an optional
+ * ".gz"/".xz"/".zst" compression suffix) is ChampSim binary,
+ * ".trace"/".txt" is the native text format. Anything else is sniffed:
+ * a compression magic means ChampSim (the only format read compressed),
+ * and otherwise the first bytes pick binary vs text.
+ */
+std::unique_ptr<TraceSource>
+openTraceFile(const std::string &path)
+{
+    std::string base = path;
+    bool compressed = false;
+    for (const char *ext : {".gz", ".xz", ".zst", ".zstd"}) {
+        if (endsWith(base, ext)) {
+            compressed = true;
+            base.resize(base.size() - std::strlen(ext));
+            break;
+        }
+    }
+    if (endsWith(base, ".champsim") || endsWith(base, ".bin")) {
+        return std::make_unique<ChampSimTrace>(path);
+    }
+    if (endsWith(base, ".trace") || endsWith(base, ".txt")) {
+        fatal_if(compressed,
+                 "trace %s: compressed text traces are not supported; "
+                 "decompress it first", path.c_str());
+        return std::make_unique<FileTrace>(path);
+    }
+    if (sniffTraceCodec(path) != TraceCodec::Raw) {
+        return std::make_unique<ChampSimTrace>(path);
+    }
+    // Unknown extension, uncompressed: peek at the head. The text
+    // format is pure printable ASCII; ChampSim records are full of NULs
+    // and high bytes within their first 64 bytes.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "cannot open trace file %s", path.c_str());
+    unsigned char head[64];
+    std::size_t got = std::fread(head, 1, sizeof(head), f);
+    std::fclose(f);
+    for (std::size_t i = 0; i < got; ++i) {
+        if (head[i] != '\t' && head[i] != '\n' && head[i] != '\r' &&
+            (head[i] < 0x20 || head[i] > 0x7e)) {
+            return std::make_unique<ChampSimTrace>(path);
+        }
+    }
+    return std::make_unique<FileTrace>(path);
+}
+
+} // namespace
 
 /**
  * The LlcPort the cores of one shard talk to: forwards each access to
@@ -125,6 +198,19 @@ class ShardLlcPort : public LlcPort
         fab.send(part, dst, when, [llc, block_addr, core](Cycle at) {
             llc->writeback(block_addr, core, at);
         }, "llcWriteback");
+    }
+
+    void
+    functionalAccess(Addr block_addr, std::uint32_t core,
+                     bool is_write) override
+    {
+        // Zero-time warming reaches the owning slice by direct call:
+        // the fabric exists to model hop timing, and the functional
+        // path has none. Sampled runs execute single-threaded (see
+        // SystemConfig::topology), so the cross-shard call is safe.
+        slices[topo.sliceOf(block_addr)]->functionalAccess(block_addr,
+                                                           core,
+                                                           is_write);
     }
 
   private:
@@ -441,14 +527,28 @@ System::System(const SystemConfig &config, const WorkloadMix &mix)
     progress.resize(P);
     for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
         std::uint32_t p = topo.partitionOfCore(c);
-        if (!workload[c].empty() && workload[c][0] == '@') {
-            traces.push_back(
-                std::make_unique<FileTrace>(workload[c].substr(1)));
+        std::unique_ptr<TraceSource> src;
+        if (!cfg.traceFile.empty()) {
+            // Trace-driven run: every core streams the same file (each
+            // through its own decoder, so cores don't share a cursor).
+            src = openTraceFile(cfg.traceFile);
+        } else if (!workload[c].empty() && workload[c][0] == '@') {
+            src = openTraceFile(workload[c].substr(1));
         } else {
             const BenchProfile &prof = benchmarkByName(workload[c]);
-            traces.push_back(
-                std::make_unique<SyntheticTrace>(prof, c, cfg.seed));
+            src = std::make_unique<SyntheticTrace>(prof, c, cfg.seed);
         }
+        if (cfg.sampling.enabled()) {
+            // Interpose the SMARTS sampler: warmed ops go through the
+            // core's private hierarchy functionally (and on down the
+            // functional chain); measured ops reach the Core untouched.
+            src = std::make_unique<SampledTrace>(
+                std::move(src), cfg.sampling,
+                [this, c](Addr a, bool w) {
+                    mems[c]->functionalAccess(a, w);
+                });
+        }
+        traces.push_back(std::move(src));
         LlcPort &below = topo.sharded()
                              ? static_cast<LlcPort &>(*corePorts[p])
                              : static_cast<LlcPort &>(*slices[0]);

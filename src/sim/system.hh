@@ -41,6 +41,7 @@
 #include "telemetry/telemetry.hh"
 #include "workload/mixes.hh"
 #include "workload/file_trace.hh"
+#include "workload/sampled_trace.hh"
 #include "workload/synthetic_trace.hh"
 
 namespace dbsim {
@@ -110,6 +111,31 @@ struct SystemConfig
     CoreConfig core;
     CoreMemoryConfig mem;
     SkipPredictorConfig pred;
+
+    /**
+     * When non-empty, every core replays this trace file instead of the
+     * mix's synthetic profiles ("--trace" on the bench harness). Format
+     * is detected from the file: ".champsim"/".bin" (optionally with a
+     * ".gz"/".xz"/".zst" compression suffix) streams ChampSim binary
+     * records (workload/champsim_trace.hh); ".trace"/".txt" streams the
+     * native text format (workload/file_trace.hh); anything else is
+     * sniffed from its first bytes. Traces are streamed with bounded
+     * memory and never materialized whole.
+     */
+    std::string traceFile;
+
+    /**
+     * Fast-forward / SMARTS sampling (workload/sampled_trace.hh): warm
+     * `ffOps` trace operations functionally before detailed simulation,
+     * then alternate `sampleOps` detailed ops with `periodOps -
+     * sampleOps` functionally warmed ops. Disabled by default; a
+     * disabled config leaves the run bit-identical to one without the
+     * sampling layer wired in at all. Sampled runs execute on one
+     * worker thread (warming crosses shard boundaries directly, outside
+     * the epoch-barrier protocol); worker count never changes
+     * statistics, so this is invisible in results.
+     */
+    SamplingConfig sampling;
 
     std::uint64_t seed = 1;
 
@@ -332,6 +358,16 @@ class System
 
     /** Per-core private hierarchy (for inspection). */
     CoreMemory &coreMemory(std::uint32_t core) { return *mems.at(core); }
+
+    /**
+     * Core `core`'s operation source — the SampledTrace wrapper when
+     * sampling is enabled (its opsEmitted()/opsWarmed()/opsMeasured()
+     * feed the ingest benchmark), the raw trace otherwise.
+     */
+    TraceSource &traceSource(std::uint32_t core)
+    {
+        return *traces.at(core);
+    }
 
   private:
     void onCoreWarmed(std::uint32_t core_id);

@@ -1,0 +1,167 @@
+#include "workload/champsim_trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace dbsim {
+
+ChampSimTrace::ChampSimTrace(const std::string &path,
+                             std::uint64_t max_gap_instrs)
+    : dec(openTraceDecoder(path)), maxGap(max_gap_instrs),
+      buf(kChunkRecords)
+{
+    fatal_if(maxGap == 0, "trace %s: max gap must be positive",
+             path.c_str());
+}
+
+ChampSimTrace::~ChampSimTrace() = default;
+
+void
+ChampSimTrace::refill()
+{
+    const std::size_t want = kChunkRecords * sizeof(ChampSimRecord);
+    std::uint8_t *raw = reinterpret_cast<std::uint8_t *>(buf.data());
+    std::size_t got = 0;
+    while (got < want) {
+        std::size_t r = dec->read(raw + got, want - got);
+        if (r == 0) {
+            break;
+        }
+        got += r;
+    }
+    if (got == 0) {
+        // End of a full pass. A trace that produced no ops would loop
+        // forever feeding the core nothing; make that a user error.
+        fatal_if(nRecords == 0, "trace %s: empty file",
+                 dec->path().c_str());
+        fatal_if(nOpsThisPass == 0,
+                 "trace %s: no memory accesses in %llu records; not a "
+                 "usable trace", dec->path().c_str(),
+                 static_cast<unsigned long long>(nRecords));
+        dec->rewind();
+        ++nLoops;
+        nOpsThisPass = 0;
+        // Reset cross-record carry so every pass decodes identically.
+        pendingGap = 0;
+        prevDestRegs[0] = prevDestRegs[1] = 0;
+        while (got < want) {
+            std::size_t r = dec->read(raw + got, want - got);
+            if (r == 0) {
+                break;
+            }
+            got += r;
+        }
+        fatal_if(got == 0, "trace %s: empty after rewind",
+                 dec->path().c_str());
+    }
+    fatal_if(got % sizeof(ChampSimRecord) != 0,
+             "trace %s: truncated record after %llu records (%zu "
+             "trailing bytes)", dec->path().c_str(),
+             static_cast<unsigned long long>(nRecords),
+             got % sizeof(ChampSimRecord));
+    bufCount = got / sizeof(ChampSimRecord);
+    bufPos = 0;
+}
+
+void
+ChampSimTrace::parseOneRecord()
+{
+    if (bufPos == bufCount) {
+        refill();
+    }
+    const ChampSimRecord &rec = buf[bufPos++];
+    ++nRecords;
+
+    // Flag bytes are 0/1 by construction in every ChampSim writer; any
+    // other value means corruption (bit flips, misaligned garbage).
+    fatal_if(rec.isBranch > 1 || rec.branchTaken > 1,
+             "trace %s: record %llu: invalid flag bytes (%u/%u); "
+             "corrupt or not a ChampSim trace", dec->path().c_str(),
+             static_cast<unsigned long long>(nRecords - 1),
+             rec.isBranch, rec.branchTaken);
+
+    bool any_mem = false;
+    for (std::uint64_t a : rec.srcMem) {
+        any_mem |= a != 0;
+    }
+    for (std::uint64_t a : rec.destMem) {
+        any_mem |= a != 0;
+    }
+    if (!any_mem) {
+        ++pendingGap;
+        fatal_if(pendingGap > maxGap,
+                 "trace %s: %llu consecutive records with no memory "
+                 "access at record %llu; corrupt or unusable trace",
+                 dec->path().c_str(),
+                 static_cast<unsigned long long>(pendingGap),
+                 static_cast<unsigned long long>(nRecords - 1));
+        return;
+    }
+
+    // Pointer-chase heuristic: a load depends on the previous memory
+    // instruction when one of its source registers was written by it.
+    bool dep = false;
+    for (std::uint8_t s : rec.srcRegs) {
+        if (s != 0 && (s == prevDestRegs[0] || s == prevDestRegs[1])) {
+            dep = true;
+        }
+    }
+
+    pendingPos = 0;
+    pendingCount = 0;
+    bool first = true;
+    for (std::uint64_t a : rec.srcMem) {
+        if (a == 0) {
+            continue;
+        }
+        pending[pendingCount++] = TraceOp{
+            first ? static_cast<std::uint32_t>(pendingGap) : 0,
+            false, dep, a};
+        first = false;
+    }
+    for (std::uint64_t a : rec.destMem) {
+        if (a == 0) {
+            continue;
+        }
+        pending[pendingCount++] = TraceOp{
+            first ? static_cast<std::uint32_t>(pendingGap) : 0,
+            true, false, a};
+        first = false;
+    }
+    pendingGap = 0;
+    prevDestRegs[0] = rec.destRegs[0];
+    prevDestRegs[1] = rec.destRegs[1];
+}
+
+TraceOp
+ChampSimTrace::next()
+{
+    while (pendingPos == pendingCount) {
+        parseOneRecord();
+    }
+    ++nOps;
+    ++nOpsThisPass;
+    return pending[pendingPos++];
+}
+
+std::vector<std::uint8_t>
+ChampSimTrace::encode(const std::vector<ChampSimRecord> &records)
+{
+    std::vector<std::uint8_t> bytes(records.size() *
+                                    sizeof(ChampSimRecord));
+    if (!records.empty()) {
+        std::memcpy(bytes.data(), records.data(), bytes.size());
+    }
+    return bytes;
+}
+
+void
+ChampSimTrace::write(const std::string &path,
+                     const std::vector<ChampSimRecord> &records,
+                     TraceCodec codec)
+{
+    writeTraceFile(path, encode(records), codec);
+}
+
+} // namespace dbsim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Streaming front-end for ChampSim binary instruction traces. Each
+ * 64-byte wire record is one retired instruction: the ip, two branch
+ * flags, the architectural destination/source register lists, and up to
+ * two store plus four load addresses. The trace is decoded through the
+ * TraceDecoder seam (raw/gzip/xz) one bounded chunk at a time — a
+ * billion-op file is never materialized — and converted to the TraceOp
+ * contract the core model consumes: records without memory operands
+ * accumulate into the next op's `gap`, loads whose source registers
+ * overlap the previous memory instruction's destination registers are
+ * flagged `dependent` (the pointer-chase heuristic), and the stream
+ * loops forever by rewinding the decoder.
+ *
+ * Malformed input is a user error, never UB: a truncated tail record, a
+ * flag byte outside {0,1} (the cheap bit-flip detector), an empty file,
+ * and a gap run longer than `maxGapInstrs` (a sparse multi-GB file with
+ * no memory accesses) all fatal() with the record index.
+ */
+
+#ifndef DBSIM_WORKLOAD_CHAMPSIM_TRACE_HH
+#define DBSIM_WORKLOAD_CHAMPSIM_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+#include "workload/trace_decode.hh"
+
+namespace dbsim {
+
+/** One ChampSim wire record (exact 64-byte on-disk layout). */
+struct ChampSimRecord
+{
+    std::uint64_t ip;
+    std::uint8_t isBranch;
+    std::uint8_t branchTaken;
+    std::uint8_t destRegs[2];
+    std::uint8_t srcRegs[4];
+    std::uint64_t destMem[2]; ///< store addresses (0 = unused slot)
+    std::uint64_t srcMem[4];  ///< load addresses (0 = unused slot)
+};
+
+static_assert(sizeof(ChampSimRecord) == 64,
+              "ChampSim wire records are exactly 64 bytes");
+static_assert(offsetof(ChampSimRecord, destMem) == 16 &&
+                  offsetof(ChampSimRecord, srcMem) == 32,
+              "ChampSim wire layout requires no padding");
+
+class ChampSimTrace : public TraceSource
+{
+  public:
+    /** Longest tolerated run of records with no memory operand. */
+    static constexpr std::uint64_t kDefaultMaxGap = 4'000'000;
+
+    explicit ChampSimTrace(const std::string &path,
+                           std::uint64_t max_gap_instrs = kDefaultMaxGap);
+    ~ChampSimTrace() override;
+
+    TraceOp next() override;
+    std::uint64_t opsEmitted() const override { return nOps; }
+
+    std::uint64_t recordsParsed() const { return nRecords; }
+    std::uint64_t loops() const { return nLoops; }
+
+    /** Serialize records to the wire format (tests, gen_trace). */
+    static std::vector<std::uint8_t>
+    encode(const std::vector<ChampSimRecord> &records);
+
+    /** Write records to `path` through `codec`. */
+    static void write(const std::string &path,
+                      const std::vector<ChampSimRecord> &records,
+                      TraceCodec codec = TraceCodec::Raw);
+
+  private:
+    /** Records per decode chunk (64 KiB window — the memory bound). */
+    static constexpr std::size_t kChunkRecords = 1024;
+
+    void refill();
+    void parseOneRecord();
+
+    std::unique_ptr<TraceDecoder> dec;
+    std::uint64_t maxGap;
+
+    std::vector<ChampSimRecord> buf;
+    std::size_t bufPos = 0;
+    std::size_t bufCount = 0;
+
+    /** Ops decoded from the current record, drained by next(). */
+    TraceOp pending[6];
+    std::size_t pendingPos = 0;
+    std::size_t pendingCount = 0;
+
+    std::uint64_t pendingGap = 0;
+    std::uint8_t prevDestRegs[2] = {0, 0};
+
+    std::uint64_t nRecords = 0;
+    std::uint64_t nOps = 0;
+    std::uint64_t nOpsThisPass = 0;
+    std::uint64_t nLoops = 0;
+};
+
+} // namespace dbsim
+
+#endif // DBSIM_WORKLOAD_CHAMPSIM_TRACE_HH

@@ -1,51 +1,30 @@
 #include "file_trace.hh"
 
+#include <cctype>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "common/logging.hh"
 
 namespace dbsim {
 
-FileTrace::FileTrace(const std::string &path)
+FileTrace::FileTrace(const std::string &path_) : path(path_)
 {
-    std::ifstream in(path);
+    in.open(path);
     fatal_if(!in, "cannot open trace file '%s'", path.c_str());
 
-    std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        std::size_t hash = line.find('#');
-        if (hash != std::string::npos) {
-            line.erase(hash);
-        }
-        std::istringstream ls(line);
-        std::uint64_t gap;
-        std::string kind;
-        std::string addr_str;
-        if (!(ls >> gap)) {
-            continue;  // blank or comment-only line
-        }
-        fatal_if(!(ls >> kind >> addr_str),
-                 "%s:%zu: expected '<gap> <R|W|D> <hex-addr>'",
-                 path.c_str(), lineno);
-        fatal_if(kind != "R" && kind != "W" && kind != "D",
-                 "%s:%zu: bad access kind '%s'", path.c_str(), lineno,
-                 kind.c_str());
-        TraceOp op;
-        op.gap = static_cast<std::uint32_t>(gap);
-        op.isWrite = kind == "W";
-        op.dependent = kind == "D";
-        char *end = nullptr;
-        op.addr = std::strtoull(addr_str.c_str(), &end, 16);
-        fatal_if(end == addr_str.c_str() || *end != '\0',
-                 "%s:%zu: bad address '%s'", path.c_str(), lineno,
-                 addr_str.c_str());
-        ops.push_back(op);
+    // Validation pass: stream every record once so syntax errors fatal
+    // here with a line number, then rewind for replay. Nothing is
+    // retained, so memory stays bounded regardless of file size.
+    TraceOp op;
+    while (readNext(op)) {
+        ++nRecords;
     }
-    fatal_if(ops.empty(), "trace file '%s' has no records", path.c_str());
+    fatal_if(nRecords == 0, "trace file '%s' has no records",
+             path.c_str());
+    rewindFile();
 }
 
 FileTrace::FileTrace(std::vector<TraceOp> records) : ops(std::move(records))
@@ -53,11 +32,108 @@ FileTrace::FileTrace(std::vector<TraceOp> records) : ops(std::move(records))
     fatal_if(ops.empty(), "empty trace");
 }
 
+void
+FileTrace::rewindFile()
+{
+    in.clear();
+    in.seekg(0);
+    lineNo = 0;
+}
+
+bool
+FileTrace::parseLine(char *line, TraceOp &op)
+{
+    if (char *hash = std::strchr(line, '#')) {
+        *hash = '\0';
+    }
+    const auto skipWs = [](const char *p) {
+        while (*p == ' ' || *p == '\t' || *p == '\r') {
+            ++p;
+        }
+        return p;
+    };
+
+    const char *p = skipWs(line);
+    if (*p == '\0') {
+        return false; // blank or comment-only line
+    }
+
+    char *end = nullptr;
+    unsigned long long gap = std::strtoull(p, &end, 10);
+    fatal_if(end == p ||
+                 (*end != '\0' &&
+                  !std::isspace(static_cast<unsigned char>(*end))),
+             "%s:%zu: expected '<gap> <R|W|D> <hex-addr>'",
+             path.c_str(), lineNo);
+    fatal_if(gap > std::numeric_limits<std::uint32_t>::max(),
+             "%s:%zu: gap %llu exceeds the per-record limit",
+             path.c_str(), lineNo, gap);
+
+    p = skipWs(end);
+    char kind = *p;
+    fatal_if(kind != 'R' && kind != 'W' && kind != 'D',
+             "%s:%zu: bad access kind '%c'", path.c_str(), lineNo,
+             kind ? kind : ' ');
+    ++p;
+    fatal_if(*p != '\0' && !std::isspace(static_cast<unsigned char>(*p)),
+             "%s:%zu: bad access kind '%c%c'", path.c_str(), lineNo,
+             kind, *p);
+
+    p = skipWs(p);
+    end = nullptr;
+    unsigned long long addr = std::strtoull(p, &end, 16);
+    fatal_if(end == p, "%s:%zu: bad address '%s'", path.c_str(), lineNo,
+             p);
+    fatal_if(*skipWs(end) != '\0', "%s:%zu: trailing garbage '%s'",
+             path.c_str(), lineNo, end);
+
+    op.gap = static_cast<std::uint32_t>(gap);
+    op.isWrite = kind == 'W';
+    op.dependent = kind == 'D';
+    op.addr = addr;
+    return true;
+}
+
+bool
+FileTrace::readNext(TraceOp &op)
+{
+    char buf[kMaxLine];
+    while (true) {
+        in.getline(buf, sizeof(buf));
+        const auto got = static_cast<std::size_t>(in.gcount());
+        fatal_if(in.bad(), "trace file '%s': read error", path.c_str());
+        if (in.fail()) {
+            // getline sets failbit either on an unterminated over-long
+            // line (buffer filled) or on clean end-of-file (nothing
+            // extracted).
+            fatal_if(got == sizeof(buf) - 1,
+                     "%s:%zu: over-long line (> %zu chars)",
+                     path.c_str(), lineNo + 1, sizeof(buf) - 1);
+            return false;
+        }
+        ++lineNo;
+        if (parseLine(buf, op)) {
+            return true;
+        }
+    }
+}
+
 TraceOp
 FileTrace::next()
 {
-    TraceOp op = ops[pos];
-    pos = (pos + 1) % ops.size();
+    ++nEmitted;
+    if (inMemory()) {
+        TraceOp op = ops[pos];
+        pos = (pos + 1) % ops.size();
+        return op;
+    }
+    TraceOp op;
+    if (!readNext(op)) {
+        rewindFile();
+        bool ok = readNext(op);
+        panic_if(!ok, "validated trace '%s' empty on rewind",
+                 path.c_str());
+    }
     return op;
 }
 

@@ -10,11 +10,19 @@
  * access (pointer chasing). '#' starts a comment. Traces loop: when the
  * file is exhausted the source restarts from the beginning, matching
  * the infinite-trace contract of TraceSource.
+ *
+ * The file is streamed, never materialized: records are parsed on
+ * demand from a bounded line buffer and looping rewinds the stream, so
+ * memory use is independent of trace length. Construction still makes
+ * one full validation pass so malformed files fatal() up front (with
+ * the line number) rather than mid-simulation.
  */
 
 #ifndef DBSIM_WORKLOAD_FILE_TRACE_HH
 #define DBSIM_WORKLOAD_FILE_TRACE_HH
 
+#include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,11 +30,11 @@
 
 namespace dbsim {
 
-/** TraceSource replaying a trace file (loaded into memory, looping). */
+/** TraceSource replaying a trace file (streamed from disk, looping). */
 class FileTrace : public TraceSource
 {
   public:
-    /** Parse the file; fatal() on unreadable files or syntax errors. */
+    /** Open and validate the file; fatal() on any malformed record. */
     explicit FileTrace(const std::string &path);
 
     /** Build from already-parsed records (testing, programmatic use). */
@@ -34,8 +42,10 @@ class FileTrace : public TraceSource
 
     TraceOp next() override;
 
+    std::uint64_t opsEmitted() const override { return nEmitted; }
+
     /** Records per loop iteration. */
-    std::size_t size() const { return ops.size(); }
+    std::size_t size() const { return inMemory() ? ops.size() : nRecords; }
 
     /**
      * Serialize records in the file format (the writer counterpart, so
@@ -45,8 +55,25 @@ class FileTrace : public TraceSource
                       const std::vector<TraceOp> &records);
 
   private:
+    /** Longest accepted line; longer is a malformed (over-long) record. */
+    static constexpr std::size_t kMaxLine = 4096;
+
+    bool inMemory() const { return path.empty(); }
+    bool readNext(TraceOp &op);
+    bool parseLine(char *line, TraceOp &op);
+    void rewindFile();
+
+    // In-memory mode (programmatic records).
     std::vector<TraceOp> ops;
     std::size_t pos = 0;
+
+    // File-streaming mode.
+    std::string path;
+    std::ifstream in;
+    std::size_t nRecords = 0;
+    std::size_t lineNo = 0;
+
+    std::uint64_t nEmitted = 0;
 };
 
 } // namespace dbsim

@@ -1,0 +1,296 @@
+#include "workload/trace_decode.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+#ifdef DBSIM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+#ifdef DBSIM_HAVE_LZMA
+#include <lzma.h>
+#endif
+
+namespace dbsim {
+
+namespace {
+
+/** Bounded staging window for compressed input (per decoder). */
+constexpr std::size_t kInChunk = 1u << 16;
+
+/** Plain uncompressed file. */
+class RawDecoder : public TraceDecoder
+{
+  public:
+    explicit RawDecoder(const std::string &path) : TraceDecoder(path)
+    {
+        f = std::fopen(path.c_str(), "rb");
+        fatal_if(!f, "trace %s: cannot open", path.c_str());
+    }
+
+    ~RawDecoder() override { std::fclose(f); }
+
+    std::size_t read(void *dst, std::size_t n) override
+    {
+        std::size_t got = std::fread(dst, 1, n, f);
+        fatal_if(got < n && std::ferror(f), "trace %s: read error",
+                 filePath.c_str());
+        return got;
+    }
+
+    void rewind() override { std::rewind(f); }
+
+  private:
+    std::FILE *f = nullptr;
+};
+
+#ifdef DBSIM_HAVE_ZLIB
+/** Gzip container via zlib's gzFile streaming API. */
+class GzipDecoder : public TraceDecoder
+{
+  public:
+    explicit GzipDecoder(const std::string &path) : TraceDecoder(path)
+    {
+        gz = gzopen(path.c_str(), "rb");
+        fatal_if(!gz, "trace %s: cannot open", path.c_str());
+        gzbuffer(gz, kInChunk);
+    }
+
+    ~GzipDecoder() override { gzclose(gz); }
+
+    std::size_t read(void *dst, std::size_t n) override
+    {
+        int got = gzread(gz, dst, static_cast<unsigned>(n));
+        if (got < 0) {
+            int errnum = 0;
+            const char *msg = gzerror(gz, &errnum);
+            fatal("trace %s: gzip decode error: %s", filePath.c_str(),
+                  msg ? msg : "unknown");
+        }
+        return static_cast<std::size_t>(got);
+    }
+
+    void rewind() override
+    {
+        fatal_if(gzrewind(gz) != 0, "trace %s: gzip rewind failed",
+                 filePath.c_str());
+    }
+
+  private:
+    gzFile gz = nullptr;
+};
+#endif // DBSIM_HAVE_ZLIB
+
+#ifdef DBSIM_HAVE_LZMA
+/** Xz container via liblzma's incremental stream decoder. */
+class XzDecoder : public TraceDecoder
+{
+  public:
+    explicit XzDecoder(const std::string &path) : TraceDecoder(path)
+    {
+        f = std::fopen(path.c_str(), "rb");
+        fatal_if(!f, "trace %s: cannot open", path.c_str());
+        initStream();
+    }
+
+    ~XzDecoder() override
+    {
+        lzma_end(&strm);
+        std::fclose(f);
+    }
+
+    std::size_t read(void *dst, std::size_t n) override
+    {
+        strm.next_out = static_cast<std::uint8_t *>(dst);
+        strm.avail_out = n;
+        while (strm.avail_out > 0 && !streamEnd) {
+            if (strm.avail_in == 0 && !inEof) {
+                std::size_t got = std::fread(inBuf, 1, kInChunk, f);
+                fatal_if(got < kInChunk && std::ferror(f),
+                         "trace %s: read error", filePath.c_str());
+                inEof = got == 0 && std::feof(f);
+                strm.next_in = inBuf;
+                strm.avail_in = got;
+            }
+            lzma_ret ret =
+                lzma_code(&strm, inEof ? LZMA_FINISH : LZMA_RUN);
+            if (ret == LZMA_STREAM_END) {
+                streamEnd = true;
+            } else if (ret != LZMA_OK) {
+                fatal("trace %s: xz decode error (lzma_ret %d)",
+                      filePath.c_str(), static_cast<int>(ret));
+            }
+        }
+        return n - strm.avail_out;
+    }
+
+    void rewind() override
+    {
+        lzma_end(&strm);
+        std::rewind(f);
+        inEof = false;
+        streamEnd = false;
+        initStream();
+    }
+
+  private:
+    void initStream()
+    {
+        strm = LZMA_STREAM_INIT;
+        lzma_ret ret =
+            lzma_stream_decoder(&strm, UINT64_MAX, LZMA_CONCATENATED);
+        fatal_if(ret != LZMA_OK, "trace %s: cannot init xz decoder",
+                 filePath.c_str());
+    }
+
+    std::FILE *f = nullptr;
+    lzma_stream strm = LZMA_STREAM_INIT;
+    std::uint8_t inBuf[kInChunk];
+    bool inEof = false;
+    bool streamEnd = false;
+};
+#endif // DBSIM_HAVE_LZMA
+
+} // namespace
+
+const char *
+traceCodecName(TraceCodec codec)
+{
+    switch (codec) {
+      case TraceCodec::Raw: return "raw";
+      case TraceCodec::Gzip: return "gzip";
+      case TraceCodec::Xz: return "xz";
+      case TraceCodec::Zstd: return "zstd";
+    }
+    return "?";
+}
+
+bool
+traceCodecAvailable(TraceCodec codec)
+{
+    switch (codec) {
+      case TraceCodec::Raw:
+        return true;
+      case TraceCodec::Gzip:
+#ifdef DBSIM_HAVE_ZLIB
+        return true;
+#else
+        return false;
+#endif
+      case TraceCodec::Xz:
+#ifdef DBSIM_HAVE_LZMA
+        return true;
+#else
+        return false;
+#endif
+      case TraceCodec::Zstd:
+        return false;
+    }
+    return false;
+}
+
+TraceCodec
+sniffTraceCodec(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "trace %s: cannot open", path.c_str());
+    unsigned char magic[6] = {};
+    std::size_t got = std::fread(magic, 1, sizeof(magic), f);
+    std::fclose(f);
+
+    if (got >= 2 && magic[0] == 0x1f && magic[1] == 0x8b) {
+        return TraceCodec::Gzip;
+    }
+    static const unsigned char xz[6] = {0xfd, '7', 'z', 'X', 'Z', 0x00};
+    if (got >= 6 && std::memcmp(magic, xz, 6) == 0) {
+        return TraceCodec::Xz;
+    }
+    if (got >= 4 && magic[0] == 0x28 && magic[1] == 0xb5 &&
+        magic[2] == 0x2f && magic[3] == 0xfd) {
+        return TraceCodec::Zstd;
+    }
+    return TraceCodec::Raw;
+}
+
+std::unique_ptr<TraceDecoder>
+openTraceDecoder(const std::string &path)
+{
+    TraceCodec codec = sniffTraceCodec(path);
+    fatal_if(!traceCodecAvailable(codec),
+             "trace %s: %s-compressed, but %s support is not compiled "
+             "into this build; recompress with gzip or xz",
+             path.c_str(), traceCodecName(codec), traceCodecName(codec));
+    switch (codec) {
+      case TraceCodec::Raw:
+        break;
+      case TraceCodec::Gzip:
+#ifdef DBSIM_HAVE_ZLIB
+        return std::make_unique<GzipDecoder>(path);
+#else
+        break;
+#endif
+      case TraceCodec::Xz:
+#ifdef DBSIM_HAVE_LZMA
+        return std::make_unique<XzDecoder>(path);
+#else
+        break;
+#endif
+      case TraceCodec::Zstd:
+        break;
+    }
+    return std::make_unique<RawDecoder>(path);
+}
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<std::uint8_t> &bytes, TraceCodec codec)
+{
+    fatal_if(!traceCodecAvailable(codec),
+             "cannot write %s: %s support is not compiled in",
+             path.c_str(), traceCodecName(codec));
+    switch (codec) {
+      case TraceCodec::Raw: {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        fatal_if(!f, "cannot write %s", path.c_str());
+        std::size_t put = std::fwrite(bytes.data(), 1, bytes.size(), f);
+        fatal_if(put != bytes.size(), "short write to %s", path.c_str());
+        std::fclose(f);
+        return;
+      }
+      case TraceCodec::Gzip: {
+#ifdef DBSIM_HAVE_ZLIB
+        gzFile gz = gzopen(path.c_str(), "wb");
+        fatal_if(!gz, "cannot write %s", path.c_str());
+        if (!bytes.empty()) {
+            int put = gzwrite(gz, bytes.data(),
+                              static_cast<unsigned>(bytes.size()));
+            fatal_if(put <= 0 ||
+                         static_cast<std::size_t>(put) != bytes.size(),
+                     "short gzip write to %s", path.c_str());
+        }
+        gzclose(gz);
+#endif
+        return;
+      }
+      case TraceCodec::Xz: {
+#ifdef DBSIM_HAVE_LZMA
+        std::size_t bound = lzma_stream_buffer_bound(bytes.size());
+        std::vector<std::uint8_t> out(bound);
+        std::size_t outPos = 0;
+        lzma_ret ret = lzma_easy_buffer_encode(
+            6, LZMA_CHECK_CRC64, nullptr, bytes.data(), bytes.size(),
+            out.data(), &outPos, out.size());
+        fatal_if(ret != LZMA_OK, "xz encode for %s failed (lzma_ret %d)",
+                 path.c_str(), static_cast<int>(ret));
+        out.resize(outPos);
+        writeTraceFile(path, out, TraceCodec::Raw);
+#endif
+        return;
+      }
+      case TraceCodec::Zstd:
+        return; // unreachable: traceCodecAvailable() rejected it
+    }
+}
+
+} // namespace dbsim

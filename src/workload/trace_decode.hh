@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Compression seam for trace ingest. A TraceDecoder turns a (possibly
+ * compressed) trace file into a rewindable byte stream read in bounded
+ * chunks; the container format is detected from magic bytes, never from
+ * the file name. Gzip rides on zlib and xz on liblzma when the build
+ * found them; zstd is detected but only to fail with a clear message,
+ * since the toolchain image carries no zstd headers. The seam keeps the
+ * parsers (ChampSimTrace, FileTrace) codec-agnostic and is also where
+ * the test suite and tools/gen_trace get their tiny compress-a-buffer
+ * helper, so fuzz inputs exercise the exact decode path the simulator
+ * uses.
+ */
+
+#ifndef DBSIM_WORKLOAD_TRACE_DECODE_HH
+#define DBSIM_WORKLOAD_TRACE_DECODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dbsim {
+
+/** Container codecs the sniffing recognises. */
+enum class TraceCodec { Raw, Gzip, Xz, Zstd };
+
+/** Human-readable codec name for messages. */
+const char *traceCodecName(TraceCodec codec);
+
+/** True if this build can decode (and encode) the codec. */
+bool traceCodecAvailable(TraceCodec codec);
+
+/** Sniff the codec from a file's leading magic bytes. */
+TraceCodec sniffTraceCodec(const std::string &path);
+
+/**
+ * Rewindable chunked byte stream over a trace file. read() never
+ * buffers more than a fixed-size window regardless of file size;
+ * decode errors are user errors and fatal() with the file position.
+ */
+class TraceDecoder
+{
+  public:
+    virtual ~TraceDecoder() = default;
+
+    /** Read up to `n` bytes into `dst`; returns 0 at end of stream. */
+    virtual std::size_t read(void *dst, std::size_t n) = 0;
+
+    /** Seek back to the start of the decoded stream. */
+    virtual void rewind() = 0;
+
+    const std::string &path() const { return filePath; }
+
+  protected:
+    explicit TraceDecoder(std::string path) : filePath(std::move(path)) {}
+
+    std::string filePath;
+};
+
+/**
+ * Open `path` with the codec its magic bytes announce. fatal()s if the
+ * file is unreadable or the codec is not compiled into this build.
+ */
+std::unique_ptr<TraceDecoder> openTraceDecoder(const std::string &path);
+
+/**
+ * Write `bytes` to `path` through `codec` (used by tools/gen_trace and
+ * the parser tests; Raw writes the bytes verbatim). fatal()s if the
+ * codec is unavailable in this build.
+ */
+void writeTraceFile(const std::string &path,
+                    const std::vector<std::uint8_t> &bytes,
+                    TraceCodec codec);
+
+} // namespace dbsim
+
+#endif // DBSIM_WORKLOAD_TRACE_DECODE_HH

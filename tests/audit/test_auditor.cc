@@ -218,6 +218,11 @@ class LossyDirtyStore : public DirtyStore
     bool probeDirty(Addr a) const override { return inner.probeDirty(a); }
     void clean(Addr a) override { inner.clean(a); }
     bool victimDirty(Addr, bool) override { return false; }  // the bug
+    void
+    functionalWritebackIn(Addr a, std::uint32_t core) override
+    {
+        inner.functionalWritebackIn(a, core);
+    }
     std::uint64_t
     dirtyInVictimRow(Addr a) const override
     {

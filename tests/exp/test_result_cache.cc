@@ -122,6 +122,82 @@ TEST(CanonicalConfig, DCacheFieldsAppearOnlyWhenEnabled)
     }
 }
 
+TEST(CanonicalConfig, TraceAndSamplingFieldsAppearOnlyWhenInUse)
+{
+    // Synthetic-workload configs must keep producing the exact
+    // canonical strings they produced before trace ingest existed —
+    // otherwise every cached record from earlier builds goes stale.
+    SystemConfig plain;
+    const std::string canon = canonicalConfig(plain);
+    EXPECT_EQ(canon.find("trace."), std::string::npos);
+    EXPECT_EQ(canon.find("sample."), std::string::npos);
+
+    // Disabled sampling knobs are inert, like the disabled dcache.
+    SystemConfig zeroed = plain;
+    zeroed.sampling = SamplingConfig{};
+    EXPECT_EQ(canonicalConfig(zeroed), canon);
+
+    SystemConfig sampled = plain;
+    sampled.sampling.ffOps = 1'000'000;
+    const std::string scanon = canonicalConfig(sampled);
+    EXPECT_NE(scanon, canon);
+    EXPECT_NE(scanon.find("sample.ff"), std::string::npos);
+
+    // Every sampling knob perturbs the enabled key.
+    SystemConfig windows = sampled;
+    windows.sampling.sampleOps = 5'000;
+    windows.sampling.periodOps = 50'000;
+    EXPECT_NE(canonicalConfig(windows), scanon);
+}
+
+TEST(CanonicalConfig, RewritingTraceInPlaceFlipsTheKey)
+{
+    // The trace participates by content hash: an in-place rewrite must
+    // flip the key even though path, size, and record count are all
+    // unchanged — the staleness case mtime-free caches get wrong.
+    const std::string trace =
+        ::testing::TempDir() + "dbsim_cache_trace_key.txt";
+    std::ofstream(trace) << "1 R 1000\n2 W 2000\n";
+
+    SystemConfig cfg;
+    cfg.traceFile = trace;
+    const std::string before = canonicalConfig(cfg);
+    EXPECT_NE(before.find("trace.hash"), std::string::npos);
+
+    std::ofstream(trace) << "1 R 1000\n2 W 2040\n"; // same shape
+    EXPECT_NE(canonicalConfig(cfg), before);
+
+    std::ofstream(trace) << "1 R 1000\n2 W 2000\n"; // byte-identical
+    EXPECT_EQ(canonicalConfig(cfg), before);
+    std::remove(trace.c_str());
+}
+
+TEST(Fnv1a64, FileHashMatchesInMemoryHash)
+{
+    // fnv1a64File streams in chunks; it must agree with the in-memory
+    // hash of the same bytes, including across its refill boundary.
+    const std::string path =
+        ::testing::TempDir() + "dbsim_cache_hash_file.bin";
+    std::string content;
+    for (int i = 0; i < 300'000; ++i) { // well past one 64KB chunk
+        content.push_back(static_cast<char>(i * 131 % 251));
+    }
+    std::ofstream(path, std::ios::binary)
+        .write(content.data(),
+               static_cast<std::streamsize>(content.size()));
+    EXPECT_EQ(fnv1a64File(path), fnv1a64(content));
+    std::remove(path.c_str());
+}
+
+TEST(Fnv1a64, MissingTraceFileIsFatalAtKeyTime)
+{
+    // A vanished trace must refuse at hashing time, not produce a key
+    // that aliases some other config.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(fnv1a64File("/nonexistent/trace.champsim"),
+                 "cannot read trace file");
+}
+
 TEST(CanonicalPoint, MixSimFoldsInThePinnedAloneConfig)
 {
     SweepSpec spec;

@@ -2,13 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "workload/file_trace.hh"
 
 namespace dbsim {
 namespace {
+
+std::size_t
+peakRssBytes()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
 
 class FileTraceTest : public ::testing::Test
 {
@@ -107,6 +121,107 @@ TEST_F(FileTraceTest, EmptyFileIsFatal)
 {
     std::ofstream(path) << "# only a comment\n";
     EXPECT_DEATH(FileTrace trace(path), "no records");
+}
+
+TEST_F(FileTraceTest, GapOverflowIsFatal)
+{
+    // gap is stored in 32 bits; a larger value must refuse up front,
+    // not truncate into a silently different trace.
+    std::ofstream(path) << "5000000000 R 100\n";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(FileTrace trace(path), "exceeds the per-record limit");
+}
+
+TEST_F(FileTraceTest, OverLongLineIsFatal)
+{
+    // A line longer than the bounded parse buffer is a malformed
+    // record, not an excuse to allocate.
+    std::ofstream(path) << "1 R 100 # " << std::string(8192, 'x')
+                        << "\n";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(FileTrace trace(path), "over-long line");
+}
+
+TEST_F(FileTraceTest, TrailingGarbageIsFatal)
+{
+    std::ofstream(path) << "1 R 100 xyzzy\n";
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(FileTrace trace(path), "trailing garbage");
+}
+
+TEST_F(FileTraceTest, StreamingMatchesInMemoryAcrossLoops)
+{
+    // Golden diff: the streamed file replay must be bit-identical to
+    // the in-memory replay of the same records, including across the
+    // rewind at each loop boundary.
+    std::vector<TraceOp> records;
+    std::mt19937_64 rng(0xf11e77ace5u);
+    for (int n = 0; n < 3'000; ++n) {
+        TraceOp op{};
+        op.gap = static_cast<std::uint32_t>(rng() % 7);
+        op.isWrite = rng() % 3 == 0;
+        op.dependent = !op.isWrite && rng() % 5 == 0;
+        op.addr = (rng() % (1u << 24)) * 64;
+        records.push_back(op);
+    }
+    FileTrace::write(path, records);
+
+    FileTrace streamed(path);
+    FileTrace inMemory(records);
+    ASSERT_EQ(streamed.size(), records.size());
+    for (std::size_t i = 0; i < records.size() * 3 + 7; ++i) {
+        TraceOp a = streamed.next();
+        TraceOp b = inMemory.next();
+        ASSERT_EQ(a.gap, b.gap) << "op " << i;
+        ASSERT_EQ(a.isWrite, b.isWrite) << "op " << i;
+        ASSERT_EQ(a.dependent, b.dependent) << "op " << i;
+        ASSERT_EQ(a.addr, b.addr) << "op " << i;
+    }
+    EXPECT_EQ(streamed.opsEmitted(), inMemory.opsEmitted());
+}
+
+TEST_F(FileTraceTest, LargeFileStreamsBounded)
+{
+    // A few hundred MB of text trace must stream at O(1) memory: the
+    // validation pass, the replay, and the loop rewind all reuse one
+    // bounded line buffer. Write in large chunks so the test spends
+    // its time streaming, not in per-line ofstream calls.
+    constexpr std::size_t kLines = 24u << 20; // ~360MB of text
+    {
+        std::ofstream out(path, std::ios::binary);
+        std::string chunk;
+        chunk.reserve(1u << 20);
+        char line[64];
+        for (std::size_t i = 0; i < kLines; ++i) {
+            int len = std::snprintf(line, sizeof(line), "%u %c %llx\n",
+                                    static_cast<unsigned>(i % 5),
+                                    i % 4 == 0 ? 'W' : 'R',
+                                    0x1000ull + i % 4096 * 64);
+            chunk.append(line, static_cast<std::size_t>(len));
+            if (chunk.size() > (1u << 20) - 64) {
+                out.write(chunk.data(),
+                          static_cast<std::streamsize>(chunk.size()));
+                chunk.clear();
+            }
+        }
+        out.write(chunk.data(),
+                  static_cast<std::streamsize>(chunk.size()));
+        ASSERT_TRUE(out.good());
+    }
+
+    const std::size_t before = peakRssBytes();
+    FileTrace trace(path); // validation pass streams the whole file
+    ASSERT_EQ(trace.size(), kLines);
+    // Stream well past one loop so the rewind path is covered too.
+    for (std::size_t i = 0; i < kLines + 1'000; ++i) {
+        TraceOp op = trace.next();
+        ASSERT_EQ(op.addr % 64, 0u);
+        ASSERT_GE(op.addr, 0x1000u);
+    }
+    const std::size_t after = peakRssBytes();
+    EXPECT_LT(after - before, 48u << 20)
+        << "streaming a ~360MB trace grew peak RSS by "
+        << (after - before) << " bytes";
 }
 
 } // namespace

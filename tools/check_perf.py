@@ -91,6 +91,37 @@ def check_host_profile(current):
     return True
 
 
+def check_ingest(current):
+    """Schema-check the trace_ingest point's extra metrics.
+
+    The ingest point records trace-op throughput in both execution
+    modes. Its absolute numbers are ungated (host-dependent), but the
+    shape is code, not noise: every field must be present and positive,
+    and the fast-forward mode must actually be faster than detailed
+    simulation — a "speedup" below 1 means the functional path broke.
+    """
+    point = current.get("trace_ingest")
+    if point is None:
+        return True  # absent from this bench build: nothing to check
+    errors = []
+    for key in ("opsDetailed", "opsPerSecDetailed", "ffOps",
+                "ffSeconds", "opsPerSecFF", "ffSpeedup"):
+        v = point.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            errors.append(f"trace_ingest: {key} = {v!r}")
+    speedup = point.get("ffSpeedup", 0)
+    if isinstance(speedup, (int, float)) and 0 < speedup < 1.0:
+        errors.append(f"trace_ingest: fast-forward SLOWER than detailed "
+                      f"(ffSpeedup = {speedup:.2f})")
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return False
+    print(f"trace-ingest schema: ok (fast-forward "
+          f"{float(point['ffSpeedup']):.1f}x detailed)")
+    return True
+
+
 def main():
     if len(sys.argv) != 4:
         print(__doc__, file=sys.stderr)
@@ -115,6 +146,8 @@ def main():
             return 1
 
         if attempt == 1 and not check_host_profile(current):
+            return 1
+        if attempt == 1 and not check_ingest(current):
             return 1
 
         failures = []

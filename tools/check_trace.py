@@ -65,7 +65,7 @@ def run_diag(binary, workdir):
         "--warmup", str(WARMUP), "--measure", str(MEASURE),
         "--sample", str(SAMPLE_EVERY),
         "--timeseries", str(paths["timeseries"]),
-        "--trace", str(paths["trace"]),
+        "--trace-out", str(paths["trace"]),
         "--hist",
         "--json", str(paths["record"]),
         "--no-progress",
@@ -213,7 +213,7 @@ def run_diag_sharded(binary, workdir):
         "--slices", str(SHARDS), "--channels", str(SHARDS),
         "--shards", str(SHARDS),
         "--instrs", "100000",
-        "--trace", str(paths["trace"]),
+        "--trace-out", str(paths["trace"]),
         "--profile",
         "--json", str(paths["record"]),
         "--no-progress",
